@@ -1,0 +1,76 @@
+"""Ablation: the latency-accuracy trade-off on DSP workloads.
+
+The paper's case study is one image filter; the methodology claims
+generality over latency-critical datapaths.  This bench applies the same
+two-synthesis comparison to a 7-tap low-pass FIR and the 8-point DCT-II,
+reporting the error at matched normalized overclocking factors.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.dsp.dct import dct8_datapath
+from repro.dsp.fir import fir_datapath, lowpass_coefficients
+from repro.netlist.delay import FpgaDelay
+from repro.sim.reporting import format_table
+
+FACTORS = (1.05, 1.10, 1.20)
+SAMPLES = 800
+
+
+def _sweep(datapath, inputs):
+    out = {}
+    for arith in ("traditional", "online"):
+        synth = datapath.synthesize(arith, FpgaDelay())
+        run = synth.apply(inputs)
+        out[arith] = run
+    return out
+
+
+def test_ablation_dsp_workloads(benchmark):
+    rng = np.random.default_rng(23)
+
+    fir_dp, _q, _s = fir_datapath(lowpass_coefficients(7), ndigits=8)
+    fir_inputs = {f"x{k}": rng.uniform(-0.9, 0.9, SAMPLES) for k in range(7)}
+    fir_runs = _sweep(fir_dp, fir_inputs)
+
+    dct_dp, _basis = dct8_datapath(ndigits=8)
+    dct_inputs = {f"x{n}": rng.uniform(-0.9, 0.9, SAMPLES) for n in range(8)}
+    dct_runs = _sweep(dct_dp, dct_inputs)
+
+    rows = []
+    wins = 0
+    for name, runs in (("FIR-7", fir_runs), ("DCT-8", dct_runs)):
+        for factor in FACTORS:
+            e_t = runs["traditional"].mean_abs_error(
+                runs["traditional"].step_for_factor(factor)
+            )
+            e_o = runs["online"].mean_abs_error(
+                runs["online"].step_for_factor(factor)
+            )
+            if e_o < e_t:
+                wins += 1
+            rows.append(
+                [name, f"{factor:.2f}x", f"{e_t:.3e}", f"{e_o:.3e}",
+                 f"{e_t / e_o:.1f}x" if e_o > 0 else "inf"]
+            )
+    emit(
+        "ablation_dsp_workloads",
+        format_table(
+            ["workload", "overclock", "traditional |err|", "online |err|",
+             "gap"],
+            rows,
+            title=(
+                "Ablation: mean output error of DSP datapaths under "
+                "overclocking (normalized to each design's f0)"
+            ),
+        ),
+    )
+
+    # the online synthesis wins on a clear majority of workload/factor cells
+    assert wins >= (2 * len(FACTORS)) * 2 // 3
+
+    benchmark(
+        fir_runs["online"].mean_abs_error,
+        fir_runs["online"].step_for_factor(1.10),
+    )

@@ -1,0 +1,63 @@
+"""Ablation: area and critical-path scaling of the two multiplier designs.
+
+How the unrolled online multiplier and the conventional Baugh-Wooley/
+Kogge-Stone multiplier grow with operand word length — the cost side of
+the paper's trade-off (Table 4 gives one point; this sweeps N).
+"""
+
+from _common import emit
+from repro.arith.array_multiplier import build_array_multiplier
+from repro.core.online_multiplier import build_online_multiplier
+from repro.netlist.area import estimate_area
+from repro.netlist.delay import UnitDelay
+from repro.netlist.sta import static_timing
+from repro.sim.reporting import format_table
+
+WORD_LENGTHS = (4, 8, 12, 16, 24)
+
+
+def test_ablation_scaling(benchmark):
+    rows = []
+    overheads = []
+    for n in WORD_LENGTHS:
+        online = build_online_multiplier(n)
+        trad = build_array_multiplier(n + 1)
+        a_on, a_tr = estimate_area(online), estimate_area(trad)
+        d_on = static_timing(online, UnitDelay()).critical_delay
+        d_tr = static_timing(trad, UnitDelay()).critical_delay
+        overheads.append(a_on.luts / a_tr.luts)
+        rows.append(
+            [
+                n,
+                a_tr.luts,
+                a_on.luts,
+                f"{a_on.luts / a_tr.luts:.2f}",
+                d_tr,
+                d_on,
+                f"{d_on / d_tr:.2f}",
+            ]
+        )
+    emit(
+        "ablation_scaling",
+        format_table(
+            ["N", "trad LUTs", "online LUTs", "LUT overhead",
+             "trad depth", "online depth", "depth ratio"],
+            rows,
+            title=(
+                "Ablation: area and unit-delay critical path vs word length "
+                "(traditional = Baugh-Wooley + Kogge-Stone, N+1 bits)"
+            ),
+        ),
+    )
+
+    # area overhead stays in the 1.5-4x band across the sweep
+    assert all(1.2 <= o <= 5.0 for o in overheads)
+    # online depth grows linearly (one recode per stage) while the
+    # traditional Wallace+Kogge-Stone baseline grows logarithmically, so
+    # the depth ratio widens with N — the latency price of MSD-first
+    # operation that the paper's overclocking headroom buys back
+    first_ratio = float(rows[0][6])
+    last_ratio = float(rows[-1][6])
+    assert last_ratio > first_ratio
+
+    benchmark(build_online_multiplier, 8)

@@ -1,0 +1,50 @@
+"""Fig. 5: chain-delay probabilities, error magnitudes and expectations.
+
+Regenerates, for N = 8, 12, 16 and 32, the per-chain-delay intensity
+``P_d``, the associated error magnitude ``eps_d`` and their product — the
+decomposition behind Eq. (11).  The paper's observations should hold:
+
+* ``eps_d`` decays exponentially with the chain delay (errors live in the
+  least significant digits);
+* long chains are *more* intense than short ones up to the annihilation
+  cap (many stages can host them);
+* their product — the error expectation — declines with the delay, which
+  is why the online multiplier is insensitive to mild overclocking.
+"""
+
+import pytest
+
+from _common import emit
+from repro.core.model import OverclockingErrorModel
+from repro.sim.reporting import format_table
+
+
+@pytest.mark.parametrize("ndigits", [8, 12, 16, 32])
+def test_fig5_chain_distributions(benchmark, ndigits):
+    model = OverclockingErrorModel(ndigits)
+    rows = model.per_delay_curves()
+    emit(
+        f"fig5_N{ndigits}",
+        format_table(
+            ["chain delay d", "P_d", "eps_d", "P_d * eps_d"],
+            [
+                [d, f"{p:.5f}", f"{eps:.4e}", f"{e:.4e}"]
+                for d, p, eps, e in rows
+            ],
+            title=(
+                f"Fig. 5 ({ndigits}-digit OM): chain-delay intensity, error "
+                "magnitude and expectation"
+            ),
+        ),
+    )
+
+    # paper observation 1: magnitude decays exponentially (d > delta)
+    eps = [r[2] for r in rows if r[0] > model.delta and r[2] > 0]
+    assert all(a / b >= 2.0 for a, b in zip(eps, eps[1:]))
+    # paper observation 2: expectation declines for long chains
+    exps = [r[3] for r in rows if r[0] > model.delta]
+    assert exps[0] == max(exps)
+    # annihilation cap: longest chain is about half the structural depth
+    assert max(r[0] for r in rows) == (ndigits + 2 * model.delta) // 2
+
+    benchmark(lambda: OverclockingErrorModel(ndigits).per_delay_curves())

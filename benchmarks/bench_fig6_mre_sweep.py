@@ -1,0 +1,59 @@
+"""Fig. 6: image-filter MRE versus overclocked frequency.
+
+Regenerates the paper's central case-study figure: mean relative error of
+the Gaussian filter as the clock is swept past each design's maximum
+error-free frequency ``f0``, for uniform-independent inputs and for the
+"real" (correlated synthetic) Lena image, with traditional and online
+arithmetic side by side.
+"""
+
+import pytest
+
+from _common import FREQUENCY_FACTORS, IMAGE_SIZE, emit, filter_runs
+from repro.imaging.metrics import mre_percent
+from repro.sim.reporting import format_table
+
+
+@pytest.mark.parametrize("image_name", ["uniform", "lena"])
+def test_fig6_mre_vs_frequency(benchmark, image_name):
+    runs = {
+        arith: filter_runs(image_name, arith)
+        for arith in ("traditional", "online")
+    }
+    factors = [1.0] + list(FREQUENCY_FACTORS) + [1.30]
+    rows = []
+    for factor in factors:
+        row = [f"{factor:.2f}x"]
+        for arith in ("traditional", "online"):
+            run = runs[arith]
+            out = run.at_factor(factor)
+            row.append(f"{mre_percent(run.correct, out):.4f}%")
+        rows.append(row)
+    header = (
+        f"Fig. 6 ({image_name} {IMAGE_SIZE}x{IMAGE_SIZE}): filter MRE vs "
+        "frequency normalized to each design's error-free f0\n"
+        + "\n".join(
+            f"  {arith}: rated period {runs[arith].rated_step}, "
+            f"error-free period {runs[arith].error_free_step}"
+            for arith in ("traditional", "online")
+        )
+    )
+    emit(
+        f"fig6_{image_name}",
+        format_table(
+            ["frequency", "traditional MRE", "online MRE"],
+            rows,
+            title=header,
+        ),
+    )
+
+    # no errors at f0; errors appear beyond it for both designs
+    assert float(rows[0][1].rstrip("%")) == 0.0
+    assert float(rows[0][2].rstrip("%")) == 0.0
+    assert float(rows[-1][1].rstrip("%")) > 0.0
+    assert float(rows[-1][2].rstrip("%")) > 0.0
+
+    # timed kernel: decoding one overclocked sample of the whole image
+    run = runs["online"]
+    step = run.step_for_factor(1.15)
+    benchmark(run.decode, step)

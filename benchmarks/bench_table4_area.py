@@ -1,0 +1,63 @@
+"""Table 4: area comparison between the two designs.
+
+LUT and slice estimates for the two filter datapaths (and for standalone
+8-digit multipliers), with the online/traditional overhead ratio — the
+paper reports 2.08x LUTs and 1.62x slices.
+"""
+
+from _common import emit, filter_datapath
+from repro.arith.array_multiplier import build_array_multiplier
+from repro.core.online_multiplier import build_online_multiplier
+from repro.netlist.area import estimate_area
+from repro.sim.reporting import format_table
+
+
+def test_table4_area(benchmark):
+    trad_filter = estimate_area(filter_datapath("traditional").circuit)
+    online_filter = estimate_area(filter_datapath("online").circuit)
+    trad_mult = estimate_area(build_array_multiplier(9))
+    online_mult = estimate_area(build_online_multiplier(8))
+
+    rows = [
+        [
+            "filter LUTs",
+            trad_filter.luts,
+            online_filter.luts,
+            f"{online_filter.overhead_vs(trad_filter):.2f}",
+        ],
+        [
+            "filter slices",
+            trad_filter.slices,
+            online_filter.slices,
+            f"{online_filter.slices / trad_filter.slices:.2f}",
+        ],
+        [
+            "multiplier LUTs",
+            trad_mult.luts,
+            online_mult.luts,
+            f"{online_mult.overhead_vs(trad_mult):.2f}",
+        ],
+        [
+            "multiplier slices",
+            trad_mult.slices,
+            online_mult.slices,
+            f"{online_mult.slices / trad_mult.slices:.2f}",
+        ],
+    ]
+    emit(
+        "table4_area",
+        format_table(
+            ["metric", "traditional", "online", "overhead"],
+            rows,
+            title=(
+                "Table 4: area comparison (paper: 2.08x LUTs, 1.62x slices "
+                "for the 8-digit operators)"
+            ),
+        ),
+    )
+
+    # the paper's qualitative claim: online costs roughly 2x the area
+    overhead = online_mult.overhead_vs(trad_mult)
+    assert 1.2 <= overhead <= 5.0
+
+    benchmark(estimate_area, filter_datapath("online").circuit)

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Makes ``_common`` importable when pytest collects the benchmarks from the
+repository root.  Every benchmark also writes its regenerated paper table
+to ``benchmarks/results/<name>.txt`` — run with ``-s`` to watch the tables
+scroll by live.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Overclocking a feedback loop — the paper's motivating scenario.
+
+The introduction's key argument: pipelining raises frequency but not
+latency, and in a datapath with feedback (where C-slow retiming is
+inappropriate) the loop body must settle within a single clock period.
+Overclocking is the only speedup — and every timing error re-enters the
+state.  This demo closes the loop around a first-order IIR low-pass
+``y[n] = 0.5*y[n-1] + 0.4375*x[n]`` and tracks the trajectory divergence
+for both arithmetics.
+
+Run:  python examples/iir_feedback_demo.py
+"""
+
+import numpy as np
+
+from repro.dsp import IIRExperiment
+from repro.sim.reporting import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(8)
+    xs = np.clip(
+        0.6 * np.sin(np.arange(100) * 0.21) + 0.2 * rng.standard_normal(100),
+        -0.95,
+        0.95,
+    )
+
+    print("building the IIR body in both arithmetics...")
+    experiments = {}
+    for arith in ("traditional", "online"):
+        exp = IIRExperiment(0.5, 0.4375, arith)
+        f0 = exp.measure_error_free_step()
+        experiments[arith] = (exp, f0)
+        print(f"  {arith:<12} rated period={exp.rated_step}  "
+              f"measured error-free period={f0}")
+
+    rows = []
+    for factor in (1.0, 1.05, 1.10, 1.15, 1.20):
+        row = [f"{factor:.2f}x"]
+        for arith in ("traditional", "online"):
+            exp, f0 = experiments[arith]
+            out = exp.run(xs, max(1, int(f0 / factor)))
+            err = np.abs(out - exp.reference(xs))
+            row.append(f"{err.mean():.3e}")
+            row.append(f"{err.max():.3e}")
+        rows.append(row)
+    print()
+    print(
+        format_table(
+            ["clock", "trad mean |err|", "trad max |err|",
+             "online mean |err|", "online max |err|"],
+            rows,
+            title="closed-loop trajectory error vs overclocking factor",
+        )
+    )
+    print()
+    print("errors in the conventional loop are re-amplified every cycle;")
+    print("the online loop's LSD noise stays at the truncation floor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The paper's case study: an overclocked Gaussian image filter.
+
+Builds the 3x3 Gaussian filter twice (conventional vs online arithmetic),
+sweeps both across clock frequencies on a synthetic benchmark image, prints
+the MRE/SNR comparison, and writes the degraded output images as PGM files
+(the paper's Fig. 7).
+
+Run:  python examples/image_filter_demo.py [image] [size]
+      image in {lena, pepper, sailboat, tiffany, uniform}; default lena 48
+"""
+
+import sys
+from pathlib import Path
+
+from repro.imaging import (
+    GaussianFilterDatapath,
+    benchmark_image,
+    mre_percent,
+    snr_db,
+    write_pgm,
+)
+from repro.netlist import estimate_area
+from repro.sim.reporting import format_table
+
+
+def main() -> None:
+    image_name = sys.argv[1] if len(sys.argv) > 1 else "lena"
+    size = int(sys.argv[2]) if len(sys.argv) > 2 else 48
+    image = benchmark_image(image_name, size=size)
+    out_dir = Path("filter_outputs")
+    out_dir.mkdir(exist_ok=True)
+    write_pgm(out_dir / f"{image_name}_input.pgm", image)
+
+    print(f"filtering {image_name} ({size}x{size}) with both datapaths...")
+    runs = {}
+    for arith in ("traditional", "online"):
+        datapath = GaussianFilterDatapath(arith)
+        run = datapath.apply(image)
+        runs[arith] = run
+        area = estimate_area(datapath.circuit)
+        print(
+            f"  {arith:<12} LUTs={area.luts:<6} rated period={run.rated_step} "
+            f"error-free period={run.error_free_step} "
+            f"(headroom {100 * (run.rated_step / run.error_free_step - 1):.1f}%)"
+        )
+        write_pgm(
+            out_dir / f"{image_name}_{arith}_safe.pgm",
+            run.output_image(run.error_free_step),
+        )
+
+    rows = []
+    for factor in (1.05, 1.10, 1.15, 1.20, 1.25):
+        row = [f"{factor:.2f}x"]
+        for arith in ("traditional", "online"):
+            run = runs[arith]
+            out = run.at_factor(factor)
+            row.append(f"{mre_percent(run.correct, out):.3f}%")
+            row.append(f"{snr_db(run.correct, out):.1f}")
+            write_pgm(
+                out_dir / f"{image_name}_{arith}_{factor:.2f}x.pgm",
+                run.output_image(run.step_for_factor(factor)),
+            )
+        rows.append(row)
+    print()
+    print(
+        format_table(
+            ["freq", "trad MRE", "trad SNR(dB)", "online MRE", "online SNR(dB)"],
+            rows,
+            title=f"Overclocking the Gaussian filter on '{image_name}' "
+            "(frequencies normalized per design)",
+        )
+    )
+    print()
+    print(f"degraded output images written to {out_dir}/")
+    print("(the traditional images show salt-and-pepper MSB noise; the")
+    print(" online images degrade gently in the least significant digits)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: online arithmetic that degrades gracefully when overclocked.
+
+Builds an 8-digit online multiplier and its conventional (two's-complement)
+counterpart, overclocks both beyond their measured error-free frequencies,
+and shows where the errors land: least significant digits for the online
+design, most significant bits for the conventional one.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import OnlineMultiplier, SDNumber, online_multiply
+from repro.netlist import FpgaDelay
+from repro.sim import (
+    OnlineMultiplierHarness,
+    TraditionalMultiplierHarness,
+    uniform_digit_batch,
+)
+
+N = 8
+
+
+def value_level_demo() -> None:
+    print("=== value-level online multiplication (MSD first) ===")
+    x = SDNumber((1, 0, -1, 0, 1, 1, 0, -1))  # 0.36328125
+    y = SDNumber((0, 1, 1, -1, 0, 1, -1, 0))  # 0.328125
+    z = online_multiply(x, y)
+    print(f"x        = {float(x):+.6f}  digits {x.digits}")
+    print(f"y        = {float(y):+.6f}  digits {y.digits}")
+    print(f"x * y    = {float(x) * float(y):+.6f} (exact)")
+    print(f"online   = {float(z):+.6f}  digits {z.digits}")
+    print(f"|error|  = {abs(float(x) * float(y) - float(z)):.2e} "
+          f"(bound 2^-{N} = {2.0 ** -N:.2e})")
+    print()
+
+
+def overclocking_demo() -> None:
+    print("=== overclocking: who breaks first, and how badly ===")
+    rng = np.random.default_rng(0)
+    samples = 3000
+
+    online = OnlineMultiplierHarness(N, FpgaDelay())
+    xd = uniform_digit_batch(N, samples, rng)
+    yd = uniform_digit_batch(N, samples, rng)
+    online_run = online.sweep(xd, yd)
+
+    trad = TraditionalMultiplierHarness(N + 1, FpgaDelay())
+    xs = rng.integers(-(2**N - 1), 2**N, samples)
+    ys = rng.integers(-(2**N - 1), 2**N, samples)
+    trad_run = trad.sweep(xs, ys)
+
+    print(f"{'design':<12} {'rated':>6} {'error-free':>11} {'headroom':>9}")
+    for name, run in (("online", online_run), ("traditional", trad_run)):
+        headroom = run.rated_step / run.error_free_step - 1
+        print(
+            f"{name:<12} {run.rated_step:>6} {run.error_free_step:>11} "
+            f"{100 * headroom:>8.1f}%"
+        )
+    print()
+    print(f"{'overclock':>9} | {'online mean |err|':>18} | "
+          f"{'traditional mean |err|':>22}")
+    for factor in (1.05, 1.10, 1.20, 1.30):
+        e_on = online_run.at_normalized_frequency(factor)
+        e_tr = trad_run.at_normalized_frequency(factor)
+        print(f"{factor:>8.2f}x | {e_on:>18.3e} | {e_tr:>22.3e}")
+    print()
+    print("online errors stay in the least significant digits; the")
+    print("conventional multiplier loses its most significant bits.")
+
+
+def wave_demo() -> None:
+    print()
+    print("=== MSD-first settling (stage-delay wave model) ===")
+    om = OnlineMultiplier(N)
+    rng = np.random.default_rng(1)
+    xd = uniform_digit_batch(N, 1, rng)
+    yd = uniform_digit_batch(N, 1, rng)
+    waves = om.wave(xd, yd)
+    final = waves[-1][:, 0]
+    print(f"{'clock b':>8} | sampled product digits (MSD first)")
+    for b in range(om.delta + 1, om.num_stages + 1):
+        digits = waves[b][:, 0]
+        marks = "".join(
+            f"{d:+d}" if d == f else f"({d:+d})"
+            for d, f in zip(digits, final)
+        )
+        print(f"{b:>8} | {marks}   {'<- settled' if (digits == final).all() else ''}")
+    print("(parenthesised digits have not reached their final value yet;")
+    print(" they sit at the least significant end)")
+
+
+if __name__ == "__main__":
+    value_level_demo()
+    overclocking_demo()
+    wave_demo()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that fully offline environments (no ``wheel`` package available)
+can still do a legacy editable install via ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

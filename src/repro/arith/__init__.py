@@ -1,0 +1,45 @@
+"""Conventional (two's-complement) arithmetic operators at gate level.
+
+These are the "traditional arithmetic" baselines of the paper: LSB-first
+operators whose carry chains run from the least significant bit towards the
+most significant bit, so a timing violation corrupts the *most* significant
+bits first — the failure mode online arithmetic is designed to avoid.
+
+The netlist builders come in two flavours:
+
+* *composable* functions (``ripple_carry_adder``, ``array_multiplier``, ...)
+  that add logic to an existing :class:`repro.netlist.Circuit` and exchange
+  bit-vector net lists (LSB first), used to assemble whole datapaths; and
+* ``build_*`` wrappers that produce a standalone circuit with named ports,
+  used by the unit tests and the operator-level experiments.
+"""
+
+from repro.arith.ripple_carry import (
+    ripple_carry_adder,
+    build_ripple_carry_adder,
+    twos_complement_negate,
+)
+from repro.arith.prefix_adder import (
+    kogge_stone_adder,
+    build_kogge_stone_adder,
+)
+from repro.arith.compress import reduce_columns, columns_from_rows
+from repro.arith.array_multiplier import (
+    array_multiplier,
+    build_array_multiplier,
+)
+from repro.arith.adder_tree import adder_tree, build_adder_tree
+
+__all__ = [
+    "ripple_carry_adder",
+    "build_ripple_carry_adder",
+    "twos_complement_negate",
+    "kogge_stone_adder",
+    "build_kogge_stone_adder",
+    "reduce_columns",
+    "columns_from_rows",
+    "array_multiplier",
+    "build_array_multiplier",
+    "adder_tree",
+    "build_adder_tree",
+]

@@ -1,0 +1,76 @@
+"""Multi-operand two's-complement summation.
+
+The image-filter datapath sums nine weighted products per output pixel.  In
+the traditional design this is a carry-save compression of all sign-extended
+operands followed by one final ripple-carry adder — again concentrating the
+timing risk in a single LSB-to-MSB carry chain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.arith.compress import columns_from_rows, reduce_columns
+from repro.arith.prefix_adder import kogge_stone_adder
+from repro.arith.ripple_carry import ripple_carry_adder
+from repro.netlist.gates import Circuit
+
+
+def _sign_extend(
+    circuit: Circuit, bits: Sequence[int], width: int
+) -> List[int]:
+    """Sign-extend a two's-complement vector to *width* bits."""
+    if len(bits) > width:
+        raise ValueError("cannot sign-extend to a smaller width")
+    ext = list(bits)
+    sign = bits[-1]
+    while len(ext) < width:
+        ext.append(sign)
+    return ext
+
+
+def adder_tree(
+    circuit: Circuit,
+    operands: Sequence[Sequence[int]],
+    out_width: int,
+    final_adder: str = "kogge_stone",
+) -> List[int]:
+    """Sum two's-complement operands into an *out_width*-bit result.
+
+    Every operand is sign-extended to *out_width* bits; the sum is taken
+    modulo ``2**out_width`` (the caller is responsible for choosing a width
+    large enough to avoid overflow).  The carry-save rows are resolved by a
+    Kogge-Stone adder by default (speed-optimized baseline); pass
+    ``final_adder="ripple"`` for the linear-chain variant.
+    """
+    if not operands:
+        raise ValueError("need at least one operand")
+    rows = [_sign_extend(circuit, op, out_width) for op in operands]
+    if len(rows) == 1:
+        return list(rows[0])
+    columns = columns_from_rows(rows, [0] * len(rows))
+    row_a, row_b = reduce_columns(circuit, columns, out_width)
+    if final_adder == "kogge_stone":
+        total, _carry = kogge_stone_adder(circuit, row_a, row_b)
+    elif final_adder == "ripple":
+        total, _carry = ripple_carry_adder(circuit, row_a, row_b)
+    else:
+        raise ValueError("final_adder must be 'kogge_stone' or 'ripple'")
+    return total
+
+
+def build_adder_tree(
+    num_operands: int, width: int, out_width: int, name: str = "addtree"
+) -> Circuit:
+    """Standalone tree summing ``num_operands`` *width*-bit inputs.
+
+    Ports: ``x{k}_{i}`` for operand ``k`` bit ``i`` -> outputs ``s*``.
+    """
+    if num_operands < 1:
+        raise ValueError("need at least one operand")
+    c = Circuit(f"{name}{num_operands}x{width}")
+    ops = [c.inputs(width, f"x{k}_") for k in range(num_operands)]
+    total = adder_tree(c, ops, out_width)
+    for i, net in enumerate(total):
+        c.output(f"s{i}", net)
+    return c

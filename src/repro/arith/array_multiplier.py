@@ -1,0 +1,92 @@
+"""Baugh-Wooley two's-complement array multiplier.
+
+Stand-in for the paper's Xilinx CoreGen multiplier: a conventional
+partial-product multiplier whose final carry-propagate adder is the long
+LSB-first chain, so an overclocked sample corrupts the product's most
+significant bits first — the "salt and pepper noise" failure mode of the
+case study.
+
+The Baugh-Wooley reformulation makes every partial product positive by
+complementing the mixed-sign terms and adding two constant ones (at bit
+positions ``n`` and ``2n - 1``), giving a regular AND/NAND partial-product
+array:
+
+    A * B = sum_{i<n-1} sum_{j<n-1} a_i b_j 2^(i+j)
+          + a_(n-1) b_(n-1) 2^(2n-2)
+          + sum_{j<n-1} NAND(a_(n-1), b_j) 2^(n-1+j)
+          + sum_{i<n-1} NAND(a_i, b_(n-1)) 2^(n-1+i)
+          + 2^n + 2^(2n-1)                          (mod 2^(2n))
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.arith.compress import Columns, reduce_columns
+from repro.arith.prefix_adder import kogge_stone_adder
+from repro.arith.ripple_carry import ripple_carry_adder
+from repro.netlist.gates import Circuit
+
+
+def array_multiplier(
+    circuit: Circuit,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    final_adder: str = "kogge_stone",
+) -> List[int]:
+    """Multiply two equal-width two's-complement vectors.
+
+    Returns the full ``2 * width``-bit product, LSB first.  The
+    carry-save-reduced rows are resolved by a Kogge-Stone adder by default
+    (the paper's speed-optimized CoreGen baseline); pass
+    ``final_adder="ripple"`` for the classic slow-but-small variant.
+    """
+    n = len(a_bits)
+    if n == 0 or len(b_bits) != n:
+        raise ValueError("operands must be equal, non-zero width")
+    out_width = 2 * n
+    columns: Columns = {}
+
+    def put(pos: int, net: int) -> None:
+        if pos < out_width:
+            columns.setdefault(pos, []).append(net)
+
+    if n == 1:
+        # degenerate single-bit case: (-a0) * (-b0) = a0 & b0
+        put(0, circuit.and_(a_bits[0], b_bits[0]))
+    else:
+        for i in range(n - 1):
+            for j in range(n - 1):
+                put(i + j, circuit.and_(a_bits[i], b_bits[j]))
+        put(2 * n - 2, circuit.and_(a_bits[n - 1], b_bits[n - 1]))
+        for j in range(n - 1):
+            put(n - 1 + j, circuit.gate("NAND", a_bits[n - 1], b_bits[j]))
+        for i in range(n - 1):
+            put(n - 1 + i, circuit.gate("NAND", a_bits[i], b_bits[n - 1]))
+        one = circuit.const1()
+        put(n, one)
+        put(2 * n - 1, one)
+
+    row_a, row_b = reduce_columns(circuit, columns, out_width)
+    if final_adder == "kogge_stone":
+        product, _carry = kogge_stone_adder(circuit, row_a, row_b)
+    elif final_adder == "ripple":
+        product, _carry = ripple_carry_adder(circuit, row_a, row_b)
+    else:
+        raise ValueError("final_adder must be 'kogge_stone' or 'ripple'")
+    return product
+
+
+def build_array_multiplier(
+    width: int, name: str = "bwmul", final_adder: str = "kogge_stone"
+) -> Circuit:
+    """Standalone signed multiplier with ports ``a*``, ``b*`` -> ``p*``."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    c = Circuit(f"{name}{width}")
+    a = c.inputs(width, "a")
+    b = c.inputs(width, "b")
+    p = array_multiplier(c, a, b, final_adder=final_adder)
+    for i, net in enumerate(p):
+        c.output(f"p{i}", net)
+    return c

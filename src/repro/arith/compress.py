@@ -1,0 +1,96 @@
+"""Carry-save column compression for multi-operand addition.
+
+Partial-product reduction for the array multiplier and the multi-operand
+adder tree both reduce a set of weighted bits ("columns") down to two rows
+with full/half adders, then resolve the final two rows with a ripple-carry
+adder.  The final carry-propagate stage is the long LSB-to-MSB chain that
+makes conventional multipliers fragile under overclocking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.netlist.gates import Circuit
+
+Columns = Dict[int, List[int]]
+
+
+def columns_from_rows(
+    rows: Sequence[Sequence[int]], weights: Sequence[int]
+) -> Columns:
+    """Arrange bit-vector rows (LSB first) into weighted columns.
+
+    ``weights[r]`` is the bit position of ``rows[r][0]``.
+    """
+    if len(rows) != len(weights):
+        raise ValueError("rows and weights must pair up")
+    columns: Columns = {}
+    for row, base in zip(rows, weights):
+        for i, net in enumerate(row):
+            columns.setdefault(base + i, []).append(net)
+    return columns
+
+
+def reduce_columns(
+    circuit: Circuit, columns: Columns, out_width: int
+) -> Tuple[List[int], List[int]]:
+    """Wallace-tree compression: every column down to at most two bits.
+
+    Reduction proceeds in *layers*: within one layer every column packs
+    its bits into full adders (triples) and, when more than two bits would
+    remain, a half adder — so the bit count shrinks by ~2/3 per layer and
+    the logic depth is logarithmic in the operand count, as in the
+    speed-optimized multiplier cores the paper benchmarks against.
+
+    Bits at positions >= *out_width* are discarded (arithmetic modulo
+    ``2**out_width``, which is how the fixed-width operators behave).
+    Returns two LSB-first rows of width *out_width* (missing bits are
+    constant 0).
+    """
+    cols: Columns = {
+        pos: list(nets) for pos, nets in columns.items() if pos < out_width
+    }
+    while any(len(nets) > 2 for nets in cols.values()):
+        nxt: Columns = {}
+
+        def put(pos: int, net: int) -> None:
+            if pos < out_width:
+                nxt.setdefault(pos, []).append(net)
+
+        for pos in sorted(cols):
+            nets = cols[pos]
+            i = 0
+            while len(nets) - i >= 3:
+                s, carry = circuit.full_adder(
+                    nets[i], nets[i + 1], nets[i + 2]
+                )
+                put(pos, s)
+                put(pos + 1, carry)
+                i += 3
+            remaining = len(nets) - i
+            if remaining == 2 and len(nets) > 3:
+                # classic Wallace: eagerly halve leftovers of busy columns
+                s, carry = circuit.half_adder(nets[i], nets[i + 1])
+                put(pos, s)
+                put(pos + 1, carry)
+            else:
+                for net in nets[i:]:
+                    put(pos, net)
+        cols = nxt
+
+    zero = None
+
+    def _zero() -> int:
+        nonlocal zero
+        if zero is None:
+            zero = circuit.const0()
+        return zero
+
+    row_a: List[int] = []
+    row_b: List[int] = []
+    for p in range(out_width):
+        nets = cols.get(p, [])
+        row_a.append(nets[0] if len(nets) >= 1 else _zero())
+        row_b.append(nets[1] if len(nets) >= 2 else _zero())
+    return row_a, row_b

@@ -1,0 +1,67 @@
+"""Ripple-carry addition — the canonical LSB-first carry chain.
+
+The ripple-carry adder is the paper's archetype of conventional arithmetic:
+its critical path is the full carry chain, the most significant bit settles
+last, and overclocking therefore corrupts the MSBs first (large-magnitude
+errors).  Bit vectors are LSB-first lists of net handles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netlist.gates import Circuit
+
+
+def ripple_carry_adder(
+    circuit: Circuit,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    cin: Optional[int] = None,
+) -> Tuple[List[int], int]:
+    """Add two equal-width bit vectors; return ``(sum_bits, carry_out)``.
+
+    For two's-complement operands the same circuit performs signed addition;
+    the caller decides whether ``carry_out`` is meaningful.
+    """
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operand widths differ")
+    if not a_bits:
+        raise ValueError("zero-width addition")
+    carry = cin if cin is not None else circuit.const0()
+    sum_bits: List[int] = []
+    for a, b in zip(a_bits, b_bits):
+        s, carry = circuit.full_adder(a, b, carry)
+        sum_bits.append(s)
+    return sum_bits, carry
+
+
+def twos_complement_negate(
+    circuit: Circuit, bits: Sequence[int]
+) -> List[int]:
+    """Two's-complement negation: invert and add one (ripple increment)."""
+    inverted = [circuit.not_(b) for b in bits]
+    carry = circuit.const1()
+    out: List[int] = []
+    for b in inverted:
+        s, carry = circuit.half_adder(b, carry)
+        out.append(s)
+    return out
+
+
+def build_ripple_carry_adder(width: int, name: str = "rca") -> Circuit:
+    """Standalone *width*-bit ripple-carry adder.
+
+    Ports: inputs ``a0..a{w-1}``, ``b0..b{w-1}`` (LSB first); outputs
+    ``s0..s{w-1}`` and ``cout``.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    c = Circuit(f"{name}{width}")
+    a = c.inputs(width, "a")
+    b = c.inputs(width, "b")
+    s, cout = ripple_carry_adder(c, a, b)
+    for i, net in enumerate(s):
+        c.output(f"s{i}", net)
+    c.output("cout", cout)
+    return c

@@ -1,0 +1,260 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Installed as ``repro-overclock`` (see ``pyproject.toml``), or run as
+``python -m repro.cli``.  Subcommands:
+
+``model``
+    Analytical error model vs stage-delay Monte-Carlo (Fig. 4 top).
+``chains``
+    Per-chain-delay statistics P_d, eps_d, P_d*eps_d (Fig. 5).
+``multiplier``
+    Gate-level overclocking sweep of the online multiplier against the
+    conventional baseline (raw-operator version of the case study).
+``filter``
+    The Gaussian image-filter case study on one benchmark image
+    (Fig. 6 / 7, Tables 1-2 style output).
+``area``
+    LUT/slice area comparison (Table 4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model import OverclockingErrorModel
+from repro.sim.reporting import format_table
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from repro.sim.montecarlo import mc_expected_error
+
+    model = OverclockingErrorModel(args.ndigits)
+    mc = mc_expected_error(args.ndigits, num_samples=args.samples, seed=args.seed)
+    if args.calibrate:
+        model = model.calibrated([int(b) for b in mc.depths], mc.mean_abs_error)
+        print(f"calibrated kappa = {model.kappa:.3f}")
+    rows = []
+    for i, b in enumerate(mc.depths):
+        b = int(b)
+        e_model = model.expected_error(b) if b < model.num_stages else 0.0
+        rows.append(
+            [b, f"{b / model.num_stages:.3f}",
+             f"{mc.mean_abs_error[i]:.4e}", f"{e_model:.4e}",
+             f"{mc.violation_probability[i]:.4f}"]
+        )
+    print(format_table(
+        ["b", "Ts norm.", "MC E|eps|", "model E|eps|", "MC P(viol)"],
+        rows,
+        title=f"{args.ndigits}-digit online multiplier: model vs Monte-Carlo",
+    ))
+    return 0
+
+
+def _cmd_chains(args: argparse.Namespace) -> int:
+    model = OverclockingErrorModel(args.ndigits)
+    rows = [
+        [d, f"{p:.5f}", f"{eps:.4e}", f"{e:.4e}"]
+        for d, p, eps, e in model.per_delay_curves()
+    ]
+    print(format_table(
+        ["chain delay", "P_d", "eps_d", "P_d*eps_d"],
+        rows,
+        title=f"{args.ndigits}-digit OM chain statistics (Fig. 5)",
+    ))
+    return 0
+
+
+def _cmd_multiplier(args: argparse.Namespace) -> int:
+    from repro.netlist.delay import FpgaDelay
+    from repro.sim.montecarlo import uniform_digit_batch
+    from repro.sim.sweep import (
+        OnlineMultiplierHarness,
+        TraditionalMultiplierHarness,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    n = args.ndigits
+    online = OnlineMultiplierHarness(n, FpgaDelay())
+    online_run = online.sweep(
+        uniform_digit_batch(n, args.samples, rng),
+        uniform_digit_batch(n, args.samples, rng),
+    )
+    trad = TraditionalMultiplierHarness(n + 1, FpgaDelay())
+    lim = 2**n - 1
+    trad_run = trad.sweep(
+        rng.integers(-lim, lim + 1, args.samples),
+        rng.integers(-lim, lim + 1, args.samples),
+    )
+    rows = []
+    for name, run in (("online", online_run), ("traditional", trad_run)):
+        rows.append(
+            [name, run.rated_step, run.error_free_step,
+             f"{100 * (run.rated_step / run.error_free_step - 1):.1f}%"]
+        )
+    print(format_table(
+        ["design", "rated period", "error-free period", "headroom"], rows
+    ))
+    rows = []
+    for factor in (1.05, 1.10, 1.15, 1.20, 1.25, 1.30):
+        rows.append(
+            [f"{factor:.2f}x",
+             f"{online_run.at_normalized_frequency(factor):.3e}",
+             f"{trad_run.at_normalized_frequency(factor):.3e}"]
+        )
+    print()
+    print(format_table(
+        ["overclock", "online mean |err|", "traditional mean |err|"],
+        rows,
+        title="product error vs normalized frequency (gate level)",
+    ))
+    return 0
+
+
+def _cmd_filter(args: argparse.Namespace) -> int:
+    from repro.imaging import (
+        GaussianFilterDatapath,
+        benchmark_image,
+        mre_percent,
+        snr_db,
+    )
+
+    image = benchmark_image(args.image, size=args.size)
+    runs = {}
+    for arith in ("traditional", "online"):
+        run = GaussianFilterDatapath(arith).apply(image)
+        runs[arith] = run
+        print(
+            f"{arith}: rated {run.rated_step}, error-free "
+            f"{run.error_free_step} quanta"
+        )
+    rows = []
+    for factor in (1.05, 1.10, 1.15, 1.20, 1.25):
+        row = [f"{factor:.2f}x"]
+        for arith in ("traditional", "online"):
+            run = runs[arith]
+            out = run.at_factor(factor)
+            row.append(f"{mre_percent(run.correct, out):.3f}%")
+            row.append(f"{snr_db(run.correct, out):.1f}")
+        rows.append(row)
+    print()
+    print(format_table(
+        ["freq", "trad MRE", "trad SNR", "online MRE", "online SNR"],
+        rows,
+        title=f"Gaussian filter on '{args.image}' ({args.size}x{args.size})",
+    ))
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    from repro.arith.array_multiplier import build_array_multiplier
+    from repro.core.online_multiplier import build_online_multiplier
+    from repro.netlist.area import estimate_area
+
+    n = args.ndigits
+    trad = estimate_area(build_array_multiplier(n + 1))
+    online = estimate_area(build_online_multiplier(n))
+    rows = [
+        ["LUTs", trad.luts, online.luts, f"{online.overhead_vs(trad):.2f}"],
+        ["slices", trad.slices, online.slices,
+         f"{online.slices / trad.slices:.2f}"],
+    ]
+    print(format_table(
+        ["metric", "traditional", "online", "overhead"],
+        rows,
+        title=f"{n}-digit multiplier area (Table 4)",
+    ))
+    return 0
+
+
+def _cmd_verilog(args: argparse.Namespace) -> int:
+    from repro.arith.array_multiplier import build_array_multiplier
+    from repro.arith.prefix_adder import build_kogge_stone_adder
+    from repro.arith.ripple_carry import build_ripple_carry_adder
+    from repro.core.online_adder import build_online_adder
+    from repro.core.online_multiplier import build_online_multiplier
+    from repro.netlist.verilog import to_verilog
+
+    builders = {
+        "online-mult": lambda n: build_online_multiplier(n),
+        "online-adder": lambda n: build_online_adder(n),
+        "trad-mult": lambda n: build_array_multiplier(n),
+        "rca": lambda n: build_ripple_carry_adder(n),
+        "kogge-stone": lambda n: build_kogge_stone_adder(n),
+    }
+    circuit = builders[args.what](args.ndigits)
+    text = to_verilog(circuit, module_name=args.module)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(
+            f"wrote {args.output}: module "
+            f"{args.module or circuit.name} "
+            f"({circuit.num_gates} gates)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-overclock",
+        description="Regenerate the online-arithmetic overclocking experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("model", help="error model vs Monte-Carlo (Fig. 4)")
+    p.add_argument("--ndigits", type=int, default=8)
+    p.add_argument("--samples", type=int, default=20000)
+    p.add_argument("--seed", type=int, default=2014)
+    p.add_argument("--calibrate", action="store_true",
+                   help="fit kappa to the Monte-Carlo before reporting")
+    p.set_defaults(func=_cmd_model)
+
+    p = sub.add_parser("chains", help="chain-delay statistics (Fig. 5)")
+    p.add_argument("--ndigits", type=int, default=8)
+    p.set_defaults(func=_cmd_chains)
+
+    p = sub.add_parser("multiplier", help="gate-level multiplier sweep")
+    p.add_argument("--ndigits", type=int, default=8)
+    p.add_argument("--samples", type=int, default=3000)
+    p.add_argument("--seed", type=int, default=2014)
+    p.set_defaults(func=_cmd_multiplier)
+
+    p = sub.add_parser("filter", help="Gaussian-filter case study")
+    p.add_argument("--image", default="lena",
+                   choices=["lena", "pepper", "sailboat", "tiffany", "uniform"])
+    p.add_argument("--size", type=int, default=48)
+    p.set_defaults(func=_cmd_filter)
+
+    p = sub.add_parser("area", help="area comparison (Table 4)")
+    p.add_argument("--ndigits", type=int, default=8)
+    p.set_defaults(func=_cmd_area)
+
+    p = sub.add_parser("verilog", help="export an operator as Verilog")
+    p.add_argument(
+        "--what",
+        default="online-mult",
+        choices=["online-mult", "online-adder", "trad-mult", "rca",
+                 "kogge-stone"],
+    )
+    p.add_argument("--ndigits", type=int, default=8)
+    p.add_argument("--module", default=None, help="Verilog module name")
+    p.add_argument("-o", "--output", default="-",
+                   help="output file ('-' = stdout)")
+    p.set_defaults(func=_cmd_verilog)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

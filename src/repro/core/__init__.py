@@ -1,0 +1,67 @@
+"""The paper's contribution: digit-parallel online arithmetic operators,
+their overclocking-error model, and datapath synthesis on top of them.
+
+Layout
+------
+``ops``
+    Logic-operation providers: the same borrow-save kernels run either on
+    Python ints (bit-exact reference) or on a netlist builder (gate-level
+    hardware), so reference and hardware agree *by construction*.
+``kernels``
+    Generic borrow-save building blocks: the carry-free online adder of
+    Fig. 2, the signed-digit vector multiplier (SDVM), and the selection /
+    residual-recoding function of Eq. (2).
+``online_adder`` / ``online_multiplier``
+    Value-level APIs and standalone netlist builders for the paper's two
+    operators (Figs. 2 and 3, Algorithm 1).
+``conversion``
+    On-the-fly conversion between the redundant signed-digit form and
+    two's complement.
+``model``
+    Section 3: probability of timing violations (Algorithm 2), chain-length
+    distributions, error magnitude and expectation (Eqs. 5-11).
+``synthesis``
+    Datapath synthesis front-end: express a dataflow graph once, emit it in
+    either arithmetic, and explore the latency-accuracy trade-off.
+"""
+
+from repro.core.ops import IntOps, NetOps
+from repro.core.online_adder import (
+    online_add,
+    online_sub,
+    build_online_adder,
+    ONLINE_ADDER_DELAY_FA,
+)
+from repro.core.online_multiplier import (
+    OnlineMultiplier,
+    online_multiply,
+    build_online_multiplier,
+    ONLINE_DELTA,
+)
+from repro.core.selection import select_digit, selection_tables
+from repro.core.conversion import sd_to_twos_complement, on_the_fly_convert
+from repro.core.serial import (
+    OnlineSerialAdder,
+    OnlineSerialMultiplier,
+    serial_multiply,
+)
+
+__all__ = [
+    "IntOps",
+    "NetOps",
+    "online_add",
+    "online_sub",
+    "build_online_adder",
+    "ONLINE_ADDER_DELAY_FA",
+    "OnlineMultiplier",
+    "online_multiply",
+    "build_online_multiplier",
+    "ONLINE_DELTA",
+    "select_digit",
+    "selection_tables",
+    "sd_to_twos_complement",
+    "on_the_fly_convert",
+    "OnlineSerialAdder",
+    "OnlineSerialMultiplier",
+    "serial_multiply",
+]

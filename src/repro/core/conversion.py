@@ -1,0 +1,131 @@
+"""Conversions between the redundant online form and two's complement.
+
+Online results leave the datapath as signed digits.  Comparing them with a
+conventional design (and displaying images) requires conversion to
+non-redundant two's complement.  Two conversion routes are provided:
+
+* :func:`on_the_fly_convert` — the classic digit-serial on-the-fly
+  conversion: as each signed digit arrives (MSD first), two candidate
+  prefixes ``Q`` (assuming no future borrow) and ``QM = Q - ulp`` are
+  maintained by appending bits only, so no carry propagation ever occurs.
+  This is the algorithm the paper's appending/conversion reference
+  [Online_Conversion] describes.
+* :func:`sd_to_twos_complement` — direct value-level conversion used by the
+  experiment harnesses.
+
+Vectorized helpers convert whole batches of digit arrays for the
+Monte-Carlo and image experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.numrep.signed_digit import SDNumber
+
+
+def on_the_fly_convert(digits: Sequence[int]) -> int:
+    """On-the-fly conversion of signed digits (MSD first) to an integer.
+
+    Returns the value scaled by ``2**len(digits)`` (i.e. the digits read as
+    an integer).  The update appends one bit per step and never propagates
+    a carry:
+
+        d >= 0:  Q <- 2Q + d        QM <- 2Q + d - 1
+        d = -1:  Q <- 2QM + 1       QM <- 2QM
+    """
+    q = 0
+    qm = -1
+    for d in digits:
+        if d not in (-1, 0, 1):
+            raise ValueError(f"invalid signed digit {d!r}")
+        if d >= 0:
+            q, qm = 2 * q + d, 2 * q + d - 1
+        else:
+            q, qm = 2 * qm + 1, 2 * qm
+    return q
+
+
+def sd_to_twos_complement(number: SDNumber, width: int) -> int:
+    """Encode an :class:`SDNumber` fraction as a two's-complement raw word.
+
+    The word has 1 sign bit and ``width - 1`` fractional bits; the number
+    must be exactly representable (signed digits at positions beyond
+    ``width - 1`` would be truncated, which the caller must do explicitly).
+    """
+    scaled = number.value() * 2 ** (width - 1)
+    if scaled.denominator != 1:
+        raise ValueError(
+            f"{number} is not representable with {width - 1} fractional bits"
+        )
+    value = int(scaled)
+    lo, hi = -(2 ** (width - 1)), 2 ** (width - 1) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"value {number.value()} overflows {width} bits")
+    return value & (2**width - 1)
+
+
+def digits_to_scaled_int(digits: np.ndarray) -> np.ndarray:
+    """Batch-convert digit arrays to scaled integer values.
+
+    ``digits`` has shape ``(N, S)`` with digit ``k`` (MSD first, weight
+    ``2**-(k+1)``) in row ``k``; the result is ``value * 2**N`` as int64,
+    i.e. an exact integer in ``(-2**N, 2**N)``.
+    """
+    digits = np.asarray(digits)
+    n = digits.shape[0]
+    weights = (1 << np.arange(n - 1, -1, -1)).astype(np.int64)
+    return np.tensordot(weights, digits.astype(np.int64), axes=(0, 0))
+
+
+def bits_to_scaled_int(bits: np.ndarray) -> np.ndarray:
+    """Batch-convert two's-complement bit arrays to signed integers.
+
+    ``bits`` has shape ``(W, S)`` with bit ``i`` (LSB first) in row ``i``;
+    the result is the signed integer value as int64.
+    """
+    bits = np.asarray(bits)
+    w = bits.shape[0]
+    weights = (1 << np.arange(w)).astype(np.int64)
+    raw = np.tensordot(weights, bits.astype(np.int64), axes=(0, 0))
+    sign = raw >= (1 << (w - 1))
+    return raw - (sign.astype(np.int64) << w)
+
+
+def scaled_int_to_digits(values: np.ndarray, ndigits: int) -> np.ndarray:
+    """Encode scaled integers as canonical (binary-like) signed digits.
+
+    ``values`` are ``value * 2**ndigits`` integers in ``(-2**ndigits,
+    2**ndigits)``.  The encoding uses non-negative bits for positive values
+    and their negated digits for negative values, which is always a valid
+    signed-digit representation.  Returns shape ``(ndigits, S)`` int8.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if np.any(np.abs(values) >= (1 << ndigits)):
+        raise ValueError(f"values overflow {ndigits} signed digits")
+    sign = np.sign(values).astype(np.int8)
+    mag = np.abs(values)
+    digits = np.empty((ndigits, values.shape[0]) if values.ndim else (ndigits,), dtype=np.int8)
+    for k in range(ndigits):
+        weight = ndigits - 1 - k  # digit k has scaled weight 2**(N-1-k)
+        digits[k] = ((mag >> weight) & 1).astype(np.int8) * sign
+    return digits
+
+
+def port_values_from_digits(
+    prefix: str, digits: np.ndarray
+) -> Tuple[dict, int]:
+    """Build netlist input-port assignments from a digit batch.
+
+    Returns ``(mapping, ndigits)`` where mapping assigns ``{prefix}p{k}`` /
+    ``{prefix}n{k}`` arrays for every digit row ``k``.
+    """
+    digits = np.asarray(digits)
+    n = digits.shape[0]
+    mapping = {}
+    for k in range(n):
+        mapping[f"{prefix}p{k}"] = (digits[k] == 1).astype(np.uint8)
+        mapping[f"{prefix}n{k}"] = (digits[k] == -1).astype(np.uint8)
+    return mapping, n

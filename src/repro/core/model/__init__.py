@@ -1,0 +1,28 @@
+"""Section 3 of the paper: probabilistic model of overclocking error.
+
+The model predicts, for an ``N``-digit radix-2 online multiplier whose
+stages each cost one delay unit ``mu``:
+
+* which stages can generate propagation chains and how long those chains
+  run before annihilating (:mod:`repro.core.model.chains` — the input-case
+  analysis C1..C4 and the word-length recursion, Eqs. (5)-(8));
+* the probability that a clock of period ``T_S = b * mu`` catches a chain
+  mid-flight — Algorithm 2 (:meth:`OverclockingErrorModel.violation_probability`);
+* the magnitude of the resulting error, which lands in the least
+  significant digits (Eq. (9)); and
+* the expected overclocking error ``E_ovc`` (Eqs. (10)/(11)).
+"""
+
+from repro.core.model.chains import (
+    CASE_PROBABILITIES,
+    stage_chain_distribution,
+    chain_delay_distribution,
+)
+from repro.core.model.expectation import OverclockingErrorModel
+
+__all__ = [
+    "CASE_PROBABILITIES",
+    "stage_chain_distribution",
+    "chain_delay_distribution",
+    "OverclockingErrorModel",
+]

@@ -1,0 +1,103 @@
+"""The radix-2 digit-parallel online adder (Fig. 2 of the paper).
+
+A redundant (borrow-save) adder adds two signed-digit numbers with **no
+carry propagation**: the computation delay is two full-adder levels for any
+operand word length.  This is why, as the paper argues, timing violations
+are unlikely to originate in online adders — the model and the experiments
+therefore focus on the multiplier, while adders are treated as safe.
+
+This module provides the value-level API (:func:`online_add`) and the
+standalone netlist builder (:func:`build_online_adder`).  Both execute the
+same kernel (:func:`repro.core.kernels.bs_add`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.kernels import BSVec, bs_add
+from repro.core.ops import IntOps, NetOps
+from repro.netlist.gates import Circuit
+from repro.numrep.signed_digit import SDNumber
+
+#: delay of the online adder in full-adder levels, independent of precision
+ONLINE_ADDER_DELAY_FA = 2
+
+
+def _sd_to_bsvec(number: SDNumber) -> BSVec:
+    vec: BSVec = {}
+    for k, d in enumerate(number.digits):
+        pos = k - number.exp_msd  # weight 2**(exp_msd - k) = 2**-pos
+        vec[pos] = (1 if d == 1 else 0, 1 if d == -1 else 0)
+    return vec
+
+
+def _bsvec_to_sd(vec: BSVec) -> SDNumber:
+    if not vec:
+        return SDNumber((0,), 0)
+    hi = min(vec)  # most significant position (smallest exponent index)
+    lo = max(vec)
+    digits = []
+    for pos in range(hi, lo + 1):
+        p, n = vec.get(pos, (0, 0))
+        digits.append(int(p) - int(n))
+    return SDNumber(tuple(digits), -hi)
+
+
+def online_add(x: SDNumber, y: SDNumber) -> SDNumber:
+    """Add two signed-digit numbers with the Fig. 2 adder (bit-exact).
+
+    The result carries one extra most-significant digit (the bounded growth
+    position); its value always equals ``x + y`` exactly.
+    """
+    ops = IntOps()
+    result = bs_add(ops, _sd_to_bsvec(x), _sd_to_bsvec(y))
+    return _bsvec_to_sd(result)
+
+
+def online_sub(x: SDNumber, y: SDNumber) -> SDNumber:
+    """Subtract with the same carry-free adder (negation is a rail swap)."""
+    return online_add(x, y.negate())
+
+
+def build_online_adder(
+    ndigits: int, exp_msd: int = -1, name: str = "online_adder"
+) -> Circuit:
+    """Standalone *ndigits*-digit online adder netlist.
+
+    Ports (digit index ``k`` counts MSD-first, matching
+    :attr:`repro.numrep.SDNumber.digits`):
+
+    * inputs ``xp{k}``/``xn{k}`` and ``yp{k}``/``yn{k}``, k in [0, ndigits);
+    * outputs ``zp{k}``/``zn{k}``, k in [0, ndigits] — one extra MSD, so the
+      output's most significant digit sits at ``exp_msd + 1``.
+    """
+    if ndigits < 1:
+        raise ValueError("ndigits must be >= 1")
+    c = Circuit(f"{name}{ndigits}")
+    ops = NetOps(c)
+    x: BSVec = {}
+    y: BSVec = {}
+    for k in range(ndigits):
+        pos = k - exp_msd  # weight 2**(exp_msd - k)
+        x[pos] = (c.input(f"xp{k}"), c.input(f"xn{k}"))
+        y[pos] = (c.input(f"yp{k}"), c.input(f"yn{k}"))
+    z = bs_add(ops, x, y)
+    hi = min(z)
+    for k, pos in enumerate(range(hi, max(z) + 1)):
+        p, n = z[pos]
+        c.output(f"zp{k}", p)
+        c.output(f"zn{k}", n)
+    return c
+
+
+def online_adder_port_values(
+    x: SDNumber, y: SDNumber
+) -> Dict[str, int]:
+    """Input-port assignment for :func:`build_online_adder` (test helper)."""
+    values: Dict[str, int] = {}
+    for prefix, number in (("x", x), ("y", y)):
+        for k, d in enumerate(number.digits):
+            values[f"{prefix}p{k}"] = 1 if d == 1 else 0
+            values[f"{prefix}n{k}"] = 1 if d == -1 else 0
+    return values

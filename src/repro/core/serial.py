@@ -1,0 +1,215 @@
+"""Digit-serial online operators (the original form, paper Section 2).
+
+Online arithmetic was designed for digit-serial operation: operands arrive
+one signed digit per cycle, **most significant digit first**, and after a
+fixed *online delay* ``delta`` the result digits start streaming out at the
+same rate (Fig. 1 of the paper).  The digit-parallel operators of
+:mod:`repro.core.online_adder` / :mod:`repro.core.online_multiplier` are
+these recurrences unrolled in space; this module provides the sequential
+originals, both as reference implementations and to property-test the
+unrolled versions against (the two must produce identical digit streams).
+
+* :class:`OnlineSerialAdder` — online delay 2: digit ``z_j`` depends on
+  input digits up to position ``j + 2`` (the two PPM layers of the Fig. 2
+  adder read one and two positions ahead).
+* :class:`OnlineSerialMultiplier` — Algorithm 1 verbatim: online delay
+  ``delta = 3``; each cycle appends one digit of each operand, updates the
+  residual ``W = P + H``, selects a product digit and shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.kernels import BSVec, bs_add, bs_shift, om_stage, sdvm
+from repro.core.online_multiplier import ONLINE_DELTA
+from repro.core.ops import IntOps
+from repro.numrep.signed_digit import SDNumber, VALID_DIGITS
+
+Digit = Tuple[int, int]
+
+
+def _encode(digit: int) -> Digit:
+    if digit not in VALID_DIGITS:
+        raise ValueError(f"invalid signed digit {digit!r}")
+    return (1 if digit == 1 else 0, 1 if digit == -1 else 0)
+
+
+class OnlineSerialAdder:
+    """Digit-serial redundant adder with online delay 2.
+
+    Feed operand digits MSD-first with :meth:`step`; each call returns one
+    result digit once the pipeline has filled (None during the first two
+    cycles).  :meth:`flush` drains the remaining digits.  The emitted
+    stream ``z_{-1} z_0 z_1 ...`` starts one position above the inputs'
+    MSD (the bounded-growth position of the parallel adder).
+
+    Example
+    -------
+    >>> adder = OnlineSerialAdder()
+    >>> digits = []
+    >>> for xd, yd in zip((1, 0, -1), (0, 1, 1)):
+    ...     out = adder.step(xd, yd)
+    ...     if out is not None:
+    ...         digits.append(out)
+    >>> digits += adder.flush()
+    """
+
+    #: cycles before the first result digit emerges
+    ONLINE_DELAY = 2
+
+    def __init__(self) -> None:
+        self._ops = IntOps()
+        self._g: List[int] = []  # layer-1 carries, one per consumed position
+        self._h: List[int] = []
+        self._yneg: List[int] = []
+        self._count = 0
+
+    def _layer1(self, xd: Digit, yd: Digit) -> None:
+        ops = self._ops
+        xp, xn = xd
+        yp, yn = yd
+        self._g.append(ops.maj3(xp, yp, ops.not_(xn)))
+        self._h.append(ops.xor3(xp, yp, xn))
+        self._yneg.append(yn)
+
+    def _emit(self, i: int) -> int:
+        """Result digit at pipeline index ``i`` (may read indices i+1, i+2)."""
+        ops = self._ops
+
+        def g(k: int) -> int:
+            return self._g[k] if 0 <= k < len(self._g) else 0
+
+        def h(k: int) -> int:
+            return self._h[k] if 0 <= k < len(self._h) else 0
+
+        def yneg(k: int) -> int:
+            return self._yneg[k] if 0 <= k < len(self._yneg) else 0
+
+        q = ops.xor3(h(i), yneg(i), g(i + 1))
+        p = ops.maj3(h(i + 1), yneg(i + 1), ops.not_(g(i + 2)) if i + 2 < len(self._g) else 1)
+        return q - p
+
+    def step(self, x_digit: int, y_digit: int) -> Optional[int]:
+        """Consume one digit of each operand; maybe produce a result digit."""
+        self._layer1(_encode(x_digit), _encode(y_digit))
+        self._count += 1
+        if self._count <= self.ONLINE_DELAY:
+            if self._count == 1:
+                return None
+            # after two inputs, position -1 (the growth digit) is ready
+            return self._emit(-1) if self._count == 2 else None
+        return self._emit(self._count - 1 - self.ONLINE_DELAY)
+
+    def flush(self) -> List[int]:
+        """Drain the last ``ONLINE_DELAY`` result digits."""
+        n = self._count
+        out = [self._emit(i) for i in range(n - self.ONLINE_DELAY, n)]
+        return out
+
+    def add(self, x: SDNumber, y: SDNumber) -> SDNumber:
+        """Convenience: stream two aligned operands through the adder."""
+        if len(x.digits) != len(y.digits) or x.exp_msd != y.exp_msd:
+            raise ValueError("operands must be aligned and equal length")
+        digits: List[int] = []
+        for xd, yd in zip(x.digits, y.digits):
+            out = self.step(xd, yd)
+            if out is not None:
+                digits.append(out)
+        digits.extend(self.flush())
+        return SDNumber(tuple(digits), x.exp_msd + 1)
+
+
+class OnlineSerialMultiplier:
+    """Algorithm 1, executed one digit per cycle (radix 2, delta = 3).
+
+    Usage: call :meth:`step` exactly ``N`` times with the operand digits
+    (MSD first), then :meth:`flush`; together they yield the ``N`` product
+    digits, each of weight ``2**-(j+1)``.
+
+    The recurrence state and selection logic are shared with the
+    digit-parallel implementation (:func:`repro.core.kernels.om_stage`),
+    so the serial and unrolled operators are digit-exact equals — the
+    property the paper's Fig. 3 synthesis step relies on.
+    """
+
+    def __init__(self, ndigits: int, delta: int = ONLINE_DELTA) -> None:
+        if ndigits < 1:
+            raise ValueError("ndigits must be >= 1")
+        self.ndigits = ndigits
+        self.delta = delta
+        self._ops = IntOps()
+        self._x: List[Digit] = []  # consumed digits, MSD first
+        self._y: List[Digit] = []
+        self._p: BSVec = {}
+        self._cycle = -delta  # current stage subscript j
+
+    @property
+    def cycles_total(self) -> int:
+        """Latency in cycles: ``N + delta``."""
+        return self.ndigits + self.delta
+
+    def _advance(self) -> Optional[int]:
+        ops = self._ops
+        j = self._cycle
+        if j >= self.ndigits:
+            raise RuntimeError("multiplier already finished")
+        i_new = j + self.delta + 1
+        if i_new <= len(self._x):
+            x_new = self._x[i_new - 1]
+            y_new = self._y[i_new - 1]
+            y_vec: BSVec = {
+                pos: self._y[pos - 1] for pos in range(1, i_new + 1)
+            }
+            x_vec: BSVec = {pos: self._x[pos - 1] for pos in range(1, i_new)}
+            a = bs_shift(sdvm(ops, x_new, y_vec), -self.delta)
+            if x_vec:
+                b = bs_shift(sdvm(ops, y_new, x_vec), -self.delta)
+                h = bs_add(ops, a, b)
+            else:
+                h = a
+        else:
+            h = {}
+        z, self._p = om_stage(ops, self._p, h, emit_z=(j >= 0))
+        self._cycle += 1
+        if z is None:
+            return None
+        return int(z[0]) - int(z[1])
+
+    def step(self, x_digit: int, y_digit: int) -> Optional[int]:
+        """Feed one digit of each operand; maybe produce a product digit."""
+        if len(self._x) >= self.ndigits:
+            raise RuntimeError(f"all {self.ndigits} digits already consumed")
+        self._x.append(_encode(x_digit))
+        self._y.append(_encode(y_digit))
+        return self._advance()
+
+    def flush(self) -> List[int]:
+        """Run the remaining ``delta`` cycles (inputs exhausted)."""
+        if len(self._x) != self.ndigits:
+            raise RuntimeError("feed all operand digits before flushing")
+        out: List[int] = []
+        while self._cycle < self.ndigits:
+            z = self._advance()
+            if z is not None:
+                out.append(z)
+        return out
+
+    def multiply(self, x: SDNumber, y: SDNumber) -> SDNumber:
+        """Convenience: stream both operands and collect the product."""
+        if len(x.digits) != self.ndigits or len(y.digits) != self.ndigits:
+            raise ValueError(f"operands must have {self.ndigits} digits")
+        digits: List[int] = []
+        for xd, yd in zip(x.digits, y.digits):
+            z = self.step(xd, yd)
+            if z is not None:
+                digits.append(z)
+        digits.extend(self.flush())
+        return SDNumber(tuple(digits), -1)
+
+
+def serial_multiply(x: SDNumber, y: SDNumber) -> SDNumber:
+    """One-shot digit-serial multiplication (fresh multiplier instance)."""
+    if len(x.digits) != len(y.digits):
+        raise ValueError("operands must have equal digit counts")
+    return OnlineSerialMultiplier(len(x.digits)).multiply(x, y)

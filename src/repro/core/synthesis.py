@@ -1,0 +1,599 @@
+"""Datapath synthesis for overclocking (the paper's design methodology).
+
+The paper's proposal is a *methodology*: describe a datapath once, then
+synthesize it either with conventional two's-complement arithmetic or with
+digit-parallel online arithmetic, overclock the result, and pick the
+design point that meets a latency or accuracy target.  This module is that
+front-end:
+
+>>> dp = Datapath(ndigits=8)
+>>> x, y, w = dp.input("x"), dp.input("y"), dp.const(0.25)
+>>> dp.output("mac", x * y + w * x)
+>>> online = dp.synthesize("online")
+>>> trad = dp.synthesize("traditional")
+
+A :class:`SynthesizedDatapath` wraps the gate-level circuit together with
+operand encoding/decoding and the overclocking sweep, so the two designs
+can be compared at equal *normalized* frequencies — the comparison behind
+the paper's Tables 1-3.  :func:`explore_latency_accuracy` automates the
+paper's two design questions: best accuracy at a given frequency, and
+fastest frequency within a given error budget.
+
+Structural rules
+----------------
+* every operand (input or constant) is a fraction in ``(-1, 1)`` with
+  ``ndigits`` of precision (Eq. (1) operand model);
+* multiplier operands must be fraction-shaped (inputs, constants, or other
+  products) — the paper's operators are fractional; sums grow integer
+  headroom and would need explicit renormalisation before feeding a
+  multiplier, which :meth:`Datapath.synthesize` rejects with a clear error;
+* additions may be chained/nested freely (the online adder tree is
+  carry-free; the traditional one compresses carry-save and resolves one
+  final ripple chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.arith.adder_tree import adder_tree
+from repro.arith.array_multiplier import array_multiplier
+from repro.arith.ripple_carry import twos_complement_negate
+from repro.core.kernels import BSVec, bs_add, bs_negate
+from repro.core.online_multiplier import OnlineMultiplier
+from repro.core.ops import NetOps
+from repro.netlist.area import AreaReport, estimate_area
+from repro.netlist.delay import DelayModel, FpgaDelay
+from repro.netlist.gates import Circuit
+from repro.netlist.sim import SimulationResult, WaveformSimulator
+from repro.netlist.sta import static_timing
+from repro.numrep.signed_digit import SDNumber, sd_canonical
+
+
+# --------------------------------------------------------------------- nodes
+@dataclass(frozen=True)
+class _Node:
+    kind: str  # "input" | "const" | "add" | "mul" | "neg"
+    name: str = ""
+    value: Fraction = Fraction(0)
+    args: Tuple["_Node", ...] = ()
+
+    def is_fraction_shaped(self) -> bool:
+        """True when the node's value provably stays in ``(-1, 1)`` with
+        pure fractional digits (valid multiplier operand)."""
+        return self.kind in ("input", "const", "mul") or (
+            self.kind == "neg" and self.args[0].is_fraction_shaped()
+        )
+
+
+class Expr:
+    """Operator-overloading handle over a dataflow node."""
+
+    def __init__(self, datapath: "Datapath", node: _Node) -> None:
+        self._dp = datapath
+        self._node = node
+
+    def _lift(self, other: Union["Expr", float, int, Fraction]) -> "Expr":
+        if isinstance(other, Expr):
+            if other._dp is not self._dp:
+                raise ValueError("cannot mix expressions from two datapaths")
+            return other
+        return self._dp.const(other)
+
+    def __add__(self, other):
+        other = self._lift(other)
+        return Expr(self._dp, _Node("add", args=(self._node, other._node)))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._lift(other)
+        return self + (-other)
+
+    def __rsub__(self, other):
+        return self._lift(other) - self
+
+    def __mul__(self, other):
+        other = self._lift(other)
+        return Expr(self._dp, _Node("mul", args=(self._node, other._node)))
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return Expr(self._dp, _Node("neg", args=(self._node,)))
+
+
+class Datapath:
+    """A dataflow-graph description, synthesizable in either arithmetic."""
+
+    def __init__(self, ndigits: int = 8) -> None:
+        if ndigits < 2:
+            raise ValueError("ndigits must be >= 2")
+        self.ndigits = ndigits
+        self._inputs: List[str] = []
+        self._outputs: Dict[str, _Node] = {}
+
+    def input(self, name: str) -> Expr:
+        """Declare a named operand input (fraction in ``(-1, 1)``)."""
+        if name in self._inputs:
+            raise ValueError(f"duplicate input {name!r}")
+        self._inputs.append(name)
+        return Expr(self, _Node("input", name=name))
+
+    def const(self, value: Union[float, int, Fraction]) -> Expr:
+        """Embed a constant; must be representable in ``ndigits`` digits."""
+        frac = Fraction(value).limit_denominator(2**62)
+        scaled = frac * 2**self.ndigits
+        if scaled.denominator != 1:
+            raise ValueError(
+                f"constant {value} needs more than {self.ndigits} fractional digits"
+            )
+        if not -1 < frac < 1:
+            raise ValueError(f"constant {value} outside (-1, 1)")
+        return Expr(self, _Node("const", value=frac))
+
+    def output(self, name: str, expr: Expr) -> None:
+        """Mark an expression as a datapath output."""
+        if name in self._outputs:
+            raise ValueError(f"duplicate output {name!r}")
+        if expr._dp is not self:
+            raise ValueError("expression belongs to a different datapath")
+        self._outputs[name] = expr._node
+
+    @property
+    def input_names(self) -> List[str]:
+        return list(self._inputs)
+
+    @property
+    def output_names(self) -> List[str]:
+        return list(self._outputs)
+
+    # ------------------------------------------------------------ synthesis
+    def synthesize(
+        self,
+        arithmetic: str,
+        delay_model: Optional[DelayModel] = None,
+        name: Optional[str] = None,
+    ) -> "SynthesizedDatapath":
+        """Emit the gate-level circuit for one arithmetic style."""
+        if arithmetic not in ("online", "traditional"):
+            raise ValueError("arithmetic must be 'online' or 'traditional'")
+        if not self._outputs:
+            raise ValueError("datapath has no outputs")
+        circuit_name = name or f"datapath_{arithmetic}{self.ndigits}"
+        if arithmetic == "online":
+            circuit, out_layout = self._synthesize_online(circuit_name)
+        else:
+            circuit, out_layout = self._synthesize_traditional(circuit_name)
+        return SynthesizedDatapath(
+            datapath=self,
+            arithmetic=arithmetic,
+            circuit=circuit,
+            out_layout=out_layout,
+            delay_model=delay_model if delay_model is not None else FpgaDelay(),
+        )
+
+    def _synthesize_online(self, name: str):
+        n = self.ndigits
+        c = Circuit(name)
+        ops = NetOps(c)
+        om = OnlineMultiplier(n)
+        input_vecs: Dict[str, BSVec] = {}
+        for in_name in self._inputs:
+            input_vecs[in_name] = {
+                k + 1: (c.input(f"{in_name}_p{k}"), c.input(f"{in_name}_n{k}"))
+                for k in range(n)
+            }
+        cache: Dict[int, BSVec] = {}
+
+        def emit(node: _Node) -> BSVec:
+            key = id(node)
+            if key in cache:
+                return cache[key]
+            if node.kind == "input":
+                vec = input_vecs[node.name]
+            elif node.kind == "const":
+                plain = _const_digits(node.value, n)
+                sd = sd_canonical(SDNumber.from_iterable(plain, exp_msd=-1))
+                # the minimal-weight recoding may need a digit at position
+                # 0 (e.g. 52/64 -> 1.00-1-100); only use it when it fits
+                # the fraction window, else keep the plain digits
+                digits_by_pos = {
+                    k - sd.exp_msd: d for k, d in enumerate(sd.digits) if d
+                }
+                if any(pos < 1 or pos > n for pos in digits_by_pos):
+                    digits_by_pos = {
+                        k + 1: d for k, d in enumerate(plain) if d
+                    }
+                vec = {
+                    pos: (
+                        ops.const(1 if d == 1 else 0),
+                        ops.const(1 if d == -1 else 0),
+                    )
+                    for pos, d in digits_by_pos.items()
+                }
+            elif node.kind == "neg":
+                vec = bs_negate(emit(node.args[0]))
+            elif node.kind == "add":
+                vec = bs_add(ops, emit(node.args[0]), emit(node.args[1]))
+            elif node.kind == "mul":
+                zs = om.run(
+                    ops,
+                    as_operand(node.args[0]),
+                    as_operand(node.args[1]),
+                    strict=False,
+                )
+                vec = {k + 1: bit_pair for k, bit_pair in enumerate(zs)}
+            else:  # pragma: no cover - defensive
+                raise AssertionError(node.kind)
+            cache[key] = vec
+            return vec
+
+        def as_operand(node: _Node) -> List[Tuple[object, object]]:
+            if not node.is_fraction_shaped():
+                raise ValueError(
+                    "multiplier operands must be fraction-shaped (inputs, "
+                    "constants, products or negations thereof); renormalise "
+                    "sums before multiplying"
+                )
+            vec = emit(node)
+            zero = ops.const(0)
+            return [vec.get(k + 1, (zero, zero)) for k in range(n)]
+
+        out_layout: Dict[str, List[int]] = {}
+        for out_name, node in self._outputs.items():
+            vec = emit(node)
+            if not vec:
+                # constant-zero output: keep one digit so the port exists
+                vec = {1: (ops.const(0), ops.const(0))}
+            positions = sorted(vec)
+            out_layout[out_name] = positions
+            for idx, pos in enumerate(positions):
+                p, nn = vec[pos]
+                c.output(f"{out_name}_p{idx}", p)
+                c.output(f"{out_name}_n{idx}", nn)
+        return c, out_layout
+
+    def _synthesize_traditional(self, name: str):
+        n = self.ndigits
+        width0 = n + 1  # Q1.n
+        c = Circuit(name)
+        input_bits: Dict[str, List[int]] = {}
+        for in_name in self._inputs:
+            input_bits[in_name] = [
+                c.input(f"{in_name}_b{i}") for i in range(width0)
+            ]
+        cache: Dict[int, Tuple[List[int], int]] = {}
+
+        def const_bits(value: Fraction, frac_bits: int, width: int) -> List[int]:
+            scaled = int(value * 2**frac_bits)
+            raw = scaled & (2**width - 1)
+            zero, one = c.const0(), c.const1()
+            return [one if (raw >> i) & 1 else zero for i in range(width)]
+
+        def align(a, fa, b, fb):
+            """Pad LSBs so both vectors share a fraction length."""
+            f = max(fa, fb)
+            zero = c.const0()
+            if fa < f:
+                a = [zero] * (f - fa) + list(a)
+            if fb < f:
+                b = [zero] * (f - fb) + list(b)
+            return a, b, f
+
+        def emit(node: _Node) -> Tuple[List[int], int]:
+            """Returns ``(bits LSB-first, frac_bits)`` in two's complement."""
+            key = id(node)
+            if key in cache:
+                return cache[key]
+            if node.kind == "input":
+                result = (input_bits[node.name], n)
+            elif node.kind == "const":
+                result = (const_bits(node.value, n, width0), n)
+            elif node.kind == "neg":
+                bits, f = emit(node.args[0])
+                # guard bit so -min does not overflow
+                sign = bits[-1]
+                result = (twos_complement_negate(c, list(bits) + [sign]), f)
+            elif node.kind == "add":
+                a, fa = emit(node.args[0])
+                b, fb = emit(node.args[1])
+                a, b, f = align(a, fa, b, fb)
+                out_width = max(len(a), len(b)) + 1
+                result = (adder_tree(c, [a, b], out_width), f)
+            elif node.kind == "mul":
+                a, fa = emit(node.args[0])
+                b, fb = emit(node.args[1])
+                w = max(len(a), len(b))
+                a = _sign_extend_bits(c, a, w)
+                b = _sign_extend_bits(c, b, w)
+                result = (array_multiplier(c, a, b), fa + fb)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(node.kind)
+            cache[key] = result
+            return result
+
+        out_layout: Dict[str, Tuple[int, int]] = {}
+        for out_name, node in self._outputs.items():
+            bits, f = emit(node)
+            out_layout[out_name] = (len(bits), f)
+            for i, net in enumerate(bits):
+                c.output(f"{out_name}_b{i}", net)
+        return c, out_layout
+
+
+def _sign_extend_bits(c: Circuit, bits: Sequence[int], width: int) -> List[int]:
+    out = list(bits)
+    while len(out) < width:
+        out.append(out[-1])
+    return out
+
+
+def _const_digits(value: Fraction, ndigits: int) -> List[int]:
+    """Binary-like signed digits (MSD first) of a representable fraction."""
+    scaled = int(value * 2**ndigits)
+    sign = 1 if scaled >= 0 else -1
+    mag = abs(scaled)
+    return [((mag >> (ndigits - 1 - k)) & 1) * sign for k in range(ndigits)]
+
+
+# ----------------------------------------------------------------- synthesis
+@dataclass
+class DatapathRun:
+    """Overclocking sweep of one synthesized datapath on one input batch."""
+
+    correct: Dict[str, np.ndarray]
+    rated_step: int
+    settle_step: int
+    error_free_step: int
+    _result: SimulationResult
+    _decode_fn: object
+
+    def decode(self, step: int) -> Dict[str, np.ndarray]:
+        """Output values at clock period *step* quanta."""
+        return self._decode_fn(self._result.sample(step))
+
+    def step_for_factor(self, factor: float) -> int:
+        if factor <= 0:
+            raise ValueError("frequency factor must be positive")
+        return int(self.error_free_step / factor)
+
+    def at_factor(self, factor: float) -> Dict[str, np.ndarray]:
+        """Output values when clocked at ``factor * f0``."""
+        return self.decode(self.step_for_factor(factor))
+
+    def mean_abs_error(self, step: int) -> float:
+        """Mean |error| across all outputs at clock period *step*."""
+        values = self.decode(step)
+        errs = [
+            np.abs(values[name] - self.correct[name]).mean()
+            for name in self.correct
+        ]
+        return float(np.mean(errs))
+
+
+class SynthesizedDatapath:
+    """A gate-level realisation of a :class:`Datapath` in one arithmetic."""
+
+    def __init__(
+        self,
+        datapath: Datapath,
+        arithmetic: str,
+        circuit: Circuit,
+        out_layout,
+        delay_model: DelayModel,
+    ) -> None:
+        self.datapath = datapath
+        self.arithmetic = arithmetic
+        self.circuit = circuit
+        self.out_layout = out_layout
+        self.delay_model = delay_model
+        self.simulator = WaveformSimulator(circuit, delay_model)
+        self.rated_step = static_timing(circuit, delay_model).critical_delay
+
+    def area(self) -> AreaReport:
+        return estimate_area(self.circuit)
+
+    # ------------------------------------------------------------- encoding
+    def encode(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Encode float operand batches into port values.
+
+        Values are quantized to ``ndigits`` fractional digits and must lie
+        in ``(-1, 1)``.
+        """
+        n = self.datapath.ndigits
+        missing = set(self.datapath.input_names) - set(inputs)
+        if missing:
+            raise ValueError(f"missing inputs {sorted(missing)}")
+        ports: Dict[str, np.ndarray] = {}
+        for name in self.datapath.input_names:
+            values = np.asarray(inputs[name], dtype=np.float64)
+            scaled = np.round(values * 2**n).astype(np.int64)
+            if np.any(np.abs(scaled) >= 2**n):
+                raise ValueError(f"input {name!r} outside (-1, 1)")
+            if self.arithmetic == "online":
+                sign = np.sign(scaled).astype(np.int8)
+                mag = np.abs(scaled)
+                for k in range(n):
+                    digit = ((mag >> (n - 1 - k)) & 1).astype(np.int8) * sign
+                    ports[f"{name}_p{k}"] = (digit == 1).astype(np.uint8)
+                    ports[f"{name}_n{k}"] = (digit == -1).astype(np.uint8)
+            else:
+                width = n + 1
+                raw = np.where(scaled < 0, scaled + (1 << width), scaled)
+                for i in range(width):
+                    ports[f"{name}_b{i}"] = ((raw >> i) & 1).astype(np.uint8)
+        return ports
+
+    # ------------------------------------------------------------- decoding
+    def _decode(self, sample: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        if self.arithmetic == "online":
+            for name, positions in self.out_layout.items():
+                total = np.zeros(
+                    next(iter(sample.values())).shape[0], dtype=np.float64
+                )
+                for idx, pos in enumerate(positions):
+                    digit = sample[f"{name}_p{idx}"].astype(
+                        np.float64
+                    ) - sample[f"{name}_n{idx}"].astype(np.float64)
+                    total += digit * 2.0 ** (-pos)
+                out[name] = total
+        else:
+            for name, (width, frac) in self.out_layout.items():
+                raw = np.zeros(
+                    next(iter(sample.values())).shape[0], dtype=np.int64
+                )
+                for i in range(width):
+                    raw |= sample[f"{name}_b{i}"].astype(np.int64) << i
+                sign = raw >= (1 << (width - 1))
+                raw = raw - (sign.astype(np.int64) << width)
+                out[name] = raw.astype(np.float64) / 2.0**frac
+        return out
+
+    # ------------------------------------------------------------------ run
+    def apply(self, inputs: Dict[str, np.ndarray]) -> DatapathRun:
+        """Simulate one operand batch across every clock period."""
+        result = self.simulator.run(self.encode(inputs))
+        settle = result.settle_step
+        correct = self._decode(result.sample(settle))
+        error_free = 0
+        for t in range(settle, -1, -1):
+            values = self._decode(result.sample(t))
+            if any(
+                not np.array_equal(values[k], correct[k]) for k in correct
+            ):
+                error_free = t + 1
+                break
+        return DatapathRun(
+            correct=correct,
+            rated_step=self.rated_step,
+            settle_step=settle,
+            error_free_step=error_free,
+            _result=result,
+            _decode_fn=self._decode,
+        )
+
+
+@dataclass
+class DesignChoice:
+    """Outcome of :func:`choose_design`: the recommended design point."""
+
+    arithmetic: str
+    clock_step: int
+    achieved_mre_percent: float
+    frequency_gain_vs_safest: float
+    area: AreaReport
+    alternatives: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def choose_design(
+    datapath: Datapath,
+    inputs: Dict[str, np.ndarray],
+    mre_budget_percent: float,
+    delay_model_factory=FpgaDelay,
+) -> DesignChoice:
+    """Pick the fastest (arithmetic, clock) pair within an error budget.
+
+    This is the paper's design methodology as a function: synthesize the
+    datapath both ways, measure each design's overclocking curve on the
+    given operand distribution, and return the combination with the
+    highest absolute clock frequency whose mean relative error stays
+    within the budget.  Ties break toward the smaller design.
+    """
+    if mre_budget_percent < 0:
+        raise ValueError("the error budget cannot be negative")
+    candidates: Dict[str, Dict[str, float]] = {}
+    best = None
+    for arithmetic in ("traditional", "online"):
+        synth = datapath.synthesize(arithmetic, delay_model_factory())
+        run = synth.apply(inputs)
+        mean_out = float(
+            np.mean([np.abs(v).mean() for v in run.correct.values()])
+        )
+        best_step = None
+        achieved = 0.0
+        for step in range(run.error_free_step, 0, -1):
+            err = run.mean_abs_error(step)
+            mre = 100.0 * err / mean_out if mean_out else 0.0
+            if mre <= mre_budget_percent:
+                best_step, achieved = step, mre
+            else:
+                break
+        if best_step is None:
+            continue
+        area = estimate_area(synth.circuit)
+        candidates[arithmetic] = {
+            "clock_step": float(best_step),
+            "mre_percent": achieved,
+            "luts": float(area.luts),
+        }
+        key = (1.0 / best_step, -area.luts)
+        if best is None or key > best[0]:
+            best = (
+                key,
+                DesignChoice(
+                    arithmetic=arithmetic,
+                    clock_step=best_step,
+                    achieved_mre_percent=achieved,
+                    frequency_gain_vs_safest=run.error_free_step / best_step
+                    - 1.0,
+                    area=area,
+                ),
+            )
+    if best is None:
+        raise ValueError(
+            "no design meets the error budget at any measured clock"
+        )
+    choice = best[1]
+    choice.alternatives = candidates
+    return choice
+
+
+def explore_latency_accuracy(
+    datapath: Datapath,
+    inputs: Dict[str, np.ndarray],
+    budgets_percent: Sequence[float] = (0.01, 0.1, 1.0, 10.0),
+    frequency_factors: Sequence[float] = (1.05, 1.10, 1.15, 1.20, 1.25),
+    delay_model_factory=FpgaDelay,
+) -> Dict[str, object]:
+    """The paper's two design questions, answered for both syntheses.
+
+    Returns a dict with, per arithmetic: area, rated/error-free periods,
+    MRE at each normalized overclock factor, and the achievable frequency
+    speedup within each MRE budget.
+    """
+    report: Dict[str, object] = {"factors": list(frequency_factors),
+                                 "budgets_percent": list(budgets_percent)}
+    for arithmetic in ("traditional", "online"):
+        synth = datapath.synthesize(arithmetic, delay_model_factory())
+        run = synth.apply(inputs)
+        mean_out = float(
+            np.mean([np.abs(v).mean() for v in run.correct.values()])
+        )
+        mre_by_factor = []
+        for f in frequency_factors:
+            err = run.mean_abs_error(run.step_for_factor(f))
+            mre_by_factor.append(100.0 * err / mean_out if mean_out else 0.0)
+        speedups = []
+        for budget in budgets_percent:
+            limit = budget / 100.0 * mean_out
+            best = None
+            for step in range(run.error_free_step, 0, -1):
+                if run.mean_abs_error(step) <= limit:
+                    best = run.error_free_step / step - 1.0
+                else:
+                    break
+            speedups.append(best)
+        report[arithmetic] = {
+            "area": estimate_area(synth.circuit),
+            "rated_step": run.rated_step,
+            "error_free_step": run.error_free_step,
+            "mre_percent_by_factor": mre_by_factor,
+            "speedup_by_budget": speedups,
+        }
+    return report

@@ -1,0 +1,31 @@
+"""DSP datapaths built on the overclocking-synthesis front-end.
+
+The paper motivates online arithmetic with latency-critical embedded
+datapaths — exactly the sum-of-products structures of digital signal
+processing.  This package provides ready-made generators for two of them,
+each synthesizable in both arithmetics through
+:class:`repro.core.synthesis.Datapath`:
+
+* :func:`fir_datapath` — a K-tap FIR filter ``y = sum(c_k * x_k)``;
+* :func:`dct8_datapath` — the 8-point DCT-II basis projection used by
+  JPEG-class codecs.
+
+Both scale their coefficients so every value stays inside the paper's
+``(-1, 1)`` operand range, and both come with reference evaluators for
+testing and with overclocking-comparison helpers.
+"""
+
+from repro.dsp.fir import fir_datapath, fir_reference, lowpass_coefficients
+from repro.dsp.dct import dct8_datapath, dct8_reference, DCT8_COEFFICIENTS
+from repro.dsp.iir import IIRExperiment, iir_body
+
+__all__ = [
+    "fir_datapath",
+    "fir_reference",
+    "lowpass_coefficients",
+    "dct8_datapath",
+    "dct8_reference",
+    "DCT8_COEFFICIENTS",
+    "IIRExperiment",
+    "iir_body",
+]

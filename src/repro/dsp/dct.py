@@ -1,0 +1,86 @@
+"""8-point DCT-II datapaths (the JPEG-class transform).
+
+Each DCT output coefficient is a projection of the 8 input samples onto a
+cosine basis row — eight parallel sum-of-products datapaths that share the
+input vector.  The basis is scaled by 1/4 so that, with the orthonormal
+DCT-II normalisation, every output of an input in ``(-1, 1)`` provably
+stays inside ``(-1, 1)`` (row L1 norms are below 4).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.synthesis import Datapath
+
+#: output scaling applied to keep every projection inside (-1, 1)
+DCT_SCALE = 0.25
+
+
+def _basis() -> List[List[float]]:
+    rows = []
+    for i in range(8):
+        alpha = math.sqrt(1 / 8) if i == 0 else math.sqrt(2 / 8)
+        rows.append(
+            [
+                alpha * math.cos((2 * n + 1) * i * math.pi / 16) * DCT_SCALE
+                for n in range(8)
+            ]
+        )
+    return rows
+
+
+def _quantized_basis(ndigits: int) -> List[List[Fraction]]:
+    return [
+        [Fraction(round(c * 2**ndigits), 2**ndigits) for c in row]
+        for row in _basis()
+    ]
+
+
+#: the float basis (scaled), kept public for inspection/tests
+DCT8_COEFFICIENTS = _basis()
+
+
+def dct8_datapath(ndigits: int = 8) -> Tuple[Datapath, List[List[Fraction]]]:
+    """Build the 8-point DCT-II datapath.
+
+    Returns ``(datapath, quantized_basis)``; the datapath has inputs
+    ``x0..x7`` and outputs ``X0..X7`` (each the scaled basis projection).
+    """
+    basis = _quantized_basis(ndigits)
+    dp = Datapath(ndigits=ndigits)
+    xs = [dp.input(f"x{n}") for n in range(8)]
+    for i, row in enumerate(basis):
+        terms = [
+            x * dp.const(coeff)
+            for x, coeff in zip(xs, row)
+            if coeff != 0
+        ]
+        if not terms:  # pragma: no cover - cannot happen for the DCT
+            terms = [dp.const(0) * xs[0]]
+        dp.output(f"X{i}", _tree_sum(terms))
+    return dp, basis
+
+
+def _tree_sum(terms):
+    """Balanced pairwise reduction (logarithmic adder depth)."""
+    level = list(terms)
+    while len(level) > 1:
+        nxt = [a + b for a, b in zip(level[::2], level[1::2])]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def dct8_reference(
+    basis: List[List[Fraction]], samples: np.ndarray
+) -> np.ndarray:
+    """Exact projections: shape ``(8, S)`` outputs for ``(8, S)`` inputs."""
+    samples = np.asarray(samples, dtype=np.float64)
+    matrix = np.array([[float(c) for c in row] for row in basis])
+    return matrix @ samples

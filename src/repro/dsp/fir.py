@@ -1,0 +1,120 @@
+"""FIR filter datapaths for overclocking experiments.
+
+A K-tap FIR filter computes ``y[n] = sum_k c_k * x[n - k]`` — a pure
+sum-of-products, the canonical latency-critical embedded datapath the
+paper's introduction argues cannot simply be pipelined away.  The
+generator quantizes an arbitrary coefficient vector to the datapath's
+precision, rescales it so the output provably stays in ``(-1, 1)``, and
+emits a :class:`repro.core.synthesis.Datapath` with one input per tap.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.synthesis import Datapath
+
+
+def lowpass_coefficients(num_taps: int, cutoff: float = 0.25) -> List[float]:
+    """Hamming-windowed sinc low-pass prototype (unit DC gain).
+
+    ``cutoff`` is the normalized frequency (0..0.5).  Deterministic and
+    dependency-free — good benchmark coefficients.
+    """
+    if num_taps < 1:
+        raise ValueError("num_taps must be >= 1")
+    if not 0 < cutoff <= 0.5:
+        raise ValueError("cutoff must lie in (0, 0.5]")
+    mid = (num_taps - 1) / 2.0
+    taps: List[float] = []
+    for k in range(num_taps):
+        t = k - mid
+        ideal = 2 * cutoff if t == 0 else math.sin(2 * math.pi * cutoff * t) / (
+            math.pi * t
+        )
+        window = 0.54 - 0.46 * math.cos(2 * math.pi * k / max(num_taps - 1, 1))
+        taps.append(ideal * window)
+    total = sum(taps)
+    return [t / total for t in taps]
+
+
+def quantize_coefficients(
+    coefficients: Sequence[float], ndigits: int
+) -> Tuple[List[Fraction], float]:
+    """Quantize and rescale coefficients for a safe sum-of-products.
+
+    Returns ``(quantized, scale)`` where each quantized coefficient is an
+    exact multiple of ``2**-ndigits``, ``sum(|c|) <= 1 - 2**-ndigits``
+    (so ``y`` cannot overflow for operands in ``(-1, 1)``), and ``scale``
+    is the factor the ideal output was multiplied by.
+    """
+    coeffs = [float(c) for c in coefficients]
+    magnitude = sum(abs(c) for c in coeffs)
+    limit = 1.0 - 2.0**-ndigits
+    scale = 1.0 if magnitude <= limit else limit / magnitude
+    quantized = [
+        Fraction(round(c * scale * 2**ndigits), 2**ndigits) for c in coeffs
+    ]
+    # re-check after rounding; shave the largest coefficient if needed
+    while sum(abs(q) for q in quantized) > Fraction(limit).limit_denominator(
+        2**ndigits
+    ):
+        idx = max(range(len(quantized)), key=lambda i: abs(quantized[i]))
+        step = Fraction(1, 2**ndigits)
+        quantized[idx] -= step if quantized[idx] > 0 else -step
+    return quantized, scale
+
+
+def fir_datapath(
+    coefficients: Sequence[float], ndigits: int = 8
+) -> Tuple[Datapath, List[Fraction], float]:
+    """Build a FIR sum-of-products datapath.
+
+    Returns ``(datapath, quantized_coefficients, scale)``: the datapath
+    has inputs ``x0 .. x{K-1}`` (the delay-line contents, newest first)
+    and one output ``y``.
+    """
+    if len(coefficients) < 1:
+        raise ValueError("need at least one tap")
+    quantized, scale = quantize_coefficients(coefficients, ndigits)
+    dp = Datapath(ndigits=ndigits)
+    taps = [dp.input(f"x{k}") for k in range(len(quantized))]
+    terms = [
+        tap * dp.const(coeff)
+        for tap, coeff in zip(taps, quantized)
+        if coeff != 0
+    ]
+    if not terms:
+        terms = [dp.const(0) * taps[0]]  # degenerate all-zero filter
+    dp.output("y", _tree_sum(terms))
+    return dp, quantized, scale
+
+
+def _tree_sum(terms):
+    """Balanced pairwise reduction (logarithmic adder depth)."""
+    level = list(terms)
+    while len(level) > 1:
+        nxt = [a + b for a, b in zip(level[::2], level[1::2])]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def fir_reference(
+    quantized: Sequence[Fraction], samples: np.ndarray, ndigits: int = 8
+) -> np.ndarray:
+    """Exact filter response for operand batches.
+
+    ``samples`` has shape ``(K, S)`` — tap ``k``'s operand stream, already
+    quantized to ``ndigits`` fractional digits.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    out = np.zeros(samples.shape[1], dtype=np.float64)
+    for k, coeff in enumerate(quantized):
+        out += float(coeff) * samples[k]
+    return out

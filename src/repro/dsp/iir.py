@@ -1,0 +1,132 @@
+"""First-order IIR filter with feedback — the paper's motivating case.
+
+The introduction argues that pipelining cannot help "any datapath
+containing feedback, where C-slow retiming is inappropriate": the
+combinational body ``y[n] = a * y[n-1] + b * x[n]`` must settle within a
+single clock period, so overclocking is the *only* way to raise the
+sample rate — and overclocking errors feed back into the state.
+
+:class:`IIRExperiment` synthesizes the body once (either arithmetic),
+then steps it sample by sample, re-injecting the (possibly corrupted)
+overclocked output as the next state.  Conventional arithmetic's MSB
+errors get re-amplified every cycle; online arithmetic's LSD errors stay
+at noise level — error feedback makes the paper's contrast starker than
+in any feed-forward datapath.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.synthesis import Datapath, SynthesizedDatapath
+from repro.netlist.delay import DelayModel, FpgaDelay
+
+
+def iir_body(
+    a: float, b: float, ndigits: int = 8
+) -> Tuple[Datapath, Fraction, Fraction]:
+    """Build the IIR body datapath ``y = a * y_prev + b * x``.
+
+    Stability/overflow constraints: ``|a| + |b| <= 1 - 2**-ndigits`` so
+    the state provably stays inside ``(-1, 1)``.
+    """
+    qa = Fraction(round(a * 2**ndigits), 2**ndigits)
+    qb = Fraction(round(b * 2**ndigits), 2**ndigits)
+    if abs(qa) + abs(qb) > 1 - Fraction(1, 2**ndigits):
+        raise ValueError("|a| + |b| must stay below 1 for a stable body")
+    dp = Datapath(ndigits=ndigits)
+    x = dp.input("x")
+    y_prev = dp.input("y_prev")
+    dp.output("y", dp.const(qa) * y_prev + dp.const(qb) * x)
+    return dp, qa, qb
+
+
+class IIRExperiment:
+    """Closed-loop overclocking experiment for the IIR body.
+
+    Parameters
+    ----------
+    a, b:
+        Filter coefficients (quantized to ``ndigits``).
+    arithmetic:
+        ``"online"`` or ``"traditional"``.
+    ndigits:
+        Operand precision.
+    delay_model:
+        Gate delays (default: FPGA-like jitter).
+    """
+
+    def __init__(
+        self,
+        a: float,
+        b: float,
+        arithmetic: str,
+        ndigits: int = 8,
+        delay_model: Optional[DelayModel] = None,
+    ) -> None:
+        self.ndigits = ndigits
+        datapath, qa, qb = iir_body(a, b, ndigits)
+        self.qa, self.qb = qa, qb
+        self.synth: SynthesizedDatapath = datapath.synthesize(
+            arithmetic, delay_model if delay_model is not None else FpgaDelay()
+        )
+        self.rated_step = self.synth.rated_step
+
+    def reference(self, xs: np.ndarray) -> np.ndarray:
+        """Exact trajectory of a timing-correct loop.
+
+        Mirrors the hardware bit-for-bit: inputs quantize to ``ndigits``
+        digits, the body computes in full precision, and the state
+        register re-quantizes every cycle.  All values are dyadic
+        rationals well inside double precision, so this is exact.
+        """
+        a, b = float(self.qa), float(self.qb)
+        n = self.ndigits
+        limit = 1.0 - 2.0**-n
+        y = 0.0
+        out = np.empty(len(xs))
+        for i, x in enumerate(np.asarray(xs, dtype=np.float64)):
+            xq = round(x * 2**n) / 2**n
+            y_full = a * y + b * xq
+            out[i] = y_full
+            y = float(np.clip(round(y_full * 2**n) / 2**n, -limit, limit))
+        return out
+
+    def measure_error_free_step(self, probe_samples: int = 200, seed: int = 0) -> int:
+        """Minimum safe period measured on an open-loop probe batch."""
+        rng = np.random.default_rng(seed)
+        run = self.synth.apply(
+            {
+                "x": rng.uniform(-0.9, 0.9, probe_samples),
+                "y_prev": rng.uniform(-0.9, 0.9, probe_samples),
+            }
+        )
+        return run.error_free_step
+
+    def run(self, xs: np.ndarray, clock_step: int) -> np.ndarray:
+        """Closed-loop trajectory with the body clocked at *clock_step*.
+
+        Each cycle simulates the combinational body for one sample,
+        latches whatever the outputs hold at *clock_step*, quantizes the
+        captured value back to ``ndigits`` digits (the state register),
+        and feeds it back.
+        """
+        n = self.ndigits
+        limit = 1.0 - 2.0**-n
+        y_state = 0.0
+        out = np.empty(len(xs))
+        for i, x in enumerate(np.asarray(xs, dtype=np.float64)):
+            ports = self.synth.encode(
+                {"x": np.array([x]), "y_prev": np.array([y_state])}
+            )
+            result = self.synth.simulator.run(ports)
+            value = float(
+                self.synth._decode(result.sample(clock_step))["y"][0]
+            )
+            # the state register stores an N-digit word: quantize and clamp
+            y_state = float(np.clip(round(value * 2**n) / 2**n, -limit, limit))
+            out[i] = value
+        return out

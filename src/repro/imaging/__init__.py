@@ -1,0 +1,61 @@
+"""Image-processing case study substrate (Section 4 of the paper).
+
+The paper demonstrates the latency-accuracy trade-off on a Gaussian image
+filter implemented twice — conventional two's-complement arithmetic versus
+online arithmetic — overclocked on a Virtex-6.  This package provides:
+
+* deterministic synthetic stand-ins for the four benchmark images
+  (:mod:`repro.imaging.synthetic` — see DESIGN.md for the substitution
+  rationale),
+* the 3x3 Gaussian filter datapaths built from the gate-level operators
+  (:mod:`repro.imaging.filters`), and
+* the paper's quality metrics — mean relative error and SNR
+  (:mod:`repro.imaging.metrics`).
+"""
+
+from repro.imaging.synthetic import (
+    benchmark_image,
+    BENCHMARK_IMAGES,
+    lena_like,
+    pepper_like,
+    sailboat_like,
+    tiffany_like,
+    uniform_noise_image,
+)
+from repro.imaging.metrics import mre_percent, snr_db, psnr_db
+from repro.imaging.filters import (
+    GAUSSIAN_KERNEL_64THS,
+    SOBEL_X_KERNEL_8THS,
+    SOBEL_Y_KERNEL_8THS,
+    ConvolutionDatapath,
+    GaussianFilterDatapath,
+    SobelFilterDatapath,
+    convolution_reference,
+    gaussian_reference,
+    image_patches,
+)
+from repro.imaging.pgm import write_pgm, read_pgm
+
+__all__ = [
+    "benchmark_image",
+    "BENCHMARK_IMAGES",
+    "lena_like",
+    "pepper_like",
+    "sailboat_like",
+    "tiffany_like",
+    "uniform_noise_image",
+    "mre_percent",
+    "snr_db",
+    "psnr_db",
+    "GAUSSIAN_KERNEL_64THS",
+    "SOBEL_X_KERNEL_8THS",
+    "SOBEL_Y_KERNEL_8THS",
+    "ConvolutionDatapath",
+    "GaussianFilterDatapath",
+    "SobelFilterDatapath",
+    "convolution_reference",
+    "gaussian_reference",
+    "image_patches",
+    "write_pgm",
+    "read_pgm",
+]

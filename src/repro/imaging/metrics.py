@@ -1,0 +1,52 @@
+"""Output-quality metrics used by the paper's evaluation.
+
+* Mean relative error (Eq. (12)): ``MRE = |E_error / E_out| * 100%`` where
+  ``E_error`` and ``E_out`` are the mean error magnitude and the mean
+  correct output magnitude.
+* Signal-to-noise ratio in dB (the Fig. 7 annotations), with the correct
+  filter output as the signal and the overclocking error as the noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def mre_percent(correct: np.ndarray, actual: np.ndarray) -> float:
+    """Mean relative error in percent (Eq. (12))."""
+    correct = np.asarray(correct, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if correct.shape != actual.shape:
+        raise ValueError("shape mismatch between correct and actual outputs")
+    e_out = float(np.abs(correct).mean())
+    if e_out == 0:
+        raise ValueError("mean correct output is zero; MRE undefined")
+    e_err = float(np.abs(actual - correct).mean())
+    return 100.0 * e_err / e_out
+
+
+def snr_db(correct: np.ndarray, actual: np.ndarray) -> float:
+    """Signal-to-noise ratio in dB; ``inf`` when the outputs are identical."""
+    correct = np.asarray(correct, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if correct.shape != actual.shape:
+        raise ValueError("shape mismatch between correct and actual outputs")
+    noise_power = float(((actual - correct) ** 2).sum())
+    if noise_power == 0:
+        return math.inf
+    signal_power = float((correct**2).sum())
+    if signal_power == 0:
+        raise ValueError("signal power is zero; SNR undefined")
+    return 10.0 * math.log10(signal_power / noise_power)
+
+
+def psnr_db(correct: np.ndarray, actual: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (8-bit images by default)."""
+    correct = np.asarray(correct, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    mse = float(((actual - correct) ** 2).mean())
+    if mse == 0:
+        return math.inf
+    return 10.0 * math.log10(peak**2 / mse)

@@ -1,0 +1,42 @@
+"""Minimal binary PGM (P5) image I/O.
+
+The Fig. 7 benchmark writes its output images to disk so degradation can be
+inspected visually; PGM keeps that dependency-free.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+
+def write_pgm(path: Union[str, Path], image: np.ndarray) -> None:
+    """Write an 8-bit grayscale image as binary PGM."""
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ValueError("PGM output requires a 2-D image")
+    if image.dtype != np.uint8:
+        image = np.clip(np.round(image), 0, 255).astype(np.uint8)
+    h, w = image.shape
+    with open(path, "wb") as f:
+        f.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        f.write(image.tobytes())
+
+
+def read_pgm(path: Union[str, Path]) -> np.ndarray:
+    """Read a binary (P5) PGM image written by :func:`write_pgm`."""
+    with open(path, "rb") as f:
+        data = f.read()
+    parts = data.split(b"\n", 3)
+    if len(parts) < 4 or parts[0].strip() != b"P5":
+        raise ValueError(f"{path}: not a binary PGM file")
+    w, h = (int(v) for v in parts[1].split())
+    maxval = int(parts[2])
+    if maxval != 255:
+        raise ValueError(f"{path}: unsupported max value {maxval}")
+    pixels = np.frombuffer(parts[3][: w * h], dtype=np.uint8)
+    if pixels.size != w * h:
+        raise ValueError(f"{path}: truncated pixel data")
+    return pixels.reshape(h, w).copy()

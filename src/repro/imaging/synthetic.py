@@ -1,0 +1,157 @@
+"""Deterministic synthetic stand-ins for the paper's benchmark images.
+
+The paper's "real inputs" are the classic USC-SIPI images (Lena, Pepper,
+Sailboat, Tiffany).  Those files are not redistributable and are not
+available offline, so this module generates procedural images that
+reproduce the *property the experiment depends on*: real image data is
+spatially correlated and far from uniform-independent, so long carry /
+propagation chains are rarer than under UI inputs, which is what widens
+the online-vs-traditional gap in Tables 1-3.
+
+Each generator matches the gross statistics of its namesake:
+
+* ``lena_like``     — portrait-style: large smooth regions, mid-gray mean,
+  soft diagonal structure;
+* ``pepper_like``   — big glossy blobs with strong inter-region edges;
+* ``sailboat_like`` — scene with horizon, blocky shapes and fine texture;
+* ``tiffany_like``  — bright, low-contrast (high mean, narrow histogram).
+
+All generators are seeded and pure: the same (name, size) always yields the
+same image.  ``uniform_noise_image`` provides the paper's "UI inputs".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+
+def _grid(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalised coordinate grid in [0, 1)^2 (row, column)."""
+    coords = np.arange(size) / size
+    return np.meshgrid(coords, coords, indexing="ij")
+
+
+def _gaussian_blob(
+    rows: np.ndarray, cols: np.ndarray, cy: float, cx: float, sigma: float
+) -> np.ndarray:
+    return np.exp(-(((rows - cy) ** 2 + (cols - cx) ** 2) / (2 * sigma**2)))
+
+
+def _smooth(image: np.ndarray, radius: int) -> np.ndarray:
+    """Separable box-blur (repeated -> approximately Gaussian)."""
+    if radius < 1:
+        return image
+    kernel = np.ones(2 * radius + 1) / (2 * radius + 1)
+    for axis in (0, 1):
+        image = np.apply_along_axis(
+            lambda m: np.convolve(m, kernel, mode="same"), axis, image
+        )
+    return image
+
+
+def _to_uint8(field: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    """Affinely map *field* onto the gray range [lo, hi] in 0..255."""
+    fmin, fmax = float(field.min()), float(field.max())
+    if fmax - fmin < 1e-12:
+        scaled = np.full_like(field, (lo + hi) / 2.0)
+    else:
+        scaled = lo + (field - fmin) * (hi - lo) / (fmax - fmin)
+    return np.clip(np.round(scaled), 0, 255).astype(np.uint8)
+
+
+def lena_like(size: int = 128, seed: int = 101) -> np.ndarray:
+    """Portrait-style image: smooth blobs + gentle diagonal gradient."""
+    rng = np.random.default_rng(seed)
+    rows, cols = _grid(size)
+    field = 0.45 * rows + 0.25 * cols
+    for _ in range(6):
+        cy, cx = rng.uniform(0.1, 0.9, size=2)
+        sigma = rng.uniform(0.08, 0.25)
+        field += rng.uniform(-0.8, 0.9) * _gaussian_blob(rows, cols, cy, cx, sigma)
+    field += 0.03 * rng.standard_normal((size, size))
+    field = _smooth(field, max(1, size // 64))
+    return _to_uint8(field, 25, 230)
+
+
+def pepper_like(size: int = 128, seed: int = 202) -> np.ndarray:
+    """Glossy vegetables: a few large smooth regions with hard edges."""
+    rng = np.random.default_rng(seed)
+    rows, cols = _grid(size)
+    field = np.full((size, size), 0.35)
+    for _ in range(8):
+        cy, cx = rng.uniform(0.0, 1.0, size=2)
+        ry, rx = rng.uniform(0.08, 0.3, size=2)
+        level = rng.uniform(0.1, 1.0)
+        mask = ((rows - cy) / ry) ** 2 + ((cols - cx) / rx) ** 2 <= 1.0
+        field = np.where(mask, level, field)
+    # specular highlights
+    for _ in range(4):
+        cy, cx = rng.uniform(0.1, 0.9, size=2)
+        field += 0.5 * _gaussian_blob(rows, cols, cy, cx, 0.03)
+    field = _smooth(field, max(1, size // 64))
+    return _to_uint8(field, 10, 245)
+
+
+def sailboat_like(size: int = 128, seed: int = 303) -> np.ndarray:
+    """Lake scene: sky gradient, horizon, blocky hull, water texture."""
+    rng = np.random.default_rng(seed)
+    rows, cols = _grid(size)
+    sky = 0.75 - 0.35 * rows
+    water = 0.35 + 0.05 * np.sin(cols * 40 + rows * 6)
+    water += 0.04 * rng.standard_normal((size, size))
+    field = np.where(rows < 0.55, sky, water)
+    # hull and sail
+    hull = (np.abs(cols - 0.5) < 0.18) & (np.abs(rows - 0.58) < 0.04)
+    sail = (
+        (rows > 0.2)
+        & (rows < 0.55)
+        & (cols > 0.5 - (0.55 - rows) * 0.5)
+        & (cols < 0.5 + (0.55 - rows) * 0.15)
+    )
+    field = np.where(hull, 0.12, field)
+    field = np.where(sail, 0.95, field)
+    field = _smooth(field, max(1, size // 128))
+    return _to_uint8(field, 15, 240)
+
+
+def tiffany_like(size: int = 128, seed: int = 404) -> np.ndarray:
+    """Bright, low-contrast portrait (high mean, narrow histogram)."""
+    rng = np.random.default_rng(seed)
+    rows, cols = _grid(size)
+    field = 0.1 * rows - 0.05 * cols
+    for _ in range(5):
+        cy, cx = rng.uniform(0.1, 0.9, size=2)
+        sigma = rng.uniform(0.15, 0.35)
+        field += rng.uniform(-0.2, 0.3) * _gaussian_blob(rows, cols, cy, cx, sigma)
+    field += 0.02 * rng.standard_normal((size, size))
+    field = _smooth(field, max(1, size // 64))
+    return _to_uint8(field, 150, 250)
+
+
+def uniform_noise_image(size: int = 128, seed: int = 505) -> np.ndarray:
+    """Uniform-independent pixels — the paper's "UI inputs"."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(size, size), dtype=np.uint8).astype(np.uint8)
+
+
+BENCHMARK_IMAGES: Dict[str, Callable[..., np.ndarray]] = {
+    "lena": lena_like,
+    "pepper": pepper_like,
+    "sailboat": sailboat_like,
+    "tiffany": tiffany_like,
+    "uniform": uniform_noise_image,
+}
+
+
+def benchmark_image(name: str, size: int = 128) -> np.ndarray:
+    """Fetch a named benchmark image (deterministic for a given size)."""
+    try:
+        generator = BENCHMARK_IMAGES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark image {name!r}; "
+            f"choose from {sorted(BENCHMARK_IMAGES)}"
+        ) from None
+    return generator(size=size)

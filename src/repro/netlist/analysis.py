@@ -1,0 +1,121 @@
+"""Netlist timing/structure analysis utilities.
+
+Helpers for understanding *why* a design behaves the way it does under
+overclocking:
+
+* :func:`output_arrival_profile` — when does each output settle?  The
+  shape of this profile is the design's overclocking fingerprint: a
+  conventional multiplier's MSBs arrive last (so they break first); the
+  online multiplier's LSDs arrive last.
+* :func:`slack_histogram` — how much timing slack each output has at a
+  given clock period; the mass near zero predicts how abruptly the design
+  fails when pushed past its rating.
+* :func:`depth_histogram` / :func:`fanout_statistics` — structural
+  profiles used by the area/timing discussions in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.delay import DelayModel, UnitDelay
+from repro.netlist.gates import Circuit
+from repro.netlist.sta import static_timing
+
+
+def output_arrival_profile(
+    circuit: Circuit, delay_model: Optional[DelayModel] = None
+) -> Dict[str, int]:
+    """Arrival (settle) time of every primary output, by name."""
+    timing = static_timing(circuit, delay_model or UnitDelay())
+    return {
+        name: timing.of(net) for name, net in circuit.output_map.items()
+    }
+
+
+def slack_histogram(
+    circuit: Circuit,
+    clock_period: int,
+    delay_model: Optional[DelayModel] = None,
+) -> Dict[str, int]:
+    """Per-output slack at *clock_period* (negative = violated).
+
+    ``slack = clock_period - arrival``; outputs with negative slack are
+    the ones a register clocked at that period may capture mid-flight.
+    """
+    profile = output_arrival_profile(circuit, delay_model)
+    return {name: clock_period - t for name, t in profile.items()}
+
+
+def violated_outputs(
+    circuit: Circuit,
+    clock_period: int,
+    delay_model: Optional[DelayModel] = None,
+) -> List[str]:
+    """Outputs whose worst-case arrival exceeds *clock_period*."""
+    return [
+        name
+        for name, slack in slack_histogram(
+            circuit, clock_period, delay_model
+        ).items()
+        if slack < 0
+    ]
+
+
+def depth_histogram(
+    circuit: Circuit, delay_model: Optional[DelayModel] = None
+) -> Dict[int, int]:
+    """Number of nets settling at each time step (the settling wave)."""
+    timing = static_timing(circuit, delay_model or UnitDelay())
+    hist: Dict[int, int] = {}
+    for t in timing.per_net:
+        hist[t] = hist.get(t, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+@dataclass(frozen=True)
+class FanoutStats:
+    """Structural fanout summary of a circuit."""
+
+    max_fanout: int
+    mean_fanout: float
+    dangling_nets: int  # driven nets that feed nothing and are not outputs
+
+
+def fanout_statistics(circuit: Circuit) -> FanoutStats:
+    """Fanout distribution over all driven nets."""
+    outputs = set(circuit.output_map.values())
+    fanouts: List[int] = []
+    dangling = 0
+    for net in range(circuit.num_nets):
+        fo = circuit.fanout_of(net)
+        fanouts.append(fo)
+        if fo == 0 and net not in outputs:
+            dangling += 1
+    if not fanouts:
+        return FanoutStats(0, 0.0, 0)
+    return FanoutStats(
+        max_fanout=max(fanouts),
+        mean_fanout=sum(fanouts) / len(fanouts),
+        dangling_nets=dangling,
+    )
+
+
+def arrival_order(
+    circuit: Circuit,
+    output_names: List[str],
+    delay_model: Optional[DelayModel] = None,
+) -> List[Tuple[str, int]]:
+    """The named outputs sorted by arrival time (earliest first).
+
+    Convenience for printing a design's settling order — e.g. to verify
+    that an online multiplier's digits arrive MSD first.
+    """
+    profile = output_arrival_profile(circuit, delay_model)
+    missing = [n for n in output_names if n not in profile]
+    if missing:
+        raise ValueError(f"unknown outputs: {missing}")
+    return sorted(
+        ((n, profile[n]) for n in output_names), key=lambda kv: (kv[1], kv[0])
+    )

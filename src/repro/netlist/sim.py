@@ -1,0 +1,317 @@
+"""Vectorized waveform simulation of combinational circuits.
+
+The simulator reproduces, bit-for-bit, the mechanism behind overclocking
+errors: a combinational circuit is a wave of signal transitions, and a
+capture register clocked with period ``T_S`` latches whatever values the
+output nets hold at time ``T_S`` — settled or not.
+
+Model
+-----
+* Time is an integer grid (see :mod:`repro.netlist.delay`); gate *i* has
+  transport delay ``d_i`` quanta.
+* At ``t = 0`` all internal nets are 0 (the paper's reset assumption) and the
+  primary inputs switch to their applied values.
+* The waveform of a gate output is ``w_out[t] = f(w_inputs[t - d])`` for
+  ``t >= d`` and 0 before — i.e. pure transport delay.
+
+Because every net's waveform is a 2-D array ``(time, sample)``, a *batch* of
+input vectors is simulated in one pass with numpy, and sampling the outputs
+at any clock period is just picking a row: a single simulation yields an
+entire frequency sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.netlist.delay import DelayModel, UnitDelay
+from repro.netlist.gates import Circuit, Gate
+
+ArrayLike = Union[int, Sequence[int], np.ndarray]
+
+
+def _eval_gate(
+    op: str,
+    ins: List[np.ndarray],
+    table: Optional[Tuple[int, ...]] = None,
+) -> np.ndarray:
+    """Evaluate one gate elementwise on uint8 arrays of 0/1."""
+    if op == "LUT":
+        assert table is not None
+        idx = ins[0].astype(np.intp).copy()
+        for k, w in enumerate(ins[1:], start=1):
+            idx += w.astype(np.intp) << k
+        return np.asarray(table, dtype=np.uint8)[idx]
+    if op == "AND" or op == "NAND":
+        out = ins[0]
+        for w in ins[1:]:
+            out = out & w
+        return out ^ 1 if op == "NAND" else out
+    if op == "OR" or op == "NOR":
+        out = ins[0]
+        for w in ins[1:]:
+            out = out | w
+        return out ^ 1 if op == "NOR" else out
+    if op == "XOR" or op == "XNOR":
+        out = ins[0]
+        for w in ins[1:]:
+            out = out ^ w
+        return out ^ 1 if op == "XNOR" else out
+    if op == "NOT":
+        return ins[0] ^ 1
+    if op == "BUF":
+        return ins[0].copy()
+    if op == "MAJ":
+        a, b, c = ins
+        return (a & b) | (a & c) | (b & c)
+    if op == "MUX":
+        s, a, b = ins
+        return a ^ ((a ^ b) & s)
+    raise ValueError(f"cannot evaluate op {op!r}")
+
+
+class SimulationResult:
+    """Output waveforms of one simulation batch.
+
+    Attributes
+    ----------
+    settle_step:
+        Time step (in quanta) by which every net has reached its final value.
+    num_samples:
+        Batch size.
+    """
+
+    def __init__(
+        self,
+        waveforms: Dict[str, np.ndarray],
+        settle_step: int,
+        num_samples: int,
+    ) -> None:
+        self._waveforms = waveforms
+        self.settle_step = settle_step
+        self.num_samples = num_samples
+
+    @property
+    def output_names(self) -> List[str]:
+        return list(self._waveforms)
+
+    def waveform(self, name: str) -> np.ndarray:
+        """Full waveform of output *name*: shape ``(settle_step + 1, S)``."""
+        return self._waveforms[name]
+
+    def sample(self, step: int) -> Dict[str, np.ndarray]:
+        """Values every output would latch when clocked at *step* quanta.
+
+        Steps beyond the settle point return the final (correct) values;
+        negative steps are clamped to 0.
+        """
+        row = min(max(int(step), 0), self.settle_step)
+        return {name: w[row] for name, w in self._waveforms.items()}
+
+    def final(self) -> Dict[str, np.ndarray]:
+        """Fully-settled (timing-correct) output values."""
+        return self.sample(self.settle_step)
+
+    def sample_bits(self, names: Sequence[str], step: int) -> np.ndarray:
+        """Stack the named outputs into an array of shape ``(len(names), S)``."""
+        row = min(max(int(step), 0), self.settle_step)
+        return np.stack([self._waveforms[n][row] for n in names])
+
+
+class WaveformSimulator:
+    """Simulate a circuit batch under a given delay model.
+
+    Parameters
+    ----------
+    circuit:
+        The combinational netlist.
+    delay_model:
+        Assigns integer delays; defaults to :class:`UnitDelay`.
+
+    Notes
+    -----
+    Waveform memory for internal nets is freed as soon as every consumer has
+    been processed, so peak memory scales with the circuit's *width*, not its
+    size.
+    """
+
+    def __init__(
+        self, circuit: Circuit, delay_model: Optional[DelayModel] = None
+    ) -> None:
+        self.circuit = circuit
+        self.delay_model = delay_model if delay_model is not None else UnitDelay()
+        self.delays = list(self.delay_model.assign(circuit))
+        if len(self.delays) != circuit.num_gates:
+            raise ValueError("delay model returned wrong number of delays")
+        self.arrival = self._compute_arrivals()
+        self.settle_step = max(self.arrival) if self.arrival else 0
+
+    def _compute_arrivals(self) -> List[int]:
+        """Arrival (settle) time of every net."""
+        arrival = [0] * self.circuit.num_nets
+        for gate, d in zip(self.circuit.gates, self.delays):
+            t_in = max((arrival[n] for n in gate.inputs), default=0)
+            arrival[gate.output] = t_in + d
+        return arrival
+
+    def _prepare_inputs(
+        self, inputs: Mapping[str, ArrayLike]
+    ) -> Dict[int, np.ndarray]:
+        names = self.circuit.input_names
+        missing = set(names) - set(inputs)
+        if missing:
+            raise ValueError(f"missing input values for {sorted(missing)}")
+        extra = set(inputs) - set(names)
+        if extra:
+            raise ValueError(f"unknown inputs {sorted(extra)}")
+        arrays: Dict[int, np.ndarray] = {}
+        size: Optional[int] = None
+        for name, net in zip(names, self.circuit.input_nets):
+            arr = np.asarray(inputs[name], dtype=np.uint8)
+            if arr.ndim == 0:
+                arr = arr.reshape(1)
+            if arr.ndim != 1:
+                raise ValueError(f"input {name!r} must be scalar or 1-D")
+            if size is None or arr.size > size:
+                size = arr.size
+            arrays[net] = arr
+        assert size is not None
+        for net, arr in arrays.items():
+            if arr.size == 1 and size > 1:
+                arrays[net] = np.full(size, arr[0], dtype=np.uint8)
+            elif arr.size != size:
+                raise ValueError("all inputs must share the same batch size")
+            if arrays[net].max(initial=0) > 1:
+                raise ValueError("input values must be 0/1")
+        return arrays
+
+    def run(
+        self,
+        inputs: Mapping[str, ArrayLike],
+        keep: Optional[Iterable[str]] = None,
+    ) -> SimulationResult:
+        """Simulate one batch; return waveforms of all primary outputs.
+
+        Parameters
+        ----------
+        inputs:
+            Mapping input name -> scalar or 1-D array of 0/1 (all arrays must
+            share one batch size ``S``).
+        keep:
+            Extra output names to retain (must be keys of ``output_map``);
+            by default every primary output is kept.
+        """
+        circuit = self.circuit
+        in_arrays = self._prepare_inputs(inputs)
+        num_samples = next(iter(in_arrays.values())).shape[0] if in_arrays else 1
+        tsteps = self.settle_step + 1
+
+        keep_names = set(circuit.output_map) if keep is None else set(keep)
+        unknown = keep_names - set(circuit.output_map)
+        if unknown:
+            raise ValueError(f"unknown outputs requested: {sorted(unknown)}")
+
+        # reference counts: one per consuming gate input + one per kept output
+        refcount = [circuit.fanout_of(n) for n in range(circuit.num_nets)]
+        for name in keep_names:
+            refcount[circuit.output_map[name]] += 1
+
+        waves: Dict[int, np.ndarray] = {}
+        for net, arr in in_arrays.items():
+            wave = np.empty((tsteps, num_samples), dtype=np.uint8)
+            wave[:] = arr[np.newaxis, :]
+            waves[net] = wave
+
+        def release(net: int) -> None:
+            refcount[net] -= 1
+            if refcount[net] <= 0:
+                waves.pop(net, None)
+
+        for gate, d in zip(circuit.gates, self.delays):
+            if gate.op == "CONST0":
+                out = np.zeros((tsteps, num_samples), dtype=np.uint8)
+            elif gate.op == "CONST1":
+                out = np.ones((tsteps, num_samples), dtype=np.uint8)
+            else:
+                ins_full = [waves[n] for n in gate.inputs]
+                if d == 0:
+                    out = _eval_gate(gate.op, ins_full, gate.table)
+                    if out.base is not None or any(out is w for w in ins_full):
+                        out = out.copy()
+                else:
+                    out = np.zeros((tsteps, num_samples), dtype=np.uint8)
+                    shifted = [w[: tsteps - d] for w in ins_full]
+                    out[d:] = _eval_gate(gate.op, shifted, gate.table)
+            waves[gate.output] = out
+            for n in gate.inputs:
+                release(n)
+
+        # unreferenced primary inputs may still linger; that's fine.
+        out_waves = {
+            name: waves[circuit.output_map[name]] for name in sorted(keep_names)
+        }
+        return SimulationResult(out_waves, self.settle_step, num_samples)
+
+
+def run_chunked(
+    simulator: WaveformSimulator,
+    inputs: Mapping[str, np.ndarray],
+    chunk_size: int,
+    keep: Optional[Iterable[str]] = None,
+) -> SimulationResult:
+    """Simulate a large batch in sample chunks and stitch the waveforms.
+
+    Peak memory of :meth:`WaveformSimulator.run` scales with
+    ``settle_step * batch_size * circuit_width``; for image-sized batches
+    on big circuits this splits the batch into ``chunk_size``-sample
+    slices and concatenates the output waveforms, which is exact (samples
+    are independent).
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    arrays = {k: np.atleast_1d(np.asarray(v)) for k, v in inputs.items()}
+    sizes = {a.shape[0] for a in arrays.values()}
+    sizes.discard(1)
+    total = sizes.pop() if sizes else 1
+    if sizes:
+        raise ValueError("all inputs must share the same batch size")
+
+    pieces: List[SimulationResult] = []
+    for start in range(0, total, chunk_size):
+        sl = slice(start, min(start + chunk_size, total))
+        chunk = {
+            k: (a if a.shape[0] == 1 else a[sl]) for k, a in arrays.items()
+        }
+        pieces.append(simulator.run(chunk, keep=keep))
+    if len(pieces) == 1:
+        return pieces[0]
+    waveforms = {
+        name: np.concatenate([p.waveform(name) for p in pieces], axis=1)
+        for name in pieces[0].output_names
+    }
+    return SimulationResult(waveforms, pieces[0].settle_step, total)
+
+
+def evaluate(circuit: Circuit, inputs: Mapping[str, ArrayLike]) -> Dict[str, np.ndarray]:
+    """Timing-free functional evaluation (final settled values only).
+
+    Much faster than :class:`WaveformSimulator` when only logical correctness
+    matters; used heavily by the operator test-suites.
+    """
+    sim_inputs = WaveformSimulator.__new__(WaveformSimulator)
+    sim_inputs.circuit = circuit
+    arrays = WaveformSimulator._prepare_inputs(sim_inputs, inputs)
+    values: Dict[int, np.ndarray] = dict(arrays)
+    num_samples = next(iter(arrays.values())).shape[0] if arrays else 1
+    for gate in circuit.gates:
+        if gate.op == "CONST0":
+            values[gate.output] = np.zeros(num_samples, dtype=np.uint8)
+        elif gate.op == "CONST1":
+            values[gate.output] = np.ones(num_samples, dtype=np.uint8)
+        else:
+            values[gate.output] = _eval_gate(
+                gate.op, [values[n] for n in gate.inputs], gate.table
+            )
+    return {name: values[net] for name, net in circuit.output_map.items()}

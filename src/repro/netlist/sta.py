@@ -1,0 +1,107 @@
+"""Static timing analysis over the integer delay grid.
+
+This is the reproduction's equivalent of the vendor timing-analysis tool the
+paper invokes to obtain each design's *rated frequency*: the longest
+combinational path determines the minimum safe clock period, and all
+"normalized frequency" axes in the figures/tables are relative to it (or to
+the empirically-measured maximum error-free frequency, which the sweep
+harness computes separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.netlist.delay import DelayModel, UnitDelay
+from repro.netlist.gates import Circuit, Gate
+
+
+@dataclass(frozen=True)
+class ArrivalTimes:
+    """Per-net arrival times plus the overall critical-path delay."""
+
+    per_net: Tuple[int, ...]
+    critical_delay: int
+
+    def of(self, net: int) -> int:
+        return self.per_net[net]
+
+
+def static_timing(
+    circuit: Circuit, delay_model: Optional[DelayModel] = None
+) -> ArrivalTimes:
+    """Compute the settle (arrival) time of every net.
+
+    The returned :attr:`ArrivalTimes.critical_delay` is the minimum clock
+    period (in quanta) at which the circuit is guaranteed error-free — the
+    "rated" period a timing tool would report.
+    """
+    model = delay_model if delay_model is not None else UnitDelay()
+    delays = model.assign(circuit)
+    arrival: List[int] = [0] * circuit.num_nets
+    for gate, d in zip(circuit.gates, delays):
+        t_in = max((arrival[n] for n in gate.inputs), default=0)
+        arrival[gate.output] = t_in + d
+    outputs = circuit.output_map.values()
+    critical = max((arrival[n] for n in outputs), default=0)
+    return ArrivalTimes(tuple(arrival), critical)
+
+
+def critical_path(
+    circuit: Circuit, delay_model: Optional[DelayModel] = None
+) -> List[Gate]:
+    """Trace one longest register-to-register path, output back to input.
+
+    Returns the gates along the path, input side first.  Useful for
+    understanding *where* the carry chain lives in each operator.
+    """
+    model = delay_model if delay_model is not None else UnitDelay()
+    delays = model.assign(circuit)
+    timing = static_timing(circuit, model)
+    arrival = timing.per_net
+
+    # find the critical output net
+    end_net = None
+    for net in circuit.output_map.values():
+        if arrival[net] == timing.critical_delay:
+            end_net = net
+            break
+    if end_net is None:
+        return []
+
+    path: List[Gate] = []
+    net = end_net
+    while True:
+        gate = circuit.driver_of(net)
+        if gate is None:
+            break
+        path.append(gate)
+        # pick the input whose arrival dominates
+        d = delays[_gate_pos(circuit, gate)]
+        want = arrival[net] - d
+        nxt = None
+        for n in gate.inputs:
+            if arrival[n] == want:
+                nxt = n
+                break
+        if nxt is None:  # delay-0 gate chains
+            nxt = max(gate.inputs, key=lambda n: arrival[n], default=None)
+        if nxt is None:
+            break
+        net = nxt
+    path.reverse()
+    return path
+
+
+def _gate_pos(circuit: Circuit, gate: Gate) -> int:
+    """Index of *gate* in the gate list (gates drive unique nets)."""
+    driver = circuit.driver_of(gate.output)
+    assert driver is gate
+    # output nets are allocated in gate order, so we can binary-search; but a
+    # direct map is simpler and cached on the circuit.
+    cache = getattr(circuit, "_gate_pos_cache", None)
+    if cache is None:
+        cache = {g.output: i for i, g in enumerate(circuit.gates)}
+        circuit._gate_pos_cache = cache  # type: ignore[attr-defined]
+    return cache[gate.output]

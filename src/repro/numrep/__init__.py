@@ -1,0 +1,55 @@
+"""Number representations used throughout the reproduction.
+
+Two families of representation appear in the paper:
+
+* conventional two's-complement fixed point (:mod:`repro.numrep.fixed_point`),
+  used by the "traditional arithmetic" baseline datapaths, and
+* the radix-2 redundant signed-digit representation with digit set
+  ``{-1, 0, 1}`` (:mod:`repro.numrep.signed_digit`), used by online
+  arithmetic.  Each signed digit is encoded *borrow-save* as a pair of bits
+  ``(pos, neg)`` with digit value ``pos - neg``.
+
+All operand values in the paper are normalised fractions in ``(-1, 1)``
+(Eq. (1) of the paper): an ``N``-digit operand is
+``x = sum_{i=1..N} x_i * 2**-i``.
+"""
+
+from repro.numrep.fixed_point import (
+    FixedPointFormat,
+    float_to_fixed,
+    fixed_to_float,
+    int_to_bits,
+    bits_to_int,
+    twos_complement_encode,
+    twos_complement_decode,
+)
+from repro.numrep.signed_digit import (
+    SDNumber,
+    sd_value,
+    sd_to_fraction,
+    sd_from_twos_complement,
+    sd_random,
+    sd_canonical,
+    borrow_save_encode,
+    borrow_save_decode,
+    VALID_DIGITS,
+)
+
+__all__ = [
+    "FixedPointFormat",
+    "float_to_fixed",
+    "fixed_to_float",
+    "int_to_bits",
+    "bits_to_int",
+    "twos_complement_encode",
+    "twos_complement_decode",
+    "SDNumber",
+    "sd_value",
+    "sd_to_fraction",
+    "sd_from_twos_complement",
+    "sd_random",
+    "sd_canonical",
+    "borrow_save_encode",
+    "borrow_save_decode",
+    "VALID_DIGITS",
+]

@@ -1,0 +1,145 @@
+"""Two's-complement fixed-point codec.
+
+The conventional ("traditional arithmetic") datapaths in the paper operate on
+two's-complement fixed-point numbers.  This module provides a small format
+descriptor plus pure-integer encode/decode helpers that the gate-level
+operators (:mod:`repro.arith`) and the image-filter case study build on.
+
+The canonical operand format in the paper is a fraction in ``(-1, 1)``
+represented with 1 sign bit and ``N`` fractional bits, i.e.
+``Q1.N`` two's complement:
+
+    value = -b_0 + sum_{i=1..N} b_i * 2**-i
+
+Bits are handled LSB-first in lists (index 0 is the least significant bit),
+matching the convention used by the netlist builders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement fixed-point format.
+
+    Attributes
+    ----------
+    int_bits:
+        Number of integer bits *including* the sign bit.  ``int_bits=1``
+        means the format covers ``[-1, 1)``.
+    frac_bits:
+        Number of fractional bits.
+    """
+
+    int_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 1:
+            raise ValueError("int_bits must be >= 1 (sign bit is required)")
+        if self.frac_bits < 0:
+            raise ValueError("frac_bits must be >= 0")
+
+    @property
+    def width(self) -> int:
+        """Total number of bits."""
+        return self.int_bits + self.frac_bits
+
+    @property
+    def lsb(self) -> Fraction:
+        """Weight of the least significant bit."""
+        return Fraction(1, 2**self.frac_bits)
+
+    @property
+    def min_value(self) -> Fraction:
+        """Most negative representable value."""
+        return Fraction(-(2 ** (self.int_bits - 1)))
+
+    @property
+    def max_value(self) -> Fraction:
+        """Most positive representable value."""
+        return Fraction(2 ** (self.int_bits - 1)) - self.lsb
+
+    def representable(self, value: Fraction) -> bool:
+        """Return True when *value* is exactly representable."""
+        scaled = Fraction(value) * 2**self.frac_bits
+        return (
+            scaled.denominator == 1
+            and self.min_value <= value <= self.max_value
+        )
+
+    def quantize(self, value: float) -> Fraction:
+        """Round *value* to the nearest representable number (ties to even),
+        saturating at the format limits."""
+        scaled = Fraction(value).limit_denominator(10**12) * 2**self.frac_bits
+        nearest = round(scaled)
+        result = Fraction(nearest, 2**self.frac_bits)
+        if result < self.min_value:
+            return self.min_value
+        if result > self.max_value:
+            return self.max_value
+        return result
+
+
+def float_to_fixed(value, fmt: FixedPointFormat) -> int:
+    """Encode *value* into the raw two's-complement integer of *fmt*.
+
+    The value must be exactly representable; use :meth:`FixedPointFormat.quantize`
+    first for arbitrary floats.
+    """
+    frac = Fraction(value)
+    if not fmt.representable(frac):
+        raise ValueError(f"{value!r} is not representable in {fmt}")
+    scaled = int(frac * 2**fmt.frac_bits)
+    if scaled < 0:
+        scaled += 2**fmt.width
+    return scaled
+
+
+def fixed_to_float(raw: int, fmt: FixedPointFormat) -> Fraction:
+    """Decode a raw two's-complement integer into its exact value."""
+    if not 0 <= raw < 2**fmt.width:
+        raise ValueError(f"raw value {raw} out of range for {fmt.width} bits")
+    if raw >= 2 ** (fmt.width - 1):
+        raw -= 2**fmt.width
+    return Fraction(raw, 2**fmt.frac_bits)
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Split a non-negative integer into *width* bits, LSB first."""
+    if value < 0 or value >= 2**width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Join bits (LSB first) into a non-negative integer."""
+    total = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {i} has non-binary value {bit!r}")
+        total |= bit << i
+    return total
+
+
+def twos_complement_encode(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer as a *width*-bit two's-complement
+    raw value."""
+    lo = -(2 ** (width - 1))
+    hi = 2 ** (width - 1) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"value {value} out of range [{lo}, {hi}]")
+    return value & (2**width - 1)
+
+
+def twos_complement_decode(raw: int, width: int) -> int:
+    """Decode a *width*-bit two's-complement raw value into an integer."""
+    if not 0 <= raw < 2**width:
+        raise ValueError(f"raw value {raw} out of range for {width} bits")
+    if raw >= 2 ** (width - 1):
+        raw -= 2**width
+    return raw

@@ -1,0 +1,223 @@
+"""Radix-2 redundant signed-digit numbers (digit set ``{-1, 0, 1}``).
+
+Online arithmetic achieves MSD-first operation by using a redundant number
+system: each digit takes a value in ``{-1, 0, 1}`` so the same value admits
+several representations, which is what allows the most significant digits of
+a result to be produced from partial knowledge of the inputs.
+
+This module provides a small value-level signed-digit (SD) number type used
+by the reference implementations and the tests, together with the
+*borrow-save* encoding (digit = ``pos - neg`` bit pair) used by the
+gate-level operators.
+
+Conventions
+-----------
+Digits are stored **MSD first**.  ``SDNumber(digits, exp_msd)`` assigns the
+digit ``digits[k]`` the weight ``2**(exp_msd - k)``.  Paper operands (Eq. (1))
+are pure fractions with digits at positions 1..N (weights ``2**-1 ..
+2**-N``), i.e. ``exp_msd = -1``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Tuple
+
+#: the radix-2 redundant digit set used throughout the paper
+VALID_DIGITS = (-1, 0, 1)
+
+
+@dataclass(frozen=True)
+class SDNumber:
+    """An immutable radix-2 signed-digit number.
+
+    Attributes
+    ----------
+    digits:
+        Digit values, most significant digit first, each in ``{-1, 0, 1}``.
+    exp_msd:
+        Exponent of the most significant digit: ``digits[0]`` has weight
+        ``2**exp_msd``.  The paper's fractional operands use ``exp_msd=-1``.
+    """
+
+    digits: Tuple[int, ...]
+    exp_msd: int = -1
+
+    def __post_init__(self) -> None:
+        for k, d in enumerate(self.digits):
+            if d not in VALID_DIGITS:
+                raise ValueError(f"digit {k} has invalid value {d!r}")
+
+    @classmethod
+    def from_iterable(cls, digits: Iterable[int], exp_msd: int = -1) -> "SDNumber":
+        return cls(tuple(int(d) for d in digits), exp_msd)
+
+    @classmethod
+    def zero(cls, ndigits: int, exp_msd: int = -1) -> "SDNumber":
+        return cls((0,) * ndigits, exp_msd)
+
+    def __len__(self) -> int:
+        return len(self.digits)
+
+    @property
+    def exp_lsd(self) -> int:
+        """Exponent of the least significant digit."""
+        return self.exp_msd - len(self.digits) + 1
+
+    def digit_at(self, exp: int) -> int:
+        """Return the digit with weight ``2**exp`` (0 outside the range)."""
+        k = self.exp_msd - exp
+        if 0 <= k < len(self.digits):
+            return self.digits[k]
+        return 0
+
+    def value(self) -> Fraction:
+        """Exact value of the number."""
+        total = Fraction(0)
+        for k, d in enumerate(self.digits):
+            if d:
+                total += Fraction(d) * Fraction(2) ** (self.exp_msd - k)
+        return total
+
+    def __float__(self) -> float:
+        return float(self.value())
+
+    def scaled_int(self) -> int:
+        """Value scaled by ``2**-exp_lsd`` so it becomes an exact integer."""
+        total = 0
+        for d in self.digits:
+            total = 2 * total + d
+        return total
+
+    def prepend(self, digit: int) -> "SDNumber":
+        """Return a copy with one more digit on the MSD side."""
+        return SDNumber((int(digit),) + self.digits, self.exp_msd + 1)
+
+    def append(self, digit: int) -> "SDNumber":
+        """Return a copy with one more digit on the LSD side (the paper's
+        "appending logic" of Eq. (1) feeds operands digit by digit this way)."""
+        return SDNumber(self.digits + (int(digit),), self.exp_msd)
+
+    def truncate(self, ndigits: int) -> "SDNumber":
+        """Keep only the *ndigits* most significant digits."""
+        return SDNumber(self.digits[:ndigits], self.exp_msd)
+
+    def negate(self) -> "SDNumber":
+        return SDNumber(tuple(-d for d in self.digits), self.exp_msd)
+
+    def shift(self, k: int) -> "SDNumber":
+        """Multiply by ``2**k`` (pure re-weighting; digits unchanged)."""
+        return SDNumber(self.digits, self.exp_msd + k)
+
+    def pad_to(self, exp_msd: int, exp_lsd: int) -> "SDNumber":
+        """Zero-extend so the digit range covers [exp_lsd, exp_msd]."""
+        if exp_msd < self.exp_msd or exp_lsd > self.exp_lsd:
+            raise ValueError("pad_to cannot drop digits")
+        digits = tuple(
+            self.digit_at(e) for e in range(exp_msd, exp_lsd - 1, -1)
+        )
+        return SDNumber(digits, exp_msd)
+
+
+def sd_value(digits: Sequence[int], exp_msd: int = -1) -> Fraction:
+    """Exact value of a digit sequence (MSD first)."""
+    return SDNumber(tuple(digits), exp_msd).value()
+
+
+def sd_to_fraction(number: SDNumber) -> Fraction:
+    """Alias for :meth:`SDNumber.value` kept for API symmetry."""
+    return number.value()
+
+
+def sd_from_twos_complement(raw: int, width: int, frac_bits: int) -> SDNumber:
+    """Convert a two's-complement raw value into a signed-digit number.
+
+    A two's-complement word ``-b_{s} 2**I + sum b_i 2**i`` is already a valid
+    SD number whose sign-bit digit is ``-b_s``; no arithmetic is needed.
+
+    Parameters
+    ----------
+    raw:
+        Raw two's-complement encoding, ``0 <= raw < 2**width``.
+    width:
+        Total width in bits.
+    frac_bits:
+        Number of fractional bits; the sign bit then has weight
+        ``2**(width - 1 - frac_bits)``.
+    """
+    if not 0 <= raw < 2**width:
+        raise ValueError(f"raw value {raw} out of range for width {width}")
+    bits = [(raw >> i) & 1 for i in range(width)]  # LSB first
+    digits: List[int] = []
+    for i in reversed(range(width)):
+        if i == width - 1:
+            digits.append(-bits[i])
+        else:
+            digits.append(bits[i])
+    exp_msd = width - 1 - frac_bits
+    return SDNumber(tuple(digits), exp_msd)
+
+
+def sd_random(ndigits: int, rng: random.Random, exp_msd: int = -1) -> SDNumber:
+    """Draw a number whose digits are i.i.d. uniform over ``{-1, 0, 1}``.
+
+    This is the paper's "Uniform Independent (UI)" input model (Section 3).
+    """
+    return SDNumber(
+        tuple(rng.choice(VALID_DIGITS) for _ in range(ndigits)), exp_msd
+    )
+
+
+def sd_canonical(number: SDNumber) -> SDNumber:
+    """Recode into the canonical (non-adjacent form) representation.
+
+    The value is preserved; the result has no two adjacent non-zero digits
+    and is the minimal-weight SD representation.  One extra MSD position may
+    be required (e.g. ``0.111 -> 1.00-1``).
+    """
+    scaled = number.scaled_int()
+    ndigits = len(number) + 1  # room for one carry-out digit
+    digits: List[int] = []
+    x = scaled
+    for _ in range(ndigits):
+        if x == 0:
+            digits.append(0)
+            continue
+        if x % 2 == 0:
+            digits.append(0)
+            x //= 2
+        else:
+            d = 2 - (x % 4)  # 1 if x % 4 == 1 else -1
+            digits.append(d)
+            x = (x - d) // 2
+    if x != 0:
+        raise ValueError("canonical recoding overflowed the digit budget")
+    digits.reverse()
+    return SDNumber(tuple(digits), number.exp_msd + 1)
+
+
+def borrow_save_encode(number: SDNumber) -> Tuple[List[int], List[int]]:
+    """Encode digits (MSD first) as borrow-save ``(pos, neg)`` bit lists.
+
+    Digit 1 becomes ``(1, 0)``, digit -1 becomes ``(0, 1)``, digit 0 becomes
+    ``(0, 0)``.
+    """
+    pos = [1 if d == 1 else 0 for d in number.digits]
+    neg = [1 if d == -1 else 0 for d in number.digits]
+    return pos, neg
+
+
+def borrow_save_decode(
+    pos: Sequence[int], neg: Sequence[int], exp_msd: int = -1
+) -> SDNumber:
+    """Decode borrow-save bit lists back into an :class:`SDNumber`.
+
+    The non-canonical pair ``(1, 1)`` decodes to digit 0, as in hardware
+    (digit value is always ``pos - neg``).
+    """
+    if len(pos) != len(neg):
+        raise ValueError("pos and neg must have equal length")
+    digits = tuple(int(p) - int(n) for p, n in zip(pos, neg))
+    return SDNumber(digits, exp_msd)

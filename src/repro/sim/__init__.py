@@ -1,0 +1,54 @@
+"""Experiment harnesses: Monte-Carlo timing runs and frequency sweeps.
+
+Two levels of timing fidelity, matching the paper's two verification rows
+(Fig. 4):
+
+* :mod:`repro.sim.montecarlo` — the *stage-delay* model: every multiplier
+  stage costs one unit; the wave state after ``b`` ticks is what a register
+  clocked at ``T_S = b * mu`` captures.  Fast (vectorized), used to verify
+  the analytical model under its own timing assumptions.
+* :mod:`repro.sim.sweep` — *gate-level* waveform simulation of the actual
+  netlists under a chosen delay model (the FPGA stand-in).  One simulation
+  of a batch yields every clock period at once.
+
+:mod:`repro.sim.reporting` renders the tables the benchmarks print.
+"""
+
+from repro.sim.montecarlo import (
+    uniform_digit_batch,
+    mc_expected_error,
+    settle_depth_histogram,
+    MonteCarloResult,
+)
+from repro.sim.sweep import (
+    OnlineMultiplierHarness,
+    TraditionalMultiplierHarness,
+    SweepResult,
+    sweep_operator,
+    max_error_free_step,
+)
+from repro.sim.error_profile import (
+    DigitErrorProfile,
+    digit_error_profile,
+    online_digit_groups,
+    traditional_bit_groups,
+)
+from repro.sim.reporting import format_table, geomean
+
+__all__ = [
+    "uniform_digit_batch",
+    "mc_expected_error",
+    "settle_depth_histogram",
+    "MonteCarloResult",
+    "OnlineMultiplierHarness",
+    "TraditionalMultiplierHarness",
+    "SweepResult",
+    "sweep_operator",
+    "max_error_free_step",
+    "DigitErrorProfile",
+    "digit_error_profile",
+    "online_digit_groups",
+    "traditional_bit_groups",
+    "format_table",
+    "geomean",
+]

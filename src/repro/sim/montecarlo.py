@@ -1,0 +1,160 @@
+"""Monte-Carlo verification of the error model (Fig. 4 top row).
+
+The paper verifies its analytical model against Monte-Carlo simulations
+"based on the aforementioned timing model": every stage of the unrolled
+online multiplier costs exactly one delay unit ``mu``, all internal state
+resets to zero, inputs apply at t = 0, and a register clocked with period
+``T_S = b * mu`` captures whatever the product digits hold after ``b``
+ticks.  :meth:`repro.core.OnlineMultiplier.wave` implements exactly that;
+this module wraps it with uniform-independent input generation and error
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.conversion import digits_to_scaled_int
+from repro.core.online_multiplier import OnlineMultiplier
+
+
+def uniform_digit_batch(
+    ndigits: int, num_samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw i.i.d. uniform signed digits — the paper's "UI inputs".
+
+    Returns shape ``(ndigits, num_samples)`` int8 with values in
+    ``{-1, 0, 1}``.
+    """
+    return rng.integers(-1, 2, size=(ndigits, num_samples)).astype(np.int8)
+
+
+@dataclass
+class MonteCarloResult:
+    """Error statistics of one stage-delay Monte-Carlo run.
+
+    Attributes
+    ----------
+    ndigits / delta:
+        Multiplier geometry.
+    num_samples:
+        Batch size.
+    depths:
+        The sampling depths ``b`` (stage traversals per clock period).
+    mean_abs_error:
+        ``E|eps|`` at each depth — the quantity of Fig. 4.
+    violation_probability:
+        Fraction of samples with any output error at each depth —
+        the quantity Algorithm 2 predicts.
+    """
+
+    ndigits: int
+    delta: int
+    num_samples: int
+    depths: np.ndarray
+    mean_abs_error: np.ndarray
+    violation_probability: np.ndarray
+
+    def normalized_periods(self) -> np.ndarray:
+        """Depths as fractions of the structural delay ``(N + delta)``."""
+        return self.depths / (self.ndigits + self.delta)
+
+    def at_depth(self, b: int) -> Tuple[float, float]:
+        """``(E|eps|, P(violation))`` at depth ``b``."""
+        idx = int(np.searchsorted(self.depths, b))
+        if idx >= len(self.depths) or self.depths[idx] != b:
+            raise KeyError(f"depth {b} was not simulated")
+        return (
+            float(self.mean_abs_error[idx]),
+            float(self.violation_probability[idx]),
+        )
+
+
+def settle_depth_histogram(
+    ndigits: int,
+    num_samples: int = 20000,
+    seed: int = 2014,
+    delta: int = 3,
+) -> dict:
+    """Empirical distribution of per-sample settling depths.
+
+    The settling depth of one multiplication is the smallest ``b`` whose
+    sample equals the final product — i.e. one more than the longest chain
+    that particular input pair excites.  Its histogram is the empirical
+    counterpart of the model's chain-delay statistics (Fig. 5): most
+    samples need nearly the maximal ``(N + 2*delta)/2`` chain depth, which
+    is the paper's observation that long chains are *common* in the OM
+    (they overlap), while their error contribution stays negligible.
+
+    Returns a mapping ``depth -> fraction of samples``.
+    """
+    om = OnlineMultiplier(ndigits, delta)
+    rng = np.random.default_rng(seed)
+    xd = uniform_digit_batch(ndigits, num_samples, rng)
+    yd = uniform_digit_batch(ndigits, num_samples, rng)
+    waves = om.wave(xd, yd)
+    final_vals = digits_to_scaled_int(waves[-1])
+    depth = np.zeros(num_samples, dtype=np.int64)
+    unset = np.ones(num_samples, dtype=bool)
+    for b in range(waves.shape[0] - 2, -1, -1):
+        still_wrong = digits_to_scaled_int(waves[b]) != final_vals
+        newly = unset & still_wrong
+        depth[newly] = b + 1
+        unset &= ~newly
+        if not unset.any():
+            break
+    values, counts = np.unique(depth, return_counts=True)
+    return {int(v): float(cnt) / num_samples for v, cnt in zip(values, counts)}
+
+
+def mc_expected_error(
+    ndigits: int,
+    num_samples: int = 20000,
+    seed: int = 2014,
+    delta: int = 3,
+    depths: Optional[List[int]] = None,
+) -> MonteCarloResult:
+    """Monte-Carlo ``E|eps|`` versus sampling depth for an ``N``-digit OM.
+
+    Parameters
+    ----------
+    ndigits:
+        Operand word length ``N``.
+    num_samples:
+        Number of uniform-independent operand pairs.
+    depths:
+        Sampling depths ``b`` to report (default: ``delta+1 .. N+delta``).
+    """
+    om = OnlineMultiplier(ndigits, delta)
+    rng = np.random.default_rng(seed)
+    xd = uniform_digit_batch(ndigits, num_samples, rng)
+    yd = uniform_digit_batch(ndigits, num_samples, rng)
+
+    waves = om.wave(xd, yd)  # (ticks+1, N, S)
+    final = waves[-1]
+    correct = digits_to_scaled_int(final).astype(np.float64)
+
+    if depths is None:
+        depths = list(range(delta + 1, om.num_stages + 1))
+    depths_arr = np.asarray(sorted(depths), dtype=np.int64)
+
+    scale = float(2**ndigits)
+    mean_err = np.empty(len(depths_arr))
+    p_viol = np.empty(len(depths_arr))
+    for i, b in enumerate(depths_arr):
+        b_clamped = min(int(b), waves.shape[0] - 1)
+        sampled = digits_to_scaled_int(waves[b_clamped]).astype(np.float64)
+        err = np.abs(sampled - correct) / scale
+        mean_err[i] = float(err.mean())
+        p_viol[i] = float((err > 0).mean())
+    return MonteCarloResult(
+        ndigits=ndigits,
+        delta=delta,
+        num_samples=num_samples,
+        depths=depths_arr,
+        mean_abs_error=mean_err,
+        violation_probability=p_viol,
+    )

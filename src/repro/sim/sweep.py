@@ -1,0 +1,206 @@
+"""Gate-level overclocking sweeps of the two multiplier designs.
+
+This is the reproduction's equivalent of the paper's post place-and-route
+FPGA experiments: build the operator netlist, assign (jittered) gate
+delays, simulate the full waveform for a batch of operands, and read the
+outputs at every candidate clock period.  The *maximum error-free
+frequency* ``f0`` of a design is measured exactly as in the lab: the
+fastest clock at which the whole batch still produces settled values.
+
+``OnlineMultiplierHarness`` and ``TraditionalMultiplierHarness`` expose the
+two designs under a common interface so the benchmarks can sweep them
+side by side; both decode their outputs to the *product value* so error
+magnitudes are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.conversion import (
+    bits_to_scaled_int,
+    digits_to_scaled_int,
+    port_values_from_digits,
+    scaled_int_to_digits,
+)
+from repro.core.online_multiplier import OnlineMultiplier
+from repro.arith.array_multiplier import build_array_multiplier
+from repro.netlist.delay import DelayModel, UnitDelay
+from repro.netlist.sim import WaveformSimulator
+from repro.netlist.sta import static_timing
+
+
+@dataclass
+class SweepResult:
+    """Per-clock-step error statistics of one overclocking sweep.
+
+    ``steps[i]`` is a clock period in delay quanta; ``mean_abs_error[i]``
+    and ``violation_probability[i]`` describe the decoded product error at
+    that period.  ``rated_step`` is the static-timing (tool-reported)
+    period; ``error_free_step`` is the measured minimum error-free period
+    (the paper's ``1/f0``).
+    """
+
+    steps: np.ndarray
+    mean_abs_error: np.ndarray
+    violation_probability: np.ndarray
+    rated_step: int
+    settle_step: int
+    error_free_step: int
+    num_samples: int
+
+    def at_step(self, step: int) -> float:
+        """Mean |error| at clock period *step* (clamped to the sweep)."""
+        step = int(np.clip(step, self.steps[0], self.steps[-1]))
+        idx = int(np.searchsorted(self.steps, step))
+        return float(self.mean_abs_error[idx])
+
+    def at_normalized_frequency(self, factor: float) -> float:
+        """Mean |error| when clocked at ``factor * f0``.
+
+        ``factor > 1`` overclocks beyond the measured error-free frequency;
+        the sampled period is ``floor(error_free_step / factor)``.
+        """
+        if factor <= 0:
+            raise ValueError("frequency factor must be positive")
+        return self.at_step(int(self.error_free_step / factor))
+
+    def speedup_at_budget(self, budget: float) -> Optional[float]:
+        """Largest relative frequency gain whose error stays within *budget*.
+
+        Scans periods at or below ``error_free_step``; returns
+        ``f/f0 - 1`` for the fastest clock whose mean |error| does not
+        exceed *budget*, or None when even one quantum of overclock busts
+        the budget resolution.
+        """
+        best: Optional[float] = None
+        for step, err in zip(self.steps, self.mean_abs_error):
+            if step > self.error_free_step:
+                break
+            if step <= 0:
+                continue
+            if err <= budget:
+                gain = self.error_free_step / step - 1.0
+                best = max(best, gain) if best is not None else gain
+        return best
+
+
+class _Harness:
+    """Shared machinery: build once, sweep many batches."""
+
+    def __init__(self, circuit, delay_model: Optional[DelayModel]) -> None:
+        self.circuit = circuit
+        self.delay_model = delay_model if delay_model is not None else UnitDelay()
+        self.simulator = WaveformSimulator(circuit, self.delay_model)
+        self.rated_step = static_timing(circuit, self.delay_model).critical_delay
+
+    def decode(self, outputs: Dict[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def run(self, port_values: Dict[str, np.ndarray]) -> "SweepResult":
+        res = self.simulator.run(port_values)
+        settle = res.settle_step
+        correct = self.decode(res.sample(settle)).astype(np.float64)
+        steps = np.arange(settle + 1)
+        mean_err = np.empty(settle + 1)
+        p_viol = np.empty(settle + 1)
+        for t in range(settle + 1):
+            values = self.decode(res.sample(t)).astype(np.float64)
+            err = np.abs(values - correct)
+            mean_err[t] = float(err.mean())
+            p_viol[t] = float((err > 0).mean())
+        violating = np.nonzero(mean_err > 0)[0]
+        error_free = int(violating[-1] + 1) if violating.size else 0
+        return SweepResult(
+            steps=steps,
+            mean_abs_error=mean_err,
+            violation_probability=p_viol,
+            rated_step=self.rated_step,
+            settle_step=settle,
+            error_free_step=error_free,
+            num_samples=res.num_samples,
+        )
+
+
+class OnlineMultiplierHarness(_Harness):
+    """Gate-level online multiplier under overclocking."""
+
+    def __init__(
+        self, ndigits: int, delay_model: Optional[DelayModel] = None
+    ) -> None:
+        self.ndigits = ndigits
+        om = OnlineMultiplier(ndigits)
+        super().__init__(om.build_circuit(), delay_model)
+
+    def encode(self, xdigits: np.ndarray, ydigits: np.ndarray) -> Dict[str, np.ndarray]:
+        """Port values from digit batches of shape ``(N, S)``."""
+        ports, _ = port_values_from_digits("x", xdigits)
+        ports_y, _ = port_values_from_digits("y", ydigits)
+        ports.update(ports_y)
+        return ports
+
+    def encode_values(self, x_scaled: np.ndarray, y_scaled: np.ndarray) -> Dict[str, np.ndarray]:
+        """Port values from integer operands scaled by ``2**N``."""
+        return self.encode(
+            scaled_int_to_digits(x_scaled, self.ndigits),
+            scaled_int_to_digits(y_scaled, self.ndigits),
+        )
+
+    def decode(self, outputs: Dict[str, np.ndarray]) -> np.ndarray:
+        digits = np.stack(
+            [
+                outputs[f"zp{k}"].astype(np.int8) - outputs[f"zn{k}"].astype(np.int8)
+                for k in range(self.ndigits)
+            ]
+        )
+        return digits_to_scaled_int(digits) / float(2**self.ndigits)
+
+    def sweep(self, xdigits: np.ndarray, ydigits: np.ndarray) -> SweepResult:
+        return self.run(self.encode(xdigits, ydigits))
+
+
+class TraditionalMultiplierHarness(_Harness):
+    """Gate-level two's-complement array multiplier under overclocking."""
+
+    def __init__(
+        self, width: int, delay_model: Optional[DelayModel] = None
+    ) -> None:
+        self.width = width
+        super().__init__(build_array_multiplier(width), delay_model)
+
+    def encode(self, x_scaled: np.ndarray, y_scaled: np.ndarray) -> Dict[str, np.ndarray]:
+        """Port values from integers scaled by ``2**(width-1)`` (Q1 format)."""
+        ports: Dict[str, np.ndarray] = {}
+        w = self.width
+        for name, values in (("a", x_scaled), ("b", y_scaled)):
+            values = np.asarray(values, dtype=np.int64)
+            lo, hi = -(2 ** (w - 1)), 2 ** (w - 1) - 1
+            if values.min() < lo or values.max() > hi:
+                raise ValueError(f"operands overflow {w}-bit two's complement")
+            raw = np.where(values < 0, values + (1 << w), values)
+            for i in range(w):
+                ports[f"{name}{i}"] = ((raw >> i) & 1).astype(np.uint8)
+        return ports
+
+    def decode(self, outputs: Dict[str, np.ndarray]) -> np.ndarray:
+        bits = np.stack(
+            [outputs[f"p{i}"] for i in range(2 * self.width)]
+        )
+        scaled = bits_to_scaled_int(bits)
+        return scaled / float(2 ** (2 * (self.width - 1)))
+
+    def sweep(self, x_scaled: np.ndarray, y_scaled: np.ndarray) -> SweepResult:
+        return self.run(self.encode(x_scaled, y_scaled))
+
+
+def sweep_operator(harness: _Harness, port_values: Dict[str, np.ndarray]) -> SweepResult:
+    """Free-function spelling of :meth:`_Harness.run` (public API)."""
+    return harness.run(port_values)
+
+
+def max_error_free_step(result: SweepResult) -> int:
+    """Measured minimum error-free clock period (``1/f0``) of a sweep."""
+    return result.error_free_step

@@ -1,0 +1,108 @@
+"""Unit tests for multi-operand summation and column compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.adder_tree import adder_tree, build_adder_tree
+from repro.arith.compress import columns_from_rows, reduce_columns
+from repro.netlist.gates import Circuit
+from repro.netlist.sim import evaluate
+
+
+def _tree_inputs(num, width, values):
+    ins = {}
+    for k in range(num):
+        v = np.asarray(values[k]) % (1 << width)
+        for i in range(width):
+            ins[f"x{k}_{i}"] = (v >> i) & 1
+    return ins
+
+
+def _decode(out, width):
+    raw = sum(out[f"s{i}"].astype(np.int64) << i for i in range(width))
+    sign = raw >= (1 << (width - 1))
+    return raw - (sign.astype(np.int64) << width)
+
+
+class TestAdderTree:
+    @pytest.mark.parametrize("final_adder", ["kogge_stone", "ripple"])
+    def test_three_operand_exhaustive_small(self, final_adder):
+        width, out_width = 3, 6
+        c = Circuit()
+        ops = [c.inputs(width, f"x{k}_") for k in range(3)]
+        total = adder_tree(c, ops, out_width, final_adder=final_adder)
+        for i, net in enumerate(total):
+            c.output(f"s{i}", net)
+        vals = np.arange(-4, 4)
+        a, b, d = np.meshgrid(vals, vals, vals)
+        a, b, d = a.ravel(), b.ravel(), d.ravel()
+        out = evaluate(c, _tree_inputs(3, width, [a, b, d]))
+        assert np.array_equal(_decode(out, out_width), a + b + d)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(-128, 127), min_size=9, max_size=9))
+    def test_nine_operands(self, values):
+        c = build_adder_tree(9, 8, 13)
+        ins = _tree_inputs(9, 8, [[v] for v in values])
+        out = evaluate(c, ins)
+        assert _decode(out, 13)[0] == sum(values)
+
+    def test_single_operand_passthrough(self):
+        c = Circuit()
+        bits = c.inputs(4, "x0_")
+        total = adder_tree(c, [bits], 6)
+        assert len(total) == 6
+
+    def test_empty_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            adder_tree(c, [], 4)
+
+    def test_sign_extension_to_smaller_rejected(self):
+        c = Circuit()
+        bits = c.inputs(8, "x0_")
+        with pytest.raises(ValueError):
+            adder_tree(c, [bits], 4)
+
+
+class TestCompress:
+    def test_columns_from_rows_weights(self):
+        c = Circuit()
+        r0 = c.inputs(2, "a")
+        r1 = c.inputs(2, "b")
+        cols = columns_from_rows([r0, r1], [0, 2])
+        assert sorted(cols) == [0, 1, 2, 3]
+        assert cols[2] == [r1[0]]
+
+    def test_columns_rows_weights_mismatch(self):
+        with pytest.raises(ValueError):
+            columns_from_rows([[1]], [0, 1])
+
+    def test_reduce_to_two_rows(self):
+        c = Circuit()
+        nets = c.inputs(5, "x")
+        cols = {0: list(nets)}
+        row_a, row_b = reduce_columns(c, cols, 4)
+        assert len(row_a) == 4 and len(row_b) == 4
+        # functional check: sum of 5 bits in column 0
+        for i, net in enumerate(row_a):
+            c.output(f"a{i}", net)
+        for i, net in enumerate(row_b):
+            c.output(f"b{i}", net)
+        vals = np.arange(32)
+        ins = {f"x{i}": (vals >> i) & 1 for i in range(5)}
+        out = evaluate(c, ins)
+        total = sum(
+            (out[f"a{i}"].astype(int) + out[f"b{i}"].astype(int)) << i
+            for i in range(4)
+        )
+        expect = sum((vals >> i) & 1 for i in range(5))
+        assert np.array_equal(total, expect)
+
+    def test_truncates_beyond_out_width(self):
+        c = Circuit()
+        nets = c.inputs(3, "x")
+        cols = {1: list(nets)}
+        row_a, row_b = reduce_columns(c, cols, 2)
+        assert len(row_a) == 2

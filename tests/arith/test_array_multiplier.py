@@ -1,0 +1,75 @@
+"""Unit tests for the Baugh-Wooley signed array multiplier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.array_multiplier import build_array_multiplier
+from repro.netlist.delay import UnitDelay
+from repro.netlist.sim import WaveformSimulator, evaluate
+from repro.netlist.sta import static_timing
+
+
+def _mult_inputs(width, avals, bvals):
+    a = np.asarray(avals) % (1 << width)
+    b = np.asarray(bvals) % (1 << width)
+    ins = {}
+    for i in range(width):
+        ins[f"a{i}"] = (a >> i) & 1
+        ins[f"b{i}"] = (b >> i) & 1
+    return ins
+
+
+def _decode(out, width):
+    raw = sum(out[f"p{i}"].astype(np.int64) << i for i in range(2 * width))
+    sign = raw >= (1 << (2 * width - 1))
+    return raw - (sign.astype(np.int64) << (2 * width))
+
+
+class TestArrayMultiplier:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    def test_exhaustive(self, width):
+        c = build_array_multiplier(width)
+        lo, hi = -(1 << (width - 1)), 1 << (width - 1)
+        a, b = np.meshgrid(np.arange(lo, hi), np.arange(lo, hi))
+        a, b = a.ravel(), b.ravel()
+        out = evaluate(c, _mult_inputs(width, a, b))
+        assert np.array_equal(_decode(out, width), a * b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    def test_random_8bit(self, av, bv):
+        c = build_array_multiplier(8)
+        out = evaluate(c, _mult_inputs(8, [av], [bv]))
+        assert _decode(out, 8)[0] == av * bv
+
+    def test_msb_settles_late(self):
+        """Overclocking corrupts the most significant product bits first."""
+        width = 6
+        c = build_array_multiplier(width)
+        sim = WaveformSimulator(c, UnitDelay())
+        rng = np.random.default_rng(0)
+        vals_a = rng.integers(-(1 << 5), 1 << 5, 500)
+        vals_b = rng.integers(-(1 << 5), 1 << 5, 500)
+        res = sim.run(_mult_inputs(width, vals_a, vals_b))
+        final = res.final()
+        # sample shortly before settle: only upper bits may differ
+        early = res.sample(res.settle_step - 2)
+        lower_diff = sum(
+            int((early[f"p{i}"] != final[f"p{i}"]).sum()) for i in range(4)
+        )
+        upper_diff = sum(
+            int((early[f"p{i}"] != final[f"p{i}"]).sum())
+            for i in range(4, 12)
+        )
+        assert upper_diff > 0
+        assert lower_diff == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_array_multiplier(0)
+
+    def test_critical_path_scales(self):
+        d4 = static_timing(build_array_multiplier(4), UnitDelay())
+        d8 = static_timing(build_array_multiplier(8), UnitDelay())
+        assert d8.critical_delay > d4.critical_delay

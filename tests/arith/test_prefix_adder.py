@@ -1,0 +1,81 @@
+"""Unit tests for the Kogge-Stone parallel-prefix adder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.prefix_adder import build_kogge_stone_adder, kogge_stone_adder
+from repro.arith.ripple_carry import build_ripple_carry_adder
+from repro.netlist.delay import UnitDelay
+from repro.netlist.gates import Circuit
+from repro.netlist.sim import evaluate
+from repro.netlist.sta import static_timing
+
+
+def _inputs(width, avals, bvals):
+    a, b = np.asarray(avals), np.asarray(bvals)
+    ins = {}
+    for i in range(width):
+        ins[f"a{i}"] = (a >> i) & 1
+        ins[f"b{i}"] = (b >> i) & 1
+    return ins
+
+
+def _total(out, width):
+    s = sum(out[f"s{i}"].astype(np.int64) << i for i in range(width))
+    return s + (out["cout"].astype(np.int64) << width)
+
+
+class TestKoggeStone:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 6])
+    def test_exhaustive(self, width):
+        c = build_kogge_stone_adder(width)
+        n = 1 << width
+        a, b = np.meshgrid(np.arange(n), np.arange(n))
+        a, b = a.ravel(), b.ravel()
+        out = evaluate(c, _inputs(width, a, b))
+        assert np.array_equal(_total(out, width), a + b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_random_16bit(self, av, bv):
+        c = build_kogge_stone_adder(16)
+        out = evaluate(c, _inputs(16, [av], [bv]))
+        assert _total(out, 16)[0] == av + bv
+
+    def test_carry_in(self):
+        c = Circuit()
+        a = c.inputs(4, "a")
+        b = c.inputs(4, "b")
+        cin = c.input("cin")
+        s, cout = kogge_stone_adder(c, a, b, cin)
+        for i, net in enumerate(s):
+            c.output(f"s{i}", net)
+        c.output("cout", cout)
+        av, bv = np.meshgrid(np.arange(16), np.arange(16))
+        av, bv = av.ravel(), bv.ravel()
+        for cv in (0, 1):
+            ins = _inputs(4, av, bv)
+            ins["cin"] = np.full(av.shape, cv, dtype=np.uint8)
+            out = evaluate(c, ins)
+            assert np.array_equal(_total(out, 4), av + bv + cv)
+
+    def test_log_depth(self):
+        """Prefix depth grows logarithmically, ripple linearly."""
+        ks16 = static_timing(build_kogge_stone_adder(16), UnitDelay())
+        ks32 = static_timing(build_kogge_stone_adder(32), UnitDelay())
+        rc32 = static_timing(build_ripple_carry_adder(32), UnitDelay())
+        assert ks32.critical_delay <= ks16.critical_delay + 2
+        assert ks32.critical_delay < rc32.critical_delay / 2
+
+    def test_width_mismatch(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            kogge_stone_adder(c, c.inputs(2), c.inputs(3))
+
+    def test_invalid_final_adder_choice(self):
+        from repro.arith.array_multiplier import array_multiplier
+
+        c = Circuit()
+        with pytest.raises(ValueError):
+            array_multiplier(c, c.inputs(2), c.inputs(2, "b"), final_adder="magic")

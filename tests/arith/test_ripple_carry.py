@@ -1,0 +1,88 @@
+"""Unit tests for the ripple-carry adder and two's-complement negation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.ripple_carry import (
+    build_ripple_carry_adder,
+    ripple_carry_adder,
+    twos_complement_negate,
+)
+from repro.netlist.delay import UnitDelay
+from repro.netlist.gates import Circuit
+from repro.netlist.sim import evaluate
+from repro.netlist.sta import static_timing
+
+
+def _adder_inputs(width, avals, bvals):
+    ins = {}
+    for i in range(width):
+        ins[f"a{i}"] = (np.asarray(avals) >> i) & 1
+        ins[f"b{i}"] = (np.asarray(bvals) >> i) & 1
+    return ins
+
+
+class TestRippleCarryAdder:
+    def test_exhaustive_4bit(self):
+        c = build_ripple_carry_adder(4)
+        a, b = np.meshgrid(np.arange(16), np.arange(16))
+        a, b = a.ravel(), b.ravel()
+        out = evaluate(c, _adder_inputs(4, a, b))
+        total = sum(out[f"s{i}"].astype(int) << i for i in range(4))
+        total += out["cout"].astype(int) << 4
+        assert np.array_equal(total, a + b)
+
+    def test_carry_chain_dominates_timing(self):
+        # the critical path grows linearly with width (MSB settles last)
+        d4 = static_timing(build_ripple_carry_adder(4), UnitDelay())
+        d8 = static_timing(build_ripple_carry_adder(8), UnitDelay())
+        assert d8.critical_delay > d4.critical_delay
+
+    def test_cin(self):
+        c = Circuit()
+        a = c.inputs(3, "a")
+        b = c.inputs(3, "b")
+        cin = c.input("cin")
+        s, cout = ripple_carry_adder(c, a, b, cin)
+        for i, net in enumerate(s):
+            c.output(f"s{i}", net)
+        c.output("cout", cout)
+        ins = {"a0": 1, "a1": 1, "a2": 1, "b0": 0, "b1": 0, "b2": 0, "cin": 1}
+        out = evaluate(c, ins)
+        total = sum(int(out[f"s{i}"][0]) << i for i in range(3))
+        total += int(out["cout"][0]) << 3
+        assert total == 8  # 7 + 0 + 1
+
+    def test_width_mismatch(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            ripple_carry_adder(c, c.inputs(2), c.inputs(3))
+
+    def test_zero_width(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            ripple_carry_adder(c, [], [])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**12 - 1), st.integers(0, 2**12 - 1))
+    def test_random_12bit(self, av, bv):
+        c = build_ripple_carry_adder(12)
+        out = evaluate(c, _adder_inputs(12, [av], [bv]))
+        total = sum(int(out[f"s{i}"][0]) << i for i in range(12))
+        total += int(out["cout"][0]) << 12
+        assert total == av + bv
+
+
+class TestNegate:
+    def test_exhaustive_4bit(self):
+        c = Circuit()
+        bits = c.inputs(4, "x")
+        out_bits = twos_complement_negate(c, bits)
+        for i, net in enumerate(out_bits):
+            c.output(f"y{i}", net)
+        values = np.arange(16)
+        ins = {f"x{i}": (values >> i) & 1 for i in range(4)}
+        out = evaluate(c, ins)
+        raw = sum(out[f"y{i}"].astype(int) << i for i in range(4))
+        assert np.array_equal(raw, (-values) % 16)

@@ -1,0 +1,84 @@
+"""Tests for redundant <-> two's-complement conversion."""
+
+import itertools
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conversion import (
+    bits_to_scaled_int,
+    digits_to_scaled_int,
+    on_the_fly_convert,
+    port_values_from_digits,
+    scaled_int_to_digits,
+    sd_to_twos_complement,
+)
+from repro.numrep.signed_digit import SDNumber
+
+digit_list = st.lists(st.sampled_from([-1, 0, 1]), min_size=1, max_size=14)
+
+
+class TestOnTheFly:
+    @given(digit_list)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_value(self, digits):
+        scaled = on_the_fly_convert(digits)
+        expect = SDNumber(tuple(digits)).value() * 2 ** len(digits)
+        assert scaled == expect
+
+    def test_exhaustive_4_digits(self):
+        for digits in itertools.product((-1, 0, 1), repeat=4):
+            assert on_the_fly_convert(digits) == SDNumber(digits).value() * 16
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError):
+            on_the_fly_convert([0, 2])
+
+
+class TestSdToTwosComplement:
+    def test_positive(self):
+        x = SDNumber((1, 0, -1))  # 3/8
+        assert sd_to_twos_complement(x, 4) == 0b0011
+
+    def test_negative(self):
+        x = SDNumber((-1, 0, 1))  # -3/8
+        assert sd_to_twos_complement(x, 4) == 0b1101
+
+    def test_unrepresentable(self):
+        x = SDNumber((1, 1, 1))  # 7/8 needs 3 fraction bits
+        with pytest.raises(ValueError):
+            sd_to_twos_complement(x, 3)
+
+
+class TestVectorized:
+    def test_digits_to_scaled_int(self):
+        digits = np.array([[1, -1], [0, 1], [-1, 0]], dtype=np.int8)
+        vals = digits_to_scaled_int(digits)
+        # col0: 1/2 - 1/8 = 3/8 -> 3 ; col1: -1/2 + 1/4 = -1/4 -> -2
+        assert vals.tolist() == [3, -2]
+
+    def test_bits_to_scaled_int_signs(self):
+        bits = np.array([[1, 0], [1, 0], [0, 1]], dtype=np.uint8)  # LSB first
+        vals = bits_to_scaled_int(bits)
+        assert vals.tolist() == [3, -4]
+
+    @given(st.lists(st.integers(-255, 255), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_scaled_int_digit_roundtrip(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        digits = scaled_int_to_digits(arr, 9)
+        back = digits_to_scaled_int(digits)
+        assert np.array_equal(back, arr)
+
+    def test_scaled_int_overflow(self):
+        with pytest.raises(ValueError):
+            scaled_int_to_digits(np.array([256]), 8)
+
+    def test_port_values(self):
+        digits = np.array([[1, 0, -1]], dtype=np.int8)
+        ports, n = port_values_from_digits("x", digits)
+        assert n == 1
+        assert ports["xp0"].tolist() == [1, 0, 0]
+        assert ports["xn0"].tolist() == [0, 0, 1]

@@ -1,0 +1,195 @@
+"""Unit and property tests for the borrow-save kernels."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kernels import (
+    ResidualOverflowError,
+    bs_add,
+    bs_add3,
+    bs_negate,
+    bs_shift,
+    bs_value,
+    bs_zero,
+    lut_tree,
+    om_stage,
+    sdvm,
+)
+from repro.core.ops import IntOps
+
+digit_list = st.lists(st.sampled_from([-1, 0, 1]), min_size=1, max_size=10)
+
+
+def _vec(digits, start_pos=1):
+    return {
+        start_pos + k: (1 if d == 1 else 0, 1 if d == -1 else 0)
+        for k, d in enumerate(digits)
+    }
+
+
+def _value(digits, start_pos=1):
+    return sum(
+        Fraction(d, 2 ** (start_pos + k)) for k, d in enumerate(digits)
+    )
+
+
+class TestBsValue:
+    def test_empty(self):
+        assert bs_value(bs_zero()) == 0
+
+    def test_weights(self):
+        vec = {0: (1, 0), 2: (0, 1)}
+        assert bs_value(vec) == 1 - Fraction(1, 4)
+
+    def test_redundant_pair(self):
+        assert bs_value({1: (1, 1)}) == 0
+
+
+class TestBsAdd:
+    @given(digit_list, digit_list)
+    @settings(max_examples=100, deadline=None)
+    def test_value_preserved(self, xd, yd):
+        ops = IntOps()
+        z = bs_add(ops, _vec(xd), _vec(yd))
+        assert bs_value(z) == _value(xd) + _value(yd)
+
+    def test_exhaustive_3_digits(self):
+        ops = IntOps()
+        for xd in itertools.product((-1, 0, 1), repeat=3):
+            for yd in itertools.product((-1, 0, 1), repeat=3):
+                z = bs_add(ops, _vec(xd), _vec(yd))
+                assert bs_value(z) == _value(xd) + _value(yd)
+
+    def test_redundant_input_pairs(self):
+        """(1,1) digit pairs (non-canonical zeros) are handled."""
+        ops = IntOps()
+        x = {1: (1, 1), 2: (1, 0)}
+        y = {1: (0, 1), 2: (1, 1)}
+        z = bs_add(ops, x, y)
+        assert bs_value(z) == bs_value(x) + bs_value(y)
+
+    def test_misaligned_ranges(self):
+        ops = IntOps()
+        x = _vec([1, -1], start_pos=0)
+        y = _vec([1], start_pos=4)
+        z = bs_add(ops, x, y)
+        assert bs_value(z) == bs_value(x) + bs_value(y)
+
+    def test_output_extends_one_msd(self):
+        ops = IntOps()
+        z = bs_add(ops, _vec([1]), _vec([1]))
+        assert min(z) == 0  # 1/2 + 1/2 = 1 needs position 0
+
+    def test_empty_operands(self):
+        ops = IntOps()
+        assert bs_add(ops, {}, {}) == {}
+
+    def test_three_operand(self):
+        ops = IntOps()
+        vecs = [_vec([1, 0, -1]), _vec([0, 1, 1]), _vec([-1, -1, 0])]
+        z = bs_add3(ops, *vecs)
+        assert bs_value(z) == sum(bs_value(v) for v in vecs)
+
+
+class TestSdvm:
+    @given(st.sampled_from([-1, 0, 1]), digit_list)
+    @settings(max_examples=60, deadline=None)
+    def test_digit_times_vector(self, d, xd):
+        ops = IntOps()
+        digit = (1 if d == 1 else 0, 1 if d == -1 else 0)
+        out = sdvm(ops, digit, _vec(xd))
+        assert bs_value(out) == d * _value(xd)
+
+    def test_noncanonical_zero_digit(self):
+        ops = IntOps()
+        out = sdvm(ops, (1, 1), _vec([1, -1, 1]))
+        assert bs_value(out) == 0
+
+
+class TestShiftNegate:
+    @given(digit_list, st.integers(-3, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_scales(self, xd, k):
+        vec = _vec(xd)
+        assert bs_value(bs_shift(vec, k)) == _value(xd) * Fraction(2) ** k
+
+    @given(digit_list)
+    @settings(max_examples=40, deadline=None)
+    def test_negate(self, xd):
+        vec = _vec(xd)
+        assert bs_value(bs_negate(vec)) == -_value(xd)
+
+
+class TestLutTree:
+    @pytest.mark.parametrize("nbits", [1, 3, 6, 7, 8, 9])
+    def test_matches_table(self, nbits):
+        import random
+
+        rng = random.Random(nbits)
+        table = [rng.randint(0, 1) for _ in range(2**nbits)]
+        ops = IntOps()
+        for _ in range(50):
+            bits = [rng.randint(0, 1) for _ in range(nbits)]
+            idx = sum(b << i for i, b in enumerate(bits))
+            assert lut_tree(ops, table, bits) == table[idx]
+
+    def test_table_size_check(self):
+        with pytest.raises(ValueError):
+            lut_tree(IntOps(), [0, 1], [0, 0])
+
+
+class TestOmStage:
+    def test_empty_everything(self):
+        z, p_next = om_stage(IntOps(), {}, {}, emit_z=False)
+        assert z is None and p_next == {}
+
+    def test_first_stage_shifts_h(self):
+        ops = IntOps()
+        h = _vec([1], start_pos=4)
+        z, p_next = om_stage(ops, {}, h, emit_z=False)
+        assert z is None
+        assert bs_value(p_next) == 2 * bs_value(h)
+
+    def test_value_recurrence_no_z(self):
+        """P' = 2 * (P + H) when z is suppressed and the estimate is small."""
+        ops = IntOps()
+        p = _vec([0, 0, 1], start_pos=0)  # 1/4
+        h = _vec([1, -1], start_pos=3)  # 1/8 - 1/16
+        _z, p_next = om_stage(ops, p, h, emit_z=False)
+        assert bs_value(p_next) == 2 * (bs_value(p) + bs_value(h))
+
+    def test_value_recurrence_with_z(self):
+        ops = IntOps()
+        p = _vec([1, 1, 0], start_pos=0)  # 1.5
+        h = _vec([1], start_pos=3)  # 1/8
+        z, p_next = om_stage(ops, p, h, emit_z=True)
+        zval = int(z[0]) - int(z[1])
+        assert zval == 1  # W = 1.625 -> z = 1
+        assert bs_value(p_next) == 2 * (bs_value(p) + bs_value(h) - zval)
+
+    def test_h_above_boundary_rejected(self):
+        with pytest.raises(ValueError):
+            om_stage(IntOps(), _vec([1], 0), _vec([1], 2), emit_z=True)
+
+    def test_p_above_zero_rejected(self):
+        with pytest.raises(ValueError):
+            om_stage(IntOps(), _vec([1], -1), {}, emit_z=True)
+
+    def test_residual_overflow_detected(self):
+        """An impossible (unreachable) P pattern trips the strict check."""
+        ops = IntOps()
+        p = {0: (1, 0), 1: (1, 0), 2: (1, 0)}  # V = 1.75, fine with z
+        _z, _p = om_stage(ops, p, {}, emit_z=True)  # no raise
+        with pytest.raises(ResidualOverflowError):
+            om_stage(ops, p, {}, emit_z=False)  # no z to absorb 1.75
+
+    def test_late_stage_tail_passthrough(self):
+        ops = IntOps()
+        p = _vec([1, 0, -1, 1, 0, 1], start_pos=0)
+        _z, p_next = om_stage(ops, p, {}, emit_z=True)
+        # tail digits shift by one position unchanged
+        assert p_next[2] == p[3]
+        assert p_next[4] == p[5]

@@ -1,0 +1,177 @@
+"""Tests for the radix-2 digit-parallel online multiplier (Algorithm 1)."""
+
+import itertools
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conversion import digits_to_scaled_int, port_values_from_digits
+from repro.core.online_multiplier import (
+    ONLINE_DELTA,
+    OnlineMultiplier,
+    build_online_multiplier,
+    online_multiply,
+)
+from repro.netlist.delay import UnitDelay
+from repro.netlist.sim import evaluate
+from repro.numrep.signed_digit import SDNumber
+
+
+def _digits(rng, n, size):
+    return rng.integers(-1, 2, size=(n, size)).astype(np.int8)
+
+
+class TestStructure:
+    def test_stage_count(self):
+        om = OnlineMultiplier(8)
+        assert om.num_stages == 8 + ONLINE_DELTA
+        assert list(om.stage_indices()) == list(range(-3, 8))
+
+    def test_first_delta_stages_emit_nothing(self):
+        om = OnlineMultiplier(8)
+        for j in range(-3, 0):
+            assert not om.stage_emits_digit(j)
+        for j in range(0, 8):
+            assert om.stage_emits_digit(j)
+
+    def test_last_delta_stages_have_no_append(self):
+        om = OnlineMultiplier(8)
+        appended = [j for j in om.stage_indices() if om.stage_has_append(j)]
+        assert len(appended) == 8  # one per input digit
+        assert appended[-1] == 8 - ONLINE_DELTA - 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            OnlineMultiplier(0)
+        with pytest.raises(ValueError):
+            OnlineMultiplier(4, delta=0)
+
+
+class TestConvergence:
+    def test_exhaustive_n3(self):
+        om = OnlineMultiplier(3)
+        for xd in itertools.product((-1, 0, 1), repeat=3):
+            for yd in itertools.product((-1, 0, 1), repeat=3):
+                x, y = SDNumber(xd), SDNumber(yd)
+                z = om.multiply(x, y)
+                err = abs(x.value() * y.value() - z.value())
+                assert err < Fraction(1, 2**3)
+
+    @given(st.lists(st.sampled_from([-1, 0, 1]), min_size=8, max_size=8),
+           st.lists(st.sampled_from([-1, 0, 1]), min_size=8, max_size=8))
+    @settings(max_examples=150, deadline=None)
+    def test_random_n8(self, xd, yd):
+        x, y = SDNumber(tuple(xd)), SDNumber(tuple(yd))
+        z = online_multiply(x, y)
+        assert abs(x.value() * y.value() - z.value()) < Fraction(1, 2**8)
+        assert len(z.digits) == 8
+        assert z.exp_msd == -1
+
+    def test_zero_operand(self):
+        om = OnlineMultiplier(6)
+        zero = SDNumber.zero(6)
+        x = SDNumber((1, -1, 0, 1, 0, -1))
+        assert om.multiply(x, zero).value() == 0
+
+    def test_msd_first_property(self):
+        """The first k product digits already determine the product to
+        within 2^-k plus the online delay — MSD-first output."""
+        om = OnlineMultiplier(8)
+        x = SDNumber((1, 0, -1, 0, 1, 1, 0, -1))
+        y = SDNumber((0, 1, 1, -1, 0, 1, -1, 0))
+        z = om.multiply(x, y)
+        exact = x.value() * y.value()
+        for k in range(1, 9):
+            prefix = SDNumber(z.digits[:k]).value()
+            assert abs(exact - prefix) <= Fraction(1, 2**k) + Fraction(
+                1, 2**8
+            )
+
+    def test_operand_validation(self):
+        om = OnlineMultiplier(4)
+        with pytest.raises(ValueError):
+            om.multiply(SDNumber((1, 0)), SDNumber((1, 0, 0, 0)))
+        with pytest.raises(ValueError):
+            online_multiply(SDNumber((1,)), SDNumber((1, 0)))
+
+
+class TestNetlistEquivalence:
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_gate_level_matches_reference(self, n):
+        om = OnlineMultiplier(n)
+        circ = om.build_circuit()
+        circ.validate()
+        rng = np.random.default_rng(n)
+        size = 400
+        xd, yd = _digits(rng, n, size), _digits(rng, n, size)
+        ports, _ = port_values_from_digits("x", xd)
+        ports_y, _ = port_values_from_digits("y", yd)
+        ports.update(ports_y)
+        out = evaluate(circ, ports)
+        got = np.stack(
+            [
+                out[f"zp{k}"].astype(np.int8) - out[f"zn{k}"].astype(np.int8)
+                for k in range(n)
+            ]
+        )
+        for s in range(size):
+            x = SDNumber(tuple(int(v) for v in xd[:, s]))
+            y = SDNumber(tuple(int(v) for v in yd[:, s]))
+            assert tuple(got[:, s]) == om.multiply(x, y).digits
+
+    def test_build_convenience(self):
+        circ = build_online_multiplier(4)
+        assert circ.num_gates > 0
+        assert "zp0" in circ.output_map
+
+
+class TestWave:
+    def test_settles_to_reference(self):
+        n = 6
+        om = OnlineMultiplier(n)
+        rng = np.random.default_rng(0)
+        xd, yd = _digits(rng, n, 300), _digits(rng, n, 300)
+        waves = om.wave(xd, yd)
+        assert waves.shape == (om.num_stages + 1, n, 300)
+        final = waves[-1]
+        for s in range(300):
+            x = SDNumber(tuple(int(v) for v in xd[:, s]))
+            y = SDNumber(tuple(int(v) for v in yd[:, s]))
+            assert tuple(final[:, s]) == om.multiply(x, y).digits
+
+    def test_early_ticks_are_wrong_lsd_first(self):
+        n = 8
+        om = OnlineMultiplier(n)
+        rng = np.random.default_rng(1)
+        xd, yd = _digits(rng, n, 2000), _digits(rng, n, 2000)
+        waves = om.wave(xd, yd)
+        final_vals = digits_to_scaled_int(waves[-1])
+        b = ONLINE_DELTA + 2
+        sampled = digits_to_scaled_int(waves[b])
+        err = np.abs(sampled - final_vals)
+        assert err.max() > 0
+        # errors bounded by the weight of digits beyond the first b - delta
+        first_correct = b - ONLINE_DELTA
+        assert err.max() <= 2 ** (n - first_correct + 1)
+
+    def test_monotone_settling(self):
+        """Error magnitude decreases as the sampling depth grows."""
+        n = 8
+        om = OnlineMultiplier(n)
+        rng = np.random.default_rng(2)
+        xd, yd = _digits(rng, n, 3000), _digits(rng, n, 3000)
+        waves = om.wave(xd, yd)
+        final_vals = digits_to_scaled_int(waves[-1])
+        means = []
+        for b in range(ONLINE_DELTA + 1, om.num_stages + 1):
+            sampled = digits_to_scaled_int(waves[b])
+            means.append(float(np.abs(sampled - final_vals).mean()))
+        assert all(a >= b for a, b in zip(means, means[1:]))
+        assert means[-1] == 0
+
+    def test_shape_validation(self):
+        om = OnlineMultiplier(4)
+        with pytest.raises(ValueError):
+            om.wave(np.zeros((3, 10)), np.zeros((3, 10)))

@@ -1,0 +1,128 @@
+"""Unit tests for the logic-operation providers."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.ops import IntOps, NetOps, NumpyOps
+from repro.netlist.gates import Circuit
+from repro.netlist.sim import evaluate
+
+
+class TestIntOps:
+    def setup_method(self):
+        self.ops = IntOps()
+
+    def test_const(self):
+        assert self.ops.const(0) == 0
+        assert self.ops.const(1) == 1
+        with pytest.raises(ValueError):
+            self.ops.const(2)
+
+    def test_not(self):
+        assert self.ops.not_(0) == 1
+        assert self.ops.not_(1) == 0
+
+    def test_xor3_maj3_truth(self):
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            assert self.ops.xor3(a, b, c) == (a + b + c) % 2
+            assert self.ops.maj3(a, b, c) == (1 if a + b + c >= 2 else 0)
+
+    def test_and_or(self):
+        assert self.ops.and2(1, 1) == 1
+        assert self.ops.and2(1, 0) == 0
+        assert self.ops.or2(0, 0) == 0
+        assert self.ops.or2(0, 1) == 1
+
+    def test_lut(self):
+        table = [0, 1, 1, 0]  # XOR of two bits
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert self.ops.lut(table, (a, b)) == a ^ b
+
+    def test_checks_residual(self):
+        assert IntOps.checks_residual
+        assert not NumpyOps.checks_residual
+
+
+class TestNumpyOps:
+    def setup_method(self):
+        self.ops = NumpyOps()
+
+    def test_elementwise_matches_int(self):
+        iops = IntOps()
+        a = np.array([0, 1, 0, 1], dtype=np.uint8)
+        b = np.array([0, 0, 1, 1], dtype=np.uint8)
+        c = np.array([1, 0, 1, 0], dtype=np.uint8)
+        for k in range(4):
+            assert self.ops.xor3(a, b, c)[k] == iops.xor3(
+                int(a[k]), int(b[k]), int(c[k])
+            )
+            assert self.ops.maj3(a, b, c)[k] == iops.maj3(
+                int(a[k]), int(b[k]), int(c[k])
+            )
+
+    def test_lut_vectorized(self):
+        table = [0, 0, 0, 1]  # AND
+        a = np.array([0, 1, 0, 1], dtype=np.uint8)
+        b = np.array([0, 0, 1, 1], dtype=np.uint8)
+        assert self.ops.lut(table, (a, b)).tolist() == [0, 0, 0, 1]
+
+    def test_lut_with_const_bits(self):
+        table = [0, 1, 1, 0]
+        a = np.array([0, 1], dtype=np.uint8)
+        out = self.ops.lut(table, (a, 1))  # b tied to 1
+        assert out.tolist() == [1, 0]
+
+    def test_lut_all_const(self):
+        assert self.ops.lut([0, 1], (1,)) == 1
+
+
+class TestNetOps:
+    def test_matches_intops_on_random_functions(self):
+        """Build the same expressions in both domains and compare."""
+        import random
+
+        rng = random.Random(4)
+        for _ in range(20):
+            circ = Circuit()
+            nops = NetOps(circ)
+            iops = IntOps()
+            in_bits = [rng.randint(0, 1) for _ in range(4)]
+            nets = [circ.input(f"i{k}") for k in range(4)]
+
+            def build(ops, bits):
+                t1 = ops.xor3(bits[0], bits[1], ops.const(0))
+                t2 = ops.maj3(bits[2], ops.const(1), bits[3])
+                t3 = ops.and2(t1, t2)
+                t4 = ops.or2(t3, ops.not_(bits[0]))
+                return ops.lut([0, 1, 1, 1], (t4, bits[1]))
+
+            expect = build(iops, in_bits)
+            out_net = build(nops, nets)
+            circ.output("y", out_net)
+            got = evaluate(
+                circ, {f"i{k}": [in_bits[k]] for k in range(4)}
+            )["y"][0]
+            assert int(got) == expect
+
+    def test_constant_folding_produces_no_gates(self):
+        circ = Circuit()
+        ops = NetOps(circ)
+        zero, one = ops.const(0), ops.const(1)
+        assert ops.and2(zero, one) == zero
+        assert ops.or2(zero, one) == one
+        assert ops.xor3(zero, zero, zero) == zero
+        assert ops.maj3(one, one, zero) == one
+        # only the two constant tie-off gates exist
+        assert all(g.op in ("CONST0", "CONST1") for g in circ.gates)
+
+    def test_lut_folds_constant_inputs(self):
+        circ = Circuit()
+        ops = NetOps(circ)
+        a = circ.input("a")
+        # 2-input XOR with b tied to 1 collapses to NOT a
+        out = ops.lut([0, 1, 1, 0], (a, ops.const(1)))
+        circ.output("y", out)
+        got = evaluate(circ, {"a": [0, 1]})["y"]
+        assert got.tolist() == [1, 0]

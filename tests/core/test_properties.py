@@ -1,0 +1,124 @@
+"""Cross-cutting property tests over the online-arithmetic core.
+
+These tie the four views of the same arithmetic together — value-level
+reference, numpy-vectorized reference, stage-delay wave model, gate-level
+netlist — and check algebraic laws that any multiplier must satisfy.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kernels import bs_add, bs_value
+from repro.core.online_multiplier import OnlineMultiplier
+from repro.core.ops import IntOps, NumpyOps
+from repro.numrep.signed_digit import SDNumber
+
+digits = lambda n: st.lists(st.sampled_from([-1, 0, 1]), min_size=n, max_size=n)
+
+
+def _vec(ds, start=1):
+    return {
+        start + k: (1 if d == 1 else 0, 1 if d == -1 else 0)
+        for k, d in enumerate(ds)
+    }
+
+
+class TestAlgebraicLaws:
+    @given(digits(6), digits(6))
+    @settings(max_examples=80, deadline=None)
+    def test_multiplication_commutes_in_value(self, xd, yd):
+        """z(x, y) and z(y, x) may differ digit-wise (the recurrence is
+        asymmetric) but both approximate the same product."""
+        om = OnlineMultiplier(6)
+        x, y = SDNumber(tuple(xd)), SDNumber(tuple(yd))
+        zxy = om.multiply(x, y).value()
+        zyx = om.multiply(y, x).value()
+        exact = x.value() * y.value()
+        assert abs(zxy - exact) < Fraction(1, 2**6)
+        assert abs(zyx - exact) < Fraction(1, 2**6)
+
+    @given(digits(6))
+    @settings(max_examples=40, deadline=None)
+    def test_negation_symmetry(self, xd):
+        """(-x) * y approximates -(x * y) to the same tolerance."""
+        om = OnlineMultiplier(6)
+        x = SDNumber(tuple(xd))
+        y = SDNumber((1, 0, -1, 0, 1, 0))
+        plus = om.multiply(x, y).value()
+        minus = om.multiply(x.negate(), y).value()
+        assert abs(plus + minus) < Fraction(2, 2**6)
+
+    @given(digits(6))
+    @settings(max_examples=40, deadline=None)
+    def test_multiply_by_half(self, xd):
+        """x * (1/2) equals x shifted right, within the truncation bound."""
+        om = OnlineMultiplier(6)
+        x = SDNumber(tuple(xd))
+        half = SDNumber((1, 0, 0, 0, 0, 0))
+        z = om.multiply(x, half).value()
+        assert abs(z - x.value() / 2) < Fraction(1, 2**6)
+
+    @given(st.lists(st.sampled_from([-1, 0, 1]), min_size=1, max_size=8),
+           st.lists(st.sampled_from([-1, 0, 1]), min_size=1, max_size=8),
+           st.lists(st.sampled_from([-1, 0, 1]), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_adder_associative_in_value(self, ad, bd, cd):
+        ops = IntOps()
+        a, b, c = _vec(ad), _vec(bd), _vec(cd)
+        left = bs_add(ops, bs_add(ops, a, b), c)
+        right = bs_add(ops, a, bs_add(ops, b, c))
+        assert bs_value(left) == bs_value(right)
+
+
+class TestCrossDomain:
+    @given(digits(5), digits(5))
+    @settings(max_examples=50, deadline=None)
+    def test_numpy_ops_match_int_ops(self, xd, yd):
+        """The vectorized provider reproduces the scalar reference."""
+        om = OnlineMultiplier(5)
+
+        def bits(ds):
+            return [
+                (
+                    np.array([1 if d == 1 else 0], dtype=np.uint8),
+                    np.array([1 if d == -1 else 0], dtype=np.uint8),
+                )
+                for d in ds
+            ]
+
+        zs_np = om.run(NumpyOps(), bits(xd), bits(yd), strict=False)
+        got = tuple(int(np.asarray(p).ravel()[0]) - int(np.asarray(n).ravel()[0])
+                    for p, n in zs_np)
+        ref = om.multiply(SDNumber(tuple(xd)), SDNumber(tuple(yd))).digits
+        assert got == ref
+
+    @given(digits(4), digits(4))
+    @settings(max_examples=30, deadline=None)
+    def test_wave_final_tick_matches_reference(self, xd, yd):
+        om = OnlineMultiplier(4)
+        waves = om.wave(
+            np.array(xd, dtype=np.int8).reshape(4, 1),
+            np.array(yd, dtype=np.int8).reshape(4, 1),
+        )
+        ref = om.multiply(SDNumber(tuple(xd)), SDNumber(tuple(yd))).digits
+        assert tuple(waves[-1][:, 0]) == ref
+
+
+class TestDigitStreamInvariants:
+    @given(digits(8), digits(8))
+    @settings(max_examples=60, deadline=None)
+    def test_output_digits_valid(self, xd, yd):
+        z = OnlineMultiplier(8).multiply(SDNumber(tuple(xd)), SDNumber(tuple(yd)))
+        assert all(d in (-1, 0, 1) for d in z.digits)
+        assert len(z.digits) == 8
+
+    @given(digits(8))
+    @settings(max_examples=40, deadline=None)
+    def test_square_nonnegative(self, xd):
+        """x * x must be >= -2^-N (the truncation can dip just below 0)."""
+        x = SDNumber(tuple(xd))
+        z = OnlineMultiplier(8).multiply(x, x)
+        assert z.value() >= -Fraction(1, 2**8)

@@ -1,0 +1,114 @@
+"""Tests for the digit-serial online operators.
+
+The headline property: the serial recurrences produce digit streams that
+are *identical* to the unrolled digit-parallel operators — Fig. 3's
+"synthesis of Algorithm 1 into a digit-parallel structure" is exact.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.online_adder import online_add
+from repro.core.online_multiplier import OnlineMultiplier
+from repro.core.serial import (
+    OnlineSerialAdder,
+    OnlineSerialMultiplier,
+    serial_multiply,
+)
+from repro.numrep.signed_digit import SDNumber
+
+digits8 = st.lists(st.sampled_from([-1, 0, 1]), min_size=8, max_size=8)
+
+
+class TestSerialAdder:
+    def test_exhaustive_3_digits_value(self):
+        for xd in itertools.product((-1, 0, 1), repeat=3):
+            for yd in itertools.product((-1, 0, 1), repeat=3):
+                x, y = SDNumber(xd), SDNumber(yd)
+                z = OnlineSerialAdder().add(x, y)
+                assert z.value() == x.value() + y.value()
+
+    def test_matches_parallel_digit_stream(self):
+        for xd in itertools.product((-1, 0, 1), repeat=4):
+            x = SDNumber(xd)
+            y = SDNumber((1, 0, -1, 1))
+            serial = OnlineSerialAdder().add(x, y)
+            parallel = online_add(x, y)
+            assert serial.digits == parallel.digits
+            assert serial.exp_msd == parallel.exp_msd
+
+    def test_online_delay_is_two(self):
+        adder = OnlineSerialAdder()
+        assert adder.step(1, 1) is None
+        assert adder.step(0, 0) is not None  # first digit after 2 cycles
+
+    def test_width_one(self):
+        x, y = SDNumber((1,)), SDNumber((-1,))
+        z = OnlineSerialAdder().add(x, y)
+        assert z.value() == 0
+        assert len(z.digits) == 2
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineSerialAdder().add(SDNumber((1,)), SDNumber((1, 0)))
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError):
+            OnlineSerialAdder().step(2, 0)
+
+    @given(digits8, digits8)
+    @settings(max_examples=60, deadline=None)
+    def test_random_matches_parallel(self, xd, yd):
+        x, y = SDNumber(tuple(xd)), SDNumber(tuple(yd))
+        assert OnlineSerialAdder().add(x, y).digits == online_add(x, y).digits
+
+
+class TestSerialMultiplier:
+    def test_exhaustive_3_digits_matches_parallel(self):
+        om = OnlineMultiplier(3)
+        for xd in itertools.product((-1, 0, 1), repeat=3):
+            for yd in itertools.product((-1, 0, 1), repeat=3):
+                x, y = SDNumber(xd), SDNumber(yd)
+                assert serial_multiply(x, y).digits == om.multiply(x, y).digits
+
+    @given(digits8, digits8)
+    @settings(max_examples=60, deadline=None)
+    def test_random_matches_parallel(self, xd, yd):
+        x, y = SDNumber(tuple(xd)), SDNumber(tuple(yd))
+        parallel = OnlineMultiplier(8).multiply(x, y)
+        assert serial_multiply(x, y).digits == parallel.digits
+
+    def test_online_delay(self):
+        """No product digit during the first delta cycles; one per cycle
+        afterwards (Fig. 1's dataflow)."""
+        m = OnlineSerialMultiplier(8)
+        x = SDNumber((1, 0, -1, 0, 1, 1, 0, -1))
+        y = SDNumber((0, 1, 1, -1, 0, 1, -1, 0))
+        emitted = []
+        for cycle, (xd, yd) in enumerate(zip(x.digits, y.digits), start=1):
+            z = m.step(xd, yd)
+            emitted.append(z is not None)
+        # delta + 1 = 4th cycle produces the first digit
+        assert emitted == [False] * 3 + [True] * 5
+        assert len(m.flush()) == 3
+
+    def test_cycles_total(self):
+        assert OnlineSerialMultiplier(8).cycles_total == 11
+
+    def test_overfeed_rejected(self):
+        m = OnlineSerialMultiplier(1)
+        m.step(1, 1)
+        with pytest.raises(RuntimeError):
+            m.step(0, 0)
+
+    def test_flush_before_feeding_rejected(self):
+        m = OnlineSerialMultiplier(4)
+        m.step(1, 0)
+        with pytest.raises(RuntimeError):
+            m.flush()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            serial_multiply(SDNumber((1,)), SDNumber((1, 0)))

@@ -1,0 +1,101 @@
+"""Property tests: random expression trees in both arithmetics.
+
+Hypothesis builds random dataflow graphs respecting the fraction-shaped
+multiplier rule, synthesizes them both ways, and compares the settled
+gate-level outputs against an exact Fraction-domain evaluation.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.synthesis import Datapath
+from repro.netlist.delay import UnitDelay
+
+NDIGITS = 6
+
+# recipe entries: ("add", i, j) | ("mul", i, j) | ("neg", i) | ("const", v)
+_op = st.one_of(
+    st.tuples(st.just("add"), st.integers(0, 30), st.integers(0, 30)),
+    st.tuples(st.just("mul"), st.integers(0, 30), st.integers(0, 30)),
+    st.tuples(st.just("neg"), st.integers(0, 30), st.just(0)),
+    st.tuples(
+        st.just("const"),
+        st.integers(-(2**NDIGITS - 1), 2**NDIGITS - 1),
+        st.just(0),
+    ),
+)
+
+
+def _build(recipe, n_inputs, dp_factory):
+    """Build the expression in a Datapath and in exact Fractions."""
+    dp = dp_factory()
+    xs = [dp.input(f"x{k}") for k in range(n_inputs)]
+    x_vals = [Fraction(17 * (k + 1) % 37 - 18, 64) for k in range(n_inputs)]
+
+    # pools of (expr, exact_value, is_fraction_shaped, mul_count)
+    pool = [(x, v, True, 0) for x, v in zip(xs, x_vals)]
+    for kind, a, b in recipe:
+        if kind == "const":
+            v = Fraction(a, 2**NDIGITS)
+            pool.append((dp.const(v), v, True, 0))
+            continue
+        ea, va, fa, ma = pool[a % len(pool)]
+        if kind == "neg":
+            pool.append((-ea, -va, fa, ma))
+            continue
+        eb, vb, fb, mb = pool[b % len(pool)]
+        if kind == "add":
+            pool.append((ea + eb, va + vb, False, ma + mb))
+        else:  # mul
+            if not (fa and fb):
+                continue  # respect the fraction-shaped rule
+            if ma + mb >= 3:
+                continue  # bound truncation-error accumulation
+            pool.append((ea * eb, va * vb, True, ma + mb + 1))
+    expr, value, _f, muls = pool[-1]
+    dp.output("y", expr)
+    return dp, value, muls
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(_op, min_size=1, max_size=12),
+    st.integers(1, 3),
+    st.sampled_from(["traditional", "online"]),
+)
+def test_random_expressions_match_exact_value(recipe, n_inputs, arith):
+    dp, exact, muls = _build(recipe, n_inputs, lambda: Datapath(NDIGITS))
+    synth = dp.synthesize(arith, UnitDelay())
+    inputs = {
+        f"x{k}": np.array([float(Fraction(17 * (k + 1) % 37 - 18, 64))])
+        for k in range(n_inputs)
+    }
+    run = synth.apply(inputs)
+    got = float(run.correct["y"][0])
+    if arith == "traditional":
+        assert got == pytest.approx(float(exact), abs=1e-12)
+    else:
+        # each online product truncates to NDIGITS digits; additions are
+        # exact; the error compounds through nested products
+        budget = (2.0**-NDIGITS) * (2 ** (muls + 1))
+        assert abs(got - float(exact)) <= budget
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=10), st.integers(1, 2))
+def test_both_arithmetics_agree(recipe, n_inputs):
+    dp1, _v, muls = _build(recipe, n_inputs, lambda: Datapath(NDIGITS))
+    dp2, _v2, _m2 = _build(recipe, n_inputs, lambda: Datapath(NDIGITS))
+    inputs = {
+        f"x{k}": np.array([float(Fraction(17 * (k + 1) % 37 - 18, 64))])
+        for k in range(n_inputs)
+    }
+    trad = dp1.synthesize("traditional", UnitDelay()).apply(inputs)
+    online = dp2.synthesize("online", UnitDelay()).apply(inputs)
+    budget = (2.0**-NDIGITS) * (2 ** (muls + 1))
+    assert abs(
+        float(trad.correct["y"][0]) - float(online.correct["y"][0])
+    ) <= budget

@@ -1,0 +1,65 @@
+"""Tests for the 8-point DCT-II datapath."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dsp.dct import DCT8_COEFFICIENTS, dct8_datapath, dct8_reference
+from repro.netlist.delay import UnitDelay
+
+
+def _quantize(values, n=8):
+    return np.round(np.asarray(values) * 2**n) / 2**n
+
+
+class TestBasis:
+    def test_rows_bounded(self):
+        """Row L1 norms stay below 1 after the 1/4 scaling."""
+        for row in DCT8_COEFFICIENTS:
+            assert sum(abs(c) for c in row) < 1.0
+
+    def test_orthogonality(self):
+        m = np.array(DCT8_COEFFICIENTS) / 0.25
+        gram = m @ m.T
+        assert np.allclose(gram, np.eye(8), atol=1e-12)
+
+    def test_dc_row_constant(self):
+        row = DCT8_COEFFICIENTS[0]
+        assert all(c == pytest.approx(row[0]) for c in row)
+
+
+class TestDatapath:
+    @pytest.mark.parametrize("arith", ["traditional", "online"])
+    def test_matches_reference(self, arith):
+        dp, basis = dct8_datapath(ndigits=8)
+        synth = dp.synthesize(arith, UnitDelay())
+        rng = np.random.default_rng(2)
+        samples = _quantize(rng.uniform(-0.9, 0.9, size=(8, 60)))
+        run = synth.apply({f"x{n}": samples[n] for n in range(8)})
+        ref = dct8_reference(basis, samples)
+        tol = 1e-12 if arith == "traditional" else 8 * 2**-8
+        for i in range(8):
+            assert np.abs(run.correct[f"X{i}"] - ref[i]).max() <= tol
+
+    def test_constant_input_concentrates_in_dc(self):
+        dp, basis = dct8_datapath(ndigits=8)
+        synth = dp.synthesize("traditional", UnitDelay())
+        run = synth.apply({f"x{n}": np.array([0.5]) for n in range(8)})
+        dc = float(run.correct["X0"][0])
+        assert dc == pytest.approx(0.5 * math.sqrt(8) * 0.25, abs=1e-2)
+        for i in range(1, 8):
+            assert abs(float(run.correct[f"X{i}"][0])) < 0.02
+
+    def test_overclocked_energy_stays_low_frequency(self):
+        """Overclocking the online DCT perturbs coefficients only slightly
+        (LSD errors), so the spectral shape survives."""
+        dp, basis = dct8_datapath(ndigits=8)
+        synth = dp.synthesize("online", UnitDelay())
+        rng = np.random.default_rng(3)
+        samples = _quantize(rng.uniform(-0.9, 0.9, size=(8, 200)))
+        run = synth.apply({f"x{n}": samples[n] for n in range(8)})
+        over = run.decode(max(1, int(run.error_free_step * 0.95)))
+        for i in range(8):
+            err = np.abs(over[f"X{i}"] - run.correct[f"X{i}"]).mean()
+            assert err < 0.05  # well below the coefficient scale (0.25)

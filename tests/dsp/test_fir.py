@@ -1,0 +1,90 @@
+"""Tests for the FIR datapath generator."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.dsp.fir import (
+    fir_datapath,
+    fir_reference,
+    lowpass_coefficients,
+    quantize_coefficients,
+)
+from repro.netlist.delay import UnitDelay
+
+
+def _quantize(values, n=8):
+    return np.round(np.asarray(values) * 2**n) / 2**n
+
+
+class TestLowpass:
+    def test_unit_dc_gain(self):
+        taps = lowpass_coefficients(15)
+        assert sum(taps) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        taps = lowpass_coefficients(11)
+        assert np.allclose(taps, taps[::-1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lowpass_coefficients(0)
+        with pytest.raises(ValueError):
+            lowpass_coefficients(5, cutoff=0.7)
+
+
+class TestQuantize:
+    def test_safe_l1_norm(self):
+        quantized, _ = quantize_coefficients([0.9, -0.8, 0.7], 8)
+        assert sum(abs(q) for q in quantized) <= 1 - Fraction(1, 256)
+
+    def test_exact_multiples(self):
+        quantized, scale = quantize_coefficients([0.25, 0.125], 8)
+        assert scale == 1.0
+        assert quantized == [Fraction(1, 4), Fraction(1, 8)]
+
+
+class TestFirDatapath:
+    @pytest.mark.parametrize("arith", ["traditional", "online"])
+    def test_matches_reference(self, arith):
+        taps = lowpass_coefficients(7)
+        dp, quantized, _scale = fir_datapath(taps, ndigits=8)
+        synth = dp.synthesize(arith, UnitDelay())
+        rng = np.random.default_rng(0)
+        samples = _quantize(rng.uniform(-0.9, 0.9, size=(7, 150)))
+        run = synth.apply({f"x{k}": samples[k] for k in range(7)})
+        ref = fir_reference(quantized, samples)
+        tol = 1e-12 if arith == "traditional" else 7 * 2**-8
+        assert np.abs(run.correct["y"] - ref).max() <= tol
+
+    def test_zero_coefficients_skipped(self):
+        dp, quantized, _ = fir_datapath([0.5, 0.0, 0.25], ndigits=8)
+        assert quantized[1] == 0
+        synth = dp.synthesize("traditional", UnitDelay())
+        run = synth.apply(
+            {"x0": np.array([0.5]), "x1": np.array([0.9]), "x2": np.array([0.5])}
+        )
+        assert run.correct["y"][0] == pytest.approx(0.5 * 0.5 + 0.25 * 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fir_datapath([])
+
+    def test_overclocking_comparison(self):
+        """The online FIR degrades far more gently than the traditional
+        one — the paper's claim on a different workload."""
+        taps = lowpass_coefficients(5)
+        dp, _q, _s = fir_datapath(taps, ndigits=8)
+        rng = np.random.default_rng(1)
+        inputs = {
+            f"x{k}": rng.uniform(-0.9, 0.9, 400) for k in range(5)
+        }
+        errors = {}
+        for arith in ("traditional", "online"):
+            synth = dp.synthesize(arith, UnitDelay())
+            run = synth.apply(inputs)
+            errors[arith] = run.mean_abs_error(
+                max(1, int(run.error_free_step * 0.93))
+            )
+        assert errors["online"] < errors["traditional"]

@@ -1,0 +1,125 @@
+"""Tests for the Gaussian-filter datapaths (small images for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.filters import (
+    GAUSSIAN_KERNEL_64THS,
+    GaussianFilterDatapath,
+    gaussian_reference,
+    image_patches,
+)
+from repro.imaging.synthetic import benchmark_image
+from repro.netlist.delay import UnitDelay
+
+
+@pytest.fixture(scope="module")
+def small_image():
+    return benchmark_image("lena", size=14)
+
+
+@pytest.fixture(scope="module")
+def runs(small_image):
+    out = {}
+    for arith in ("traditional", "online"):
+        dp = GaussianFilterDatapath(arith, delay_model=UnitDelay())
+        out[arith] = (dp, dp.apply(small_image))
+    return out
+
+
+class TestKernelAndReference:
+    def test_kernel_normalised(self):
+        assert GAUSSIAN_KERNEL_64THS.sum() == 64
+
+    def test_kernel_symmetric(self):
+        k = GAUSSIAN_KERNEL_64THS
+        assert np.array_equal(k, k.T)
+        assert np.array_equal(k, k[::-1, ::-1])
+
+    def test_reference_shape(self, small_image):
+        out = gaussian_reference(small_image)
+        assert out.shape == (12, 12)
+
+    def test_reference_preserves_constant(self):
+        flat = np.full((8, 8), 100, dtype=np.uint8)
+        assert np.allclose(gaussian_reference(flat), 100.0)
+
+    def test_reference_range(self, small_image):
+        out = gaussian_reference(small_image)
+        assert out.min() >= 0 and out.max() <= 255
+
+    def test_reference_rejects_small(self):
+        with pytest.raises(ValueError):
+            gaussian_reference(np.zeros((2, 5)))
+
+    def test_patches_layout(self):
+        img = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        patches = image_patches(img)
+        assert patches.shape == (9, 4)
+        # centre tap of the first patch is pixel (1, 1) = 5
+        assert patches[4, 0] == 5
+
+
+class TestDatapaths:
+    def test_traditional_matches_reference_exactly(self, small_image, runs):
+        _dp, run = runs["traditional"]
+        ref = gaussian_reference(small_image)
+        assert np.allclose(run.correct, ref)
+
+    def test_online_matches_reference_within_truncation(
+        self, small_image, runs
+    ):
+        """Each online product is rounded to N digits: |err| <= 9 * 2^-N
+        image units (the nine-tap sum of per-product truncation)."""
+        _dp, run = runs["online"]
+        ref = gaussian_reference(small_image)
+        assert np.abs(run.correct - ref).max() <= 9 * 2**-8 * 256
+
+    @pytest.mark.parametrize("arith", ["traditional", "online"])
+    def test_error_free_frequency_found(self, runs, arith):
+        _dp, run = runs[arith]
+        assert 0 < run.error_free_step <= run.settle_step
+        assert np.array_equal(run.decode(run.error_free_step), run.correct)
+
+    @pytest.mark.parametrize("arith", ["traditional", "online"])
+    def test_overclocking_causes_errors(self, runs, arith):
+        _dp, run = runs[arith]
+        overclocked = run.decode(max(1, run.error_free_step // 2))
+        assert not np.array_equal(overclocked, run.correct)
+
+    def test_output_image_clipping(self, runs):
+        _dp, run = runs["traditional"]
+        img = run.output_image(run.settle_step)
+        assert img.dtype == np.uint8
+
+    def test_step_for_factor(self, runs):
+        _dp, run = runs["online"]
+        assert run.step_for_factor(1.0) == run.error_free_step
+        assert run.step_for_factor(2.0) == run.error_free_step // 2
+        with pytest.raises(ValueError):
+            run.step_for_factor(0)
+
+    def test_invalid_arithmetic(self):
+        with pytest.raises(ValueError):
+            GaussianFilterDatapath("decimal")
+
+    def test_ndigits_minimum(self):
+        with pytest.raises(ValueError):
+            GaussianFilterDatapath("online", ndigits=4)
+
+    def test_coefficient_input_variant_builds(self, small_image):
+        dp = GaussianFilterDatapath(
+            "traditional",
+            delay_model=UnitDelay(),
+            coefficients_as_inputs=True,
+        )
+        run = dp.apply(small_image)
+        ref = gaussian_reference(small_image)
+        assert np.allclose(run.correct, ref)
+
+    def test_constant_folding_shrinks_circuit(self, small_image):
+        folded = GaussianFilterDatapath("traditional", delay_model=UnitDelay())
+        generic = GaussianFilterDatapath(
+            "traditional", delay_model=UnitDelay(), coefficients_as_inputs=True
+        )
+        assert folded.circuit.num_gates < generic.circuit.num_gates

@@ -1,0 +1,67 @@
+"""Tests for the MRE / SNR / PSNR metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.imaging.metrics import mre_percent, psnr_db, snr_db
+
+
+class TestMre:
+    def test_zero_for_identical(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert mre_percent(a, a) == 0.0
+
+    def test_eq12_definition(self):
+        correct = np.array([1.0, 1.0])
+        actual = np.array([1.1, 0.9])
+        # E_err = 0.1, E_out = 1.0 -> 10 %
+        assert mre_percent(correct, actual) == pytest.approx(10.0)
+
+    def test_zero_signal_rejected(self):
+        with pytest.raises(ValueError):
+            mre_percent(np.zeros(4), np.ones(4))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mre_percent(np.zeros(3), np.zeros(4))
+
+
+class TestSnr:
+    def test_infinite_for_identical(self):
+        a = np.array([1.0, -2.0])
+        assert math.isinf(snr_db(a, a))
+
+    def test_known_value(self):
+        correct = np.array([10.0, 10.0])
+        actual = np.array([11.0, 9.0])
+        # signal power 200, noise power 2 -> 20 dB
+        assert snr_db(correct, actual) == pytest.approx(20.0)
+
+    def test_zero_signal_rejected(self):
+        with pytest.raises(ValueError):
+            snr_db(np.zeros(3), np.ones(3))
+
+    def test_snr_orders_designs(self):
+        """Small LSD errors beat rare full-scale errors at equal MRE."""
+        rng = np.random.default_rng(0)
+        correct = rng.uniform(50, 200, 1000)
+        lsd = correct + rng.uniform(-0.5, 0.5, 1000)  # everywhere-tiny
+        msb = correct.copy()
+        msb[::100] += 128.0  # rare huge
+        # calibrate to the same mean absolute error
+        scale = np.abs(msb - correct).mean() / np.abs(lsd - correct).mean()
+        lsd_scaled = correct + (lsd - correct) * scale
+        assert snr_db(correct, lsd_scaled) > snr_db(correct, msb)
+
+
+class TestPsnr:
+    def test_infinite_for_identical(self):
+        a = np.array([0.0, 255.0])
+        assert math.isinf(psnr_db(a, a))
+
+    def test_known_value(self):
+        correct = np.zeros(4)
+        actual = np.full(4, 255.0)
+        assert psnr_db(correct, actual) == pytest.approx(0.0)

@@ -1,0 +1,37 @@
+"""Tests for PGM image I/O."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.pgm import read_pgm, write_pgm
+
+
+class TestPgm:
+    def test_roundtrip(self, tmp_path):
+        img = np.arange(48, dtype=np.uint8).reshape(6, 8)
+        path = tmp_path / "img.pgm"
+        write_pgm(path, img)
+        assert np.array_equal(read_pgm(path), img)
+
+    def test_float_input_clipped(self, tmp_path):
+        img = np.array([[-5.0, 300.0], [127.4, 127.6]])
+        path = tmp_path / "img.pgm"
+        write_pgm(path, img)
+        back = read_pgm(path)
+        assert back.tolist() == [[0, 255], [127, 128]]
+
+    def test_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((2, 2, 3)))
+
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P6\n2 2\n255\n\x00\x00\x00\x00")
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        path = tmp_path / "short.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n\x00\x00")
+        with pytest.raises(ValueError):
+            read_pgm(path)

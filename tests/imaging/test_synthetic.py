@@ -1,0 +1,54 @@
+"""Tests for the synthetic benchmark image generators."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.synthetic import (
+    BENCHMARK_IMAGES,
+    benchmark_image,
+    lena_like,
+    tiffany_like,
+    uniform_noise_image,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(BENCHMARK_IMAGES))
+    def test_shape_dtype_range(self, name):
+        img = benchmark_image(name, size=48)
+        assert img.shape == (48, 48)
+        assert img.dtype == np.uint8
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARK_IMAGES))
+    def test_deterministic(self, name):
+        a = benchmark_image(name, size=32)
+        b = benchmark_image(name, size=32)
+        assert np.array_equal(a, b)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            benchmark_image("mandrill")
+
+    def test_tiffany_is_bright_low_contrast(self):
+        img = tiffany_like(size=64).astype(float)
+        assert img.mean() > 150
+        assert img.std() < uniform_noise_image(size=64).astype(float).std()
+
+    def test_real_images_are_spatially_correlated(self):
+        """The property the paper's 'real inputs' experiments rely on:
+        neighbouring pixels are similar, unlike UI noise."""
+
+        def lag1_corr(img):
+            x = img.astype(float)
+            a = x[:, :-1].ravel() - x.mean()
+            b = x[:, 1:].ravel() - x.mean()
+            return float((a * b).mean() / (x.std() ** 2 + 1e-9))
+
+        for name in ("lena", "pepper", "sailboat", "tiffany"):
+            assert lag1_corr(benchmark_image(name, size=64)) > 0.5
+        assert abs(lag1_corr(uniform_noise_image(size=64))) < 0.1
+
+    def test_images_use_full_headroom_without_clipping_everything(self):
+        img = lena_like(size=64)
+        assert img.min() < 60
+        assert img.max() > 180

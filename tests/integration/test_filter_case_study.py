@@ -1,0 +1,80 @@
+"""Integration: the image-filter case study reproduces the paper's claims.
+
+Small image + unit delays keep this fast while still exercising the full
+two-design comparison pipeline end to end (Section 4 of the paper).
+"""
+
+import numpy as np
+import pytest
+
+from repro.imaging.filters import GaussianFilterDatapath
+from repro.imaging.metrics import mre_percent, snr_db
+from repro.imaging.synthetic import benchmark_image
+from repro.netlist.area import estimate_area
+from repro.netlist.delay import FpgaDelay
+
+
+@pytest.fixture(scope="module")
+def case_study():
+    img = benchmark_image("lena", size=24)
+    out = {}
+    for arith in ("traditional", "online"):
+        dp = GaussianFilterDatapath(arith, delay_model=FpgaDelay())
+        out[arith] = (dp, dp.apply(img))
+    return out
+
+
+class TestCaseStudy:
+    def test_online_snr_wins_at_mild_overclock(self, case_study):
+        """Paper Fig. 7 / Table 2: online arithmetic keeps a much higher
+        SNR at the same normalized overclocking factor."""
+        gaps = []
+        for factor in (1.05, 1.10):
+            snrs = {}
+            for arith, (_dp, run) in case_study.items():
+                out = run.at_factor(factor)
+                snrs[arith] = snr_db(run.correct, out)
+            gaps.append(snrs["online"] - snrs["traditional"])
+        assert max(gaps) > 5.0  # paper reports 20 dB-class gaps
+
+    def test_online_mre_reduction_at_first_violation(self, case_study):
+        """Paper Table 1: large relative MRE reduction with online
+        arithmetic at mild overclocking."""
+        mres = {}
+        for arith, (_dp, run) in case_study.items():
+            out = run.at_factor(1.05)
+            mres[arith] = mre_percent(run.correct, out)
+        assert mres["online"] < mres["traditional"]
+
+    def test_traditional_errors_are_salt_and_pepper(self, case_study):
+        """MSB corruption: the traditional design's worst single-pixel
+        error approaches full scale, the online design's stays small."""
+        worst = {}
+        for arith, (_dp, run) in case_study.items():
+            out = run.at_factor(1.15)
+            worst[arith] = float(np.abs(out - run.correct).max())
+        assert worst["traditional"] > 64.0  # > quarter full-scale spike
+        assert worst["online"] < worst["traditional"]
+
+    def test_area_overhead_online(self, case_study):
+        """Paper Table 4: online arithmetic costs about 2x the LUTs."""
+        areas = {
+            arith: estimate_area(dp.circuit)
+            for arith, (dp, _run) in case_study.items()
+        }
+        overhead = areas["online"].overhead_vs(areas["traditional"])
+        assert 1.3 <= overhead <= 4.0
+
+    def test_rated_frequencies_comparable(self, case_study):
+        """The two designs' rated periods stay within a factor ~1.6 (the
+        paper reports a 12 % gap on silicon; our delay model charges every
+        adder level a full LUT hop, so the online design pays more)."""
+        rated = {
+            arith: run.rated_step for arith, (_dp, run) in case_study.items()
+        }
+        ratio = rated["online"] / rated["traditional"]
+        assert 0.6 <= ratio <= 1.6
+
+    def test_error_free_headroom_exists(self, case_study):
+        for _arith, (_dp, run) in case_study.items():
+            assert run.error_free_step < run.rated_step

@@ -1,0 +1,86 @@
+"""Integration: gate-level and stage-level timing views are consistent.
+
+The stage-delay wave model (Fig. 4 top) and the gate-level waveform
+simulation (Fig. 4 bottom) describe the same unrolled multiplier at two
+levels of timing fidelity.  Under unit gate delays the two must agree on
+*which digits* an overclocked register corrupts first and on the final
+settled values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.conversion import digits_to_scaled_int, port_values_from_digits
+from repro.core.online_multiplier import OnlineMultiplier
+from repro.netlist.delay import UnitDelay
+from repro.netlist.sim import WaveformSimulator
+from repro.sim.montecarlo import uniform_digit_batch
+
+
+@pytest.fixture(scope="module")
+def setup():
+    n = 8
+    om = OnlineMultiplier(n)
+    rng = np.random.default_rng(21)
+    xd = uniform_digit_batch(n, 1500, rng)
+    yd = uniform_digit_batch(n, 1500, rng)
+    circuit = om.build_circuit()
+    sim = WaveformSimulator(circuit, UnitDelay())
+    ports, _ = port_values_from_digits("x", xd)
+    ports_y, _ = port_values_from_digits("y", yd)
+    ports.update(ports_y)
+    gate_res = sim.run(ports)
+    waves = om.wave(xd, yd)
+    return n, om, gate_res, waves
+
+
+def _gate_digits(gate_res, n, step):
+    s = gate_res.sample(step)
+    return np.stack(
+        [
+            s[f"zp{k}"].astype(np.int8) - s[f"zn{k}"].astype(np.int8)
+            for k in range(n)
+        ]
+    )
+
+
+class TestConsistency:
+    def test_settled_values_equal(self, setup):
+        n, _om, gate_res, waves = setup
+        assert np.array_equal(
+            _gate_digits(gate_res, n, gate_res.settle_step), waves[-1]
+        )
+
+    def test_both_corrupt_lsd_first(self, setup):
+        """Sampling early, the first still-correct digit prefix shrinks
+        from the MSD side in both views."""
+        n, om, gate_res, waves = setup
+        final = waves[-1]
+        fvals = digits_to_scaled_int(final)
+
+        # wave view: mid-depth sample
+        b = om.delta + 3
+        wave_err = digits_to_scaled_int(waves[b]) - fvals
+        # gate view: comparable fraction of the settle time
+        step = int(gate_res.settle_step * b / om.num_stages)
+        gate_err = digits_to_scaled_int(_gate_digits(gate_res, n, step)) - fvals
+
+        for err in (wave_err, gate_err):
+            bad = np.abs(err) > 0
+            assert bad.any()
+            # error magnitudes stay far below full scale (LSD corruption)
+            assert np.abs(err).max() < 2 ** (n - 1)
+
+    def test_gate_level_error_free_below_structural(self, setup):
+        """Chain annihilation: the measured error-free period sits strictly
+        below the structural critical path, by at least ~15 %."""
+        n, _om, gate_res, _waves = setup
+        final = _gate_digits(gate_res, n, gate_res.settle_step)
+        fvals = digits_to_scaled_int(final)
+        error_free = 0
+        for t in range(gate_res.settle_step, -1, -1):
+            vals = digits_to_scaled_int(_gate_digits(gate_res, n, t))
+            if not np.array_equal(vals, fvals):
+                error_free = t + 1
+                break
+        assert error_free <= 0.85 * gate_res.settle_step

@@ -1,0 +1,87 @@
+"""Tests for the propagation-chain statistics (Eqs. (5)-(8))."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.model.chains import (
+    CASE_PROBABILITIES,
+    chain_delay_distribution,
+    stage_chain_distribution,
+)
+
+
+class TestCaseProbabilities:
+    def test_sum_to_one(self):
+        assert sum(CASE_PROBABILITIES.values()) == 1
+
+    def test_uniform_digit_values(self):
+        assert CASE_PROBABILITIES["C1"] == Fraction(1, 9)
+        assert CASE_PROBABILITIES["C2"] == Fraction(4, 9)
+        assert CASE_PROBABILITIES["C3"] == CASE_PROBABILITIES["C4"]
+
+
+class TestStageDistribution:
+    @pytest.mark.parametrize("tau", range(-3, 8))
+    def test_normalises(self, tau):
+        dist = stage_chain_distribution(tau, 8)
+        assert sum(dist.values()) == 1
+
+    def test_first_stage_only_c2(self):
+        dist = stage_chain_distribution(-3, 8)
+        # either no chain or the single C2 chain of length delta + 1
+        assert set(dist) <= {0, 4}
+        assert dist[4] == Fraction(4, 9)
+
+    def test_late_stage_no_chain(self):
+        # last delta stages append nothing: no chains generated
+        dist = stage_chain_distribution(7, 8)
+        assert dist == {0: Fraction(1)}
+
+    def test_c2_maximal_length(self):
+        n, delta = 12, 3
+        tau = 2
+        dist = stage_chain_distribution(tau, n, delta)
+        d_c2 = min(tau + 2 * delta + 1, n - 1 - tau)
+        assert dist.get(d_c2, 0) >= CASE_PROBABILITIES["C2"]
+
+    def test_cap_by_final_stage(self):
+        # a stage close to the end cannot launch a long chain (Eq. (7))
+        n = 8
+        tau = 4
+        dist = stage_chain_distribution(tau, n)
+        assert max(dist) <= n - 1 - tau
+
+    def test_c3_recursion_weights(self):
+        """The C3/C4 geometric word-length weights are (2/3)(1/3)^k."""
+        n, delta, tau = 16, 3, 2
+        dist = stage_chain_distribution(tau, n, delta)
+        # chain of length tau + 2*delta (C3/C4 with k = 0): weight
+        # 2 * (2/9) * (2/3) plus nothing else at that length
+        expected = 2 * CASE_PROBABILITIES["C3"] * Fraction(2, 3)
+        assert dist[tau + 2 * delta] == expected
+
+    def test_stage_out_of_range(self):
+        with pytest.raises(ValueError):
+            stage_chain_distribution(-4, 8)
+        with pytest.raises(ValueError):
+            stage_chain_distribution(8, 8)
+
+
+class TestChainDelayDistribution:
+    def test_longest_chain_matches_paper_formula(self):
+        """max d = min over the caps: (N + 2*delta) / 2 for even N —
+        the annihilation result behind the paper's Eq. (8) discussion."""
+        for n in (8, 12, 16):
+            dist = chain_delay_distribution(n)
+            assert max(dist) == (n + 2 * 3) // 2
+
+    def test_intensity_positive(self):
+        dist = chain_delay_distribution(8)
+        assert all(p > 0 for p in dist.values())
+        assert 0 not in dist
+
+    def test_longer_word_more_chains(self):
+        d8 = chain_delay_distribution(8)
+        d16 = chain_delay_distribution(16)
+        assert sum(d16.values()) > sum(d8.values())

@@ -1,0 +1,93 @@
+"""Tests for the digit-sparsity (p_zero) extension of the chain model."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.model import OverclockingErrorModel
+from repro.core.model.chains import (
+    CASE_PROBABILITIES,
+    case_probabilities,
+    chain_delay_distribution,
+    stage_chain_distribution,
+)
+
+
+class TestCaseProbabilities:
+    def test_uniform_recovers_constants(self):
+        cases = case_probabilities(Fraction(1, 3))
+        assert cases == CASE_PROBABILITIES
+
+    def test_normalised_for_any_p(self):
+        for p in (Fraction(1, 10), Fraction(1, 2), Fraction(9, 10)):
+            assert sum(case_probabilities(p).values()) == 1
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            case_probabilities(Fraction(0))
+        with pytest.raises(ValueError):
+            case_probabilities(Fraction(1))
+
+
+class TestSparsityEffect:
+    def test_sparser_digits_fewer_chains(self):
+        """The paper's real-image argument: more zero digits -> fewer and
+        shorter chains -> smaller violation probability."""
+        dense = OverclockingErrorModel(8, p_zero=Fraction(1, 4))
+        uniform = OverclockingErrorModel(8)
+        sparse = OverclockingErrorModel(8, p_zero=Fraction(2, 3))
+        for b in (4, 5, 6):
+            assert (
+                sparse.violation_probability(b)
+                <= uniform.violation_probability(b)
+                <= dense.violation_probability(b)
+            )
+
+    def test_sparser_digits_smaller_error(self):
+        uniform = OverclockingErrorModel(8)
+        sparse = OverclockingErrorModel(8, p_zero=Fraction(2, 3))
+        for b in (4, 5, 6):
+            assert sparse.expected_error(b) <= uniform.expected_error(b)
+
+    def test_stage_distributions_normalise(self):
+        for p in (Fraction(1, 5), Fraction(3, 5)):
+            for tau in range(-3, 8):
+                dist = stage_chain_distribution(tau, 8, p_zero=p)
+                assert sum(dist.values()) == 1
+
+    def test_chain_intensity_shrinks(self):
+        uniform = chain_delay_distribution(8)
+        sparse = chain_delay_distribution(8, p_zero=Fraction(2, 3))
+        assert sum(sparse.values()) < sum(uniform.values())
+
+    def test_calibrated_preserves_p_zero(self):
+        model = OverclockingErrorModel(8, p_zero=Fraction(1, 2))
+        fitted = model.calibrated([5], [model.expected_error(5) * 3])
+        assert fitted.p_zero == Fraction(1, 2)
+
+    def test_matches_monte_carlo_with_sparse_digits(self):
+        """Drive the wave model with sparse digits and check the sparse
+        model tracks it better than the uniform model at mild depths."""
+        from repro.core.conversion import digits_to_scaled_int
+        from repro.core.online_multiplier import OnlineMultiplier
+
+        n, samples = 8, 8000
+        rng = np.random.default_rng(3)
+        p0 = 0.6
+        probs = [p0, (1 - p0) / 2, (1 - p0) / 2]
+        xd = rng.choice([0, 1, -1], size=(n, samples), p=probs).astype(np.int8)
+        yd = rng.choice([0, 1, -1], size=(n, samples), p=probs).astype(np.int8)
+        om = OnlineMultiplier(n)
+        waves = om.wave(xd, yd)
+        final = digits_to_scaled_int(waves[-1])
+        b = 5
+        mc_err = float(
+            np.abs(digits_to_scaled_int(waves[b]) - final).mean()
+        ) / 2**n
+
+        sparse = OverclockingErrorModel(n, p_zero=Fraction(3, 5))
+        uniform = OverclockingErrorModel(n)
+        err_sparse = abs(np.log(sparse.expected_error(b) / mc_err))
+        err_uniform = abs(np.log(uniform.expected_error(b) / mc_err))
+        assert err_sparse < err_uniform

@@ -1,0 +1,126 @@
+"""Tests for Algorithm 2 and the expected overclocking error."""
+
+import pytest
+
+from repro.core.model import OverclockingErrorModel
+
+
+class TestViolationProbability:
+    def test_monotone_decreasing_in_b(self):
+        model = OverclockingErrorModel(12)
+        probs = [model.violation_probability(b) for b in range(4, 16)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_zero_beyond_longest_chain(self):
+        model = OverclockingErrorModel(8)
+        assert model.violation_probability((8 + 6) // 2) == 0.0
+
+    def test_requires_b_above_delta(self):
+        model = OverclockingErrorModel(8)
+        with pytest.raises(ValueError):
+            model.violation_probability(2)
+
+    def test_independent_variant_bounded(self):
+        model = OverclockingErrorModel(12)
+        for b in range(4, 12):
+            p_union = model.violation_probability(b)
+            p_indep = model.violation_probability(b, independent=True)
+            assert 0.0 <= p_indep <= min(p_union, 1.0) + 1e-12
+
+    def test_larger_n_more_violations(self):
+        b = 6
+        p8 = OverclockingErrorModel(8).violation_probability(b)
+        p16 = OverclockingErrorModel(16).violation_probability(b)
+        assert p16 >= p8
+
+
+class TestExpectedError:
+    def test_decreases_exponentially_with_b(self):
+        model = OverclockingErrorModel(12)
+        errors = [model.expected_error(b) for b in range(4, 10)]
+        assert all(a > b for a, b in zip(errors, errors[1:]))
+        # roughly geometric decay: each extra stage halves-or-better
+        for a, b in zip(errors, errors[1:]):
+            if b > 0:
+                assert a / b >= 1.8
+
+    def test_zero_when_no_violation(self):
+        model = OverclockingErrorModel(8)
+        assert model.expected_error(7) == 0.0
+
+    def test_kappa_scales_linearly(self):
+        m1 = OverclockingErrorModel(8, kappa=1.0)
+        m2 = OverclockingErrorModel(8, kappa=2.0)
+        assert m2.expected_error(5) == pytest.approx(2 * m1.expected_error(5))
+
+    def test_expectation_curve(self):
+        model = OverclockingErrorModel(8)
+        curve = model.expectation_curve([0.5, 0.7, 1.0, 1.2])
+        assert curve[-1][1] == 0.0  # at/above rated: no error
+        assert curve[0][1] >= curve[1][1]
+
+    def test_b_of_period(self):
+        model = OverclockingErrorModel(8)
+        assert model.b_of_period(1.0) == model.num_stages
+        assert model.b_of_period(0.5) == (model.num_stages + 1) // 2
+
+
+class TestPerDelayCurves:
+    def test_rows_sorted_and_consistent(self):
+        model = OverclockingErrorModel(12)
+        rows = model.per_delay_curves()
+        delays = [r[0] for r in rows]
+        assert delays == sorted(delays)
+        for _d, p, eps, e in rows:
+            assert p > 0
+            assert eps >= 0
+            assert e == pytest.approx(p * eps)
+
+    def test_magnitude_decreases_with_delay(self):
+        """Fig. 5: error magnitude decays exponentially in chain delay.
+
+        Only delays ``d > delta`` matter: a violation requires ``d > b``
+        and the model demands ``b > delta``.
+        """
+        model = OverclockingErrorModel(16)
+        rows = model.per_delay_curves()
+        eps = [r[2] for r in rows if r[0] > model.delta and r[2] > 0]
+        assert all(a > b for a, b in zip(eps, eps[1:]))
+
+    def test_eq11_matches_sum(self):
+        model = OverclockingErrorModel(8)
+        b = 5
+        total = sum(e for d, _p, _eps, e in model.per_delay_curves() if d > b)
+        assert model.eq11_expected_error(b) == pytest.approx(total)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            OverclockingErrorModel(0)
+
+
+class TestWorstCaseDelay:
+    def test_matches_closed_form(self):
+        """(N + 2*delta) // 2 — the paper's refined worst-case result."""
+        for n in (4, 8, 12, 16, 32):
+            model = OverclockingErrorModel(n)
+            assert model.worst_case_delay() == (n + 2 * 3) // 2
+
+    def test_below_structural(self):
+        model = OverclockingErrorModel(8)
+        assert model.worst_case_delay() < model.structural_delay
+
+    def test_matches_chain_distribution_support(self):
+        from repro.core.model.chains import chain_delay_distribution
+
+        for n in (8, 16):
+            model = OverclockingErrorModel(n)
+            assert model.worst_case_delay() == max(chain_delay_distribution(n))
+
+    def test_headroom_grows_with_n(self):
+        h8 = OverclockingErrorModel(8).annihilation_headroom()
+        h32 = OverclockingErrorModel(32).annihilation_headroom()
+        assert 0 < h8 < h32 < 0.5
+
+    def test_no_violation_at_worst_case_depth(self):
+        model = OverclockingErrorModel(12)
+        assert model.violation_probability(model.worst_case_delay()) == 0.0

@@ -1,0 +1,76 @@
+"""Tests for netlist analysis utilities."""
+
+import pytest
+
+from repro.arith import build_array_multiplier, build_ripple_carry_adder
+from repro.core.online_multiplier import build_online_multiplier
+from repro.netlist.analysis import (
+    arrival_order,
+    depth_histogram,
+    fanout_statistics,
+    output_arrival_profile,
+    slack_histogram,
+    violated_outputs,
+)
+from repro.netlist.delay import UnitDelay
+from repro.netlist.sta import static_timing
+
+
+class TestArrivalProfile:
+    def test_rca_msb_arrives_last(self):
+        c = build_ripple_carry_adder(8)
+        profile = output_arrival_profile(c, UnitDelay())
+        assert profile["s7"] > profile["s1"]
+        assert profile["cout"] == max(profile.values())
+
+    def test_online_multiplier_msd_arrives_first(self):
+        """The MSD-first property, read straight off static timing."""
+        c = build_online_multiplier(8)
+        order = arrival_order(c, [f"zp{k}" for k in range(8)], UnitDelay())
+        names = [n for n, _t in order]
+        # the first-arriving digit is among the most significant ones, the
+        # last-arriving among the least significant
+        assert int(names[0][2:]) <= 2
+        assert int(names[-1][2:]) >= 5
+
+    def test_arrival_order_unknown_output(self):
+        c = build_ripple_carry_adder(2)
+        with pytest.raises(ValueError):
+            arrival_order(c, ["nope"])
+
+
+class TestSlack:
+    def test_slack_signs(self):
+        c = build_ripple_carry_adder(6)
+        critical = static_timing(c, UnitDelay()).critical_delay
+        slack = slack_histogram(c, critical, UnitDelay())
+        assert min(slack.values()) == 0
+        tight = slack_histogram(c, critical - 2, UnitDelay())
+        assert min(tight.values()) == -2
+
+    def test_violated_outputs_are_msbs_for_rca(self):
+        c = build_ripple_carry_adder(8)
+        critical = static_timing(c, UnitDelay()).critical_delay
+        bad = violated_outputs(c, critical - 1, UnitDelay())
+        assert "cout" in bad
+        assert "s0" not in bad
+
+    def test_no_violations_at_rated(self):
+        c = build_array_multiplier(4)
+        critical = static_timing(c, UnitDelay()).critical_delay
+        assert violated_outputs(c, critical, UnitDelay()) == []
+
+
+class TestStructure:
+    def test_depth_histogram_covers_all_nets(self):
+        c = build_array_multiplier(4)
+        hist = depth_histogram(c, UnitDelay())
+        assert sum(hist.values()) == c.num_nets
+        assert max(hist) == static_timing(c, UnitDelay()).critical_delay
+
+    def test_fanout_statistics(self):
+        c = build_ripple_carry_adder(4)
+        stats = fanout_statistics(c)
+        assert stats.max_fanout >= 2  # operand bits feed sum and carry
+        assert stats.mean_fanout > 0
+        assert stats.dangling_nets >= 0

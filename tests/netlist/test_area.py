@@ -1,0 +1,61 @@
+"""Unit tests for the LUT area model."""
+
+import pytest
+
+from repro.netlist.area import AreaReport, estimate_area, _luts_for_fanin
+from repro.netlist.gates import Circuit
+
+
+class TestLutsForFanin:
+    def test_small_gates_one_lut(self):
+        for fanin in range(1, 7):
+            assert _luts_for_fanin(fanin) == 1
+
+    def test_wide_gate_decomposition(self):
+        assert _luts_for_fanin(7) == 2
+        assert _luts_for_fanin(11) == 2
+        assert _luts_for_fanin(12) == 3
+
+
+class TestEstimateArea:
+    def test_inverters_free(self):
+        c = Circuit()
+        a = c.input("a")
+        c.output("y", c.not_(a))
+        assert estimate_area(c).luts == 0
+
+    def test_counts_logic(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        c.output("s", c.xor(a, b))
+        c.output("c", c.and_(a, b))
+        report = estimate_area(c)
+        assert report.luts == 2
+        assert report.slices == 1
+
+    def test_empty(self):
+        c = Circuit()
+        c.input("a")
+        report = estimate_area(c)
+        assert report.luts == 0
+        assert report.slices == 0
+
+    def test_monotone_in_size(self):
+        from repro.arith import build_array_multiplier
+
+        small = estimate_area(build_array_multiplier(4))
+        large = estimate_area(build_array_multiplier(8))
+        assert large.luts > small.luts
+
+
+class TestAreaReport:
+    def test_overhead(self):
+        a = AreaReport(luts=200, slices=80, gates=210)
+        b = AreaReport(luts=100, slices=40, gates=105)
+        assert a.overhead_vs(b) == pytest.approx(2.0)
+
+    def test_overhead_zero_baseline(self):
+        a = AreaReport(luts=200, slices=80, gates=210)
+        zero = AreaReport(luts=0, slices=0, gates=0)
+        with pytest.raises(ZeroDivisionError):
+            a.overhead_vs(zero)

@@ -1,0 +1,60 @@
+"""Tests for chunked waveform simulation."""
+
+import numpy as np
+import pytest
+
+from repro.arith import build_ripple_carry_adder
+from repro.netlist.delay import UnitDelay
+from repro.netlist.sim import WaveformSimulator, run_chunked
+
+
+@pytest.fixture(scope="module")
+def setup():
+    circuit = build_ripple_carry_adder(6)
+    sim = WaveformSimulator(circuit, UnitDelay())
+    rng = np.random.default_rng(9)
+    ins = {}
+    for name in ("a", "b"):
+        vals = rng.integers(0, 64, 103)
+        for i in range(6):
+            ins[f"{name}{i}"] = ((vals >> i) & 1).astype(np.uint8)
+    return sim, ins
+
+
+class TestRunChunked:
+    @pytest.mark.parametrize("chunk", [1, 7, 50, 103, 1000])
+    def test_equals_monolithic(self, setup, chunk):
+        sim, ins = setup
+        full = sim.run(ins)
+        pieces = run_chunked(sim, ins, chunk)
+        assert pieces.num_samples == full.num_samples
+        assert pieces.settle_step == full.settle_step
+        for name in full.output_names:
+            assert np.array_equal(full.waveform(name), pieces.waveform(name))
+
+    def test_scalar_inputs_broadcast(self, setup):
+        sim, _ins = setup
+        ins = {f"a{i}": np.array([1]) for i in range(6)}
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 64, 20)
+        for i in range(6):
+            ins[f"b{i}"] = ((vals >> i) & 1).astype(np.uint8)
+        res = run_chunked(sim, ins, 8)
+        assert res.num_samples == 20
+
+    def test_keep_filter(self, setup):
+        sim, ins = setup
+        res = run_chunked(sim, ins, 25, keep=["cout"])
+        assert res.output_names == ["cout"]
+
+    def test_invalid_chunk(self, setup):
+        sim, ins = setup
+        with pytest.raises(ValueError):
+            run_chunked(sim, ins, 0)
+
+    def test_mismatched_sizes(self, setup):
+        sim, ins = setup
+        bad = dict(ins)
+        bad["a0"] = np.zeros(7, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            run_chunked(sim, bad, 10)

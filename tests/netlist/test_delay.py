@@ -1,0 +1,139 @@
+"""Unit tests for delay models."""
+
+from repro.netlist.delay import FpgaDelay, PerOpDelay, UnitDelay
+from repro.netlist.gates import Circuit
+
+
+def _small_circuit() -> Circuit:
+    c = Circuit("dm")
+    a, b = c.input("a"), c.input("b")
+    n = c.and_(a, b)
+    n = c.not_(n)
+    n = c.xor(n, a)
+    c.output("y", n)
+    c.output("zero", c.const0())
+    return c
+
+
+class TestUnitDelay:
+    def test_logic_costs_one(self):
+        c = _small_circuit()
+        delays = UnitDelay().assign(c)
+        by_op = dict(zip((g.op for g in c.gates), delays))
+        assert by_op["AND"] == 1
+        assert by_op["XOR"] == 1
+
+    def test_not_free_by_default(self):
+        c = _small_circuit()
+        delays = UnitDelay().assign(c)
+        by_op = dict(zip((g.op for g in c.gates), delays))
+        assert by_op["NOT"] == 0
+
+    def test_not_costly_when_configured(self):
+        c = _small_circuit()
+        delays = UnitDelay(free_not=False).assign(c)
+        by_op = dict(zip((g.op for g in c.gates), delays))
+        assert by_op["NOT"] == 1
+
+    def test_constants_free(self):
+        c = _small_circuit()
+        delays = UnitDelay().assign(c)
+        by_op = dict(zip((g.op for g in c.gates), delays))
+        assert by_op["CONST0"] == 0
+
+
+class TestPerOpDelay:
+    def test_table_and_default(self):
+        c = _small_circuit()
+        delays = PerOpDelay({"AND": 3}, default=2).assign(c)
+        by_op = dict(zip((g.op for g in c.gates), delays))
+        assert by_op["AND"] == 3
+        assert by_op["XOR"] == 2
+
+
+class TestFpgaDelay:
+    def test_deterministic_per_circuit(self):
+        c = _small_circuit()
+        model = FpgaDelay(seed=7)
+        assert list(model.assign(c)) == list(model.assign(c))
+
+    def test_seed_changes_assignment(self):
+        c = Circuit("many")
+        nets = c.inputs(2)
+        n = nets[0]
+        for _ in range(64):
+            n = c.xor(n, nets[1])
+        c.output("y", n)
+        d1 = list(FpgaDelay(seed=1).assign(c))
+        d2 = list(FpgaDelay(seed=2).assign(c))
+        assert d1 != d2
+
+    def test_delays_within_bounds(self):
+        c = _small_circuit()
+        model = FpgaDelay(base=3, jitter_min=1, jitter_max=2)
+        for gate, d in zip(c.gates, model.assign(c)):
+            if gate.op in ("CONST0", "NOT"):
+                assert d == 0
+            else:
+                assert 4 <= d <= 5
+
+    def test_invalid_parameters(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            FpgaDelay(base=0)
+        with pytest.raises(ValueError):
+            FpgaDelay(jitter_min=3, jitter_max=1)
+
+    def test_quanta_per_unit(self):
+        assert FpgaDelay(base=3, jitter_min=0, jitter_max=2).quanta_per_unit == 4
+
+
+class TestCarryChainDelay:
+    def test_ripple_chain_accelerated(self):
+        from repro.arith import build_ripple_carry_adder
+        from repro.netlist.delay import CarryChainDelay
+        from repro.netlist.sta import static_timing
+
+        rca = build_ripple_carry_adder(16)
+        plain = static_timing(rca, FpgaDelay(jitter_min=1, jitter_max=1))
+        chained = static_timing(
+            rca, CarryChainDelay(jitter_min=1, jitter_max=1, carry_cost=1)
+        )
+        # the 16-bit carry chain collapses to ~1 quantum per bit
+        assert chained.critical_delay < plain.critical_delay / 2
+
+    def test_isolated_maj_keeps_lut_cost(self):
+        from repro.netlist.delay import CarryChainDelay
+        from repro.netlist.gates import Circuit
+
+        c = Circuit()
+        a, b, d = c.input("a"), c.input("b"), c.input("d")
+        c.output("m", c.gate("MAJ", a, b, d))
+        delays = CarryChainDelay(
+            base=3, jitter_min=0, jitter_max=0, carry_cost=1
+        ).assign(c)
+        maj_delay = [
+            dl for g, dl in zip(c.gates, delays) if g.op == "MAJ"
+        ][0]
+        assert maj_delay == 3  # not on a chain
+
+    def test_parameter_validation(self):
+        import pytest
+
+        from repro.netlist.delay import CarryChainDelay
+
+        with pytest.raises(ValueError):
+            CarryChainDelay(base=0)
+        with pytest.raises(ValueError):
+            CarryChainDelay(carry_cost=-1)
+        with pytest.raises(ValueError):
+            CarryChainDelay(jitter_min=5, jitter_max=1)
+
+    def test_deterministic(self):
+        from repro.arith import build_array_multiplier
+        from repro.netlist.delay import CarryChainDelay
+
+        c = build_array_multiplier(5)
+        model = CarryChainDelay(seed=3)
+        assert list(model.assign(c)) == list(model.assign(c))

@@ -1,0 +1,112 @@
+"""Unit tests for the circuit graph and builder API."""
+
+import pytest
+
+from repro.netlist.gates import OPS, Circuit
+
+
+class TestBuilder:
+    def test_half_adder_structure(self):
+        c = Circuit("ha")
+        a, b = c.input("a"), c.input("b")
+        s, carry = c.half_adder(a, b)
+        c.output("s", s)
+        c.output("c", carry)
+        assert c.num_gates == 2
+        assert c.num_nets == 4
+        c.validate()
+
+    def test_unknown_op(self):
+        c = Circuit()
+        a = c.input("a")
+        with pytest.raises(ValueError):
+            c.gate("FROB", a)
+
+    def test_fanin_bounds(self):
+        c = Circuit()
+        a = c.input("a")
+        with pytest.raises(ValueError):
+            c.gate("AND", a)  # needs >= 2
+        with pytest.raises(ValueError):
+            c.gate("MAJ", a, a)  # needs exactly 3
+
+    def test_undriven_net_rejected(self):
+        c = Circuit()
+        c.input("a")
+        with pytest.raises(ValueError):
+            c.gate("NOT", 99)
+
+    def test_duplicate_output_name(self):
+        c = Circuit()
+        a = c.input("a")
+        c.output("y", a)
+        with pytest.raises(ValueError):
+            c.output("y", a)
+
+    def test_inputs_helper_names(self):
+        c = Circuit()
+        nets = c.inputs(3, "x")
+        assert c.input_names == ["x0", "x1", "x2"]
+        assert nets == c.input_nets
+
+    def test_fanout_count(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        c.and_(a, b)
+        c.or_(a, b)
+        assert c.fanout_of(a) == 2
+
+    def test_driver_of(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        out = c.xor(a, b)
+        assert c.driver_of(out).op == "XOR"
+        assert c.driver_of(a) is None
+
+    def test_stats(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        c.output("y", c.and_(a, b))
+        stats = c.stats()
+        assert stats["AND"] == 1
+        assert stats["inputs"] == 2
+        assert stats["outputs"] == 1
+
+
+class TestLut:
+    def test_lut_requires_table(self):
+        c = Circuit()
+        a = c.input("a")
+        with pytest.raises(ValueError):
+            c.gate("LUT", a)
+
+    def test_lut_table_size_check(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        with pytest.raises(ValueError):
+            c.lut([0, 1], a, b)  # needs 4 entries
+
+    def test_lut_table_binary_check(self):
+        c = Circuit()
+        a = c.input("a")
+        with pytest.raises(ValueError):
+            c.lut([0, 2], a)
+
+    def test_non_lut_rejects_table(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        with pytest.raises(ValueError):
+            c.gate("AND", a, b, table=[0, 0, 0, 1])
+
+    def test_lut_max_fanin(self):
+        c = Circuit()
+        nets = c.inputs(7)
+        with pytest.raises(ValueError):
+            c.lut([0] * 128, *nets)
+
+
+class TestOpsTable:
+    def test_every_op_has_bounds(self):
+        for op, (lo, hi) in OPS.items():
+            assert lo >= 0
+            assert hi is None or hi >= lo

@@ -1,0 +1,184 @@
+"""Unit and property tests for the waveform simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.delay import FpgaDelay, PerOpDelay, UnitDelay
+from repro.netlist.gates import Circuit
+from repro.netlist.sim import WaveformSimulator, evaluate
+
+
+def _xor_chain(length: int) -> Circuit:
+    c = Circuit("xorchain")
+    a = c.input("a")
+    b = c.input("b")
+    net = a
+    for _ in range(length):
+        net = c.xor(net, b)
+    c.output("y", net)
+    return c
+
+
+class TestEvaluate:
+    def test_basic_gates(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        c.output("and", c.and_(a, b))
+        c.output("or", c.or_(a, b))
+        c.output("xor", c.xor(a, b))
+        c.output("not", c.not_(a))
+        out = evaluate(c, {"a": [0, 0, 1, 1], "b": [0, 1, 0, 1]})
+        assert out["and"].tolist() == [0, 0, 0, 1]
+        assert out["or"].tolist() == [0, 1, 1, 1]
+        assert out["xor"].tolist() == [0, 1, 1, 0]
+        assert out["not"].tolist() == [1, 1, 0, 0]
+
+    def test_maj_and_mux(self):
+        c = Circuit()
+        a, b, s = c.input("a"), c.input("b"), c.input("s")
+        c.output("maj", c.gate("MAJ", a, b, s))
+        c.output("mux", c.mux(s, a, b))
+        out = evaluate(
+            c,
+            {
+                "a": [0, 1, 0, 1, 0, 1],
+                "b": [0, 0, 1, 1, 1, 0],
+                "s": [0, 0, 0, 0, 1, 1],
+            },
+        )
+        assert out["maj"].tolist() == [0, 0, 0, 1, 1, 1]
+        # mux: sel=0 -> a, sel=1 -> b
+        assert out["mux"].tolist() == [0, 1, 0, 1, 1, 0]
+
+    def test_lut(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        # table for a AND (NOT b): idx = a + 2b
+        c.output("y", c.lut([0, 1, 0, 0], a, b))
+        out = evaluate(c, {"a": [0, 1, 0, 1], "b": [0, 0, 1, 1]})
+        assert out["y"].tolist() == [0, 1, 0, 0]
+
+    def test_constants(self):
+        c = Circuit()
+        c.input("a")
+        c.output("zero", c.const0())
+        c.output("one", c.const1())
+        out = evaluate(c, {"a": [0, 1]})
+        assert out["zero"].tolist() == [0, 0]
+        assert out["one"].tolist() == [1, 1]
+
+    def test_scalar_broadcast(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        c.output("y", c.and_(a, b))
+        out = evaluate(c, {"a": 1, "b": [0, 1, 1]})
+        assert out["y"].tolist() == [0, 1, 1]
+
+    def test_missing_input_rejected(self):
+        c = Circuit()
+        c.input("a")
+        c.input("b")
+        with pytest.raises(ValueError):
+            evaluate(c, {"a": [1]})
+
+    def test_unknown_input_rejected(self):
+        c = Circuit()
+        c.input("a")
+        with pytest.raises(ValueError):
+            evaluate(c, {"a": [1], "zz": [0]})
+
+    def test_non_binary_rejected(self):
+        c = Circuit()
+        a = c.input("a")
+        c.output("y", c.not_(a))
+        with pytest.raises(ValueError):
+            evaluate(c, {"a": [2]})
+
+
+class TestWaveforms:
+    def test_final_matches_evaluate(self):
+        c = _xor_chain(5)
+        ins = {"a": [0, 1, 0, 1], "b": [0, 0, 1, 1]}
+        ref = evaluate(c, ins)
+        sim = WaveformSimulator(c, UnitDelay())
+        res = sim.run(ins)
+        assert np.array_equal(res.final()["y"], ref["y"])
+
+    def test_settle_equals_chain_length(self):
+        c = _xor_chain(7)
+        sim = WaveformSimulator(c, UnitDelay())
+        assert sim.settle_step == 7
+
+    def test_reset_state_is_zero(self):
+        c = _xor_chain(3)
+        sim = WaveformSimulator(c, UnitDelay())
+        res = sim.run({"a": [1], "b": [0]})
+        assert res.sample(0)["y"].tolist() == [0]
+
+    def test_intermediate_wave_propagation(self):
+        # y = NOT(NOT(NOT a)): with unit delays, y(t) shows the wave
+        c = Circuit()
+        a = c.input("a")
+        n1 = c.gate("NOT", a)
+        n2 = c.gate("NOT", n1)
+        c.output("y", c.gate("NOT", n2))
+        sim = WaveformSimulator(c, PerOpDelay({"NOT": 1}))
+        res = sim.run({"a": [0]})
+        # reset 0; the inversion wave ripples through: 0 -> 1 -> 0 -> 1
+        assert res.waveform("y")[:, 0].tolist()[:4] == [0, 1, 0, 1]
+
+    def test_sample_clamps(self):
+        c = _xor_chain(2)
+        sim = WaveformSimulator(c, UnitDelay())
+        res = sim.run({"a": [1], "b": [1]})
+        assert res.sample(10**6)["y"] == res.final()["y"]
+        assert res.sample(-5)["y"].tolist() == [0]
+
+    def test_sample_bits_stacks(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        c.output("y0", c.and_(a, b))
+        c.output("y1", c.or_(a, b))
+        res = WaveformSimulator(c).run({"a": [1, 0], "b": [1, 1]})
+        stacked = res.sample_bits(["y0", "y1"], 5)
+        assert stacked.shape == (2, 2)
+
+    def test_keep_filters_outputs(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        c.output("y0", c.and_(a, b))
+        c.output("y1", c.or_(a, b))
+        res = WaveformSimulator(c).run({"a": [1], "b": [1]}, keep=["y1"])
+        assert res.output_names == ["y1"]
+        with pytest.raises(KeyError):
+            res.waveform("y0")
+
+    def test_keep_unknown_rejected(self):
+        c = _xor_chain(1)
+        with pytest.raises(ValueError):
+            WaveformSimulator(c).run({"a": [1], "b": [1]}, keep=["nope"])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_fpga_delays_preserve_function(self, av, bv):
+        from repro.arith import build_ripple_carry_adder
+
+        c = build_ripple_carry_adder(8)
+        ins = {}
+        for i in range(8):
+            ins[f"a{i}"] = [(av >> i) & 1]
+            ins[f"b{i}"] = [(bv >> i) & 1]
+        res = WaveformSimulator(c, FpgaDelay()).run(ins)
+        fin = res.final()
+        total = sum(int(fin[f"s{i}"][0]) << i for i in range(8))
+        total += int(fin["cout"][0]) << 8
+        assert total == av + bv
+
+    def test_overclocked_sample_differs_then_settles(self):
+        c = _xor_chain(10)
+        sim = WaveformSimulator(c, UnitDelay())
+        res = sim.run({"a": [1], "b": [1]})
+        # a=1,b=1: XOR chain flips parity; early samples show reset values
+        assert res.sample(0)["y"][0] == 0
+        assert res.sample(res.settle_step)["y"][0] == res.final()["y"][0]

@@ -1,0 +1,81 @@
+"""Unit tests for static timing analysis."""
+
+from repro.netlist.delay import PerOpDelay, UnitDelay
+from repro.netlist.gates import Circuit
+from repro.netlist.sim import WaveformSimulator
+from repro.netlist.sta import critical_path, static_timing
+
+
+def _adder_like() -> Circuit:
+    c = Circuit()
+    a, b, cin = c.input("a"), c.input("b"), c.input("cin")
+    s1, c1 = c.full_adder(a, b, cin)
+    s2, c2 = c.full_adder(s1, a, c1)
+    c.output("s", s2)
+    c.output("c", c2)
+    return c
+
+
+class TestStaticTiming:
+    def test_chain_depth(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        net = a
+        for _ in range(6):
+            net = c.xor(net, b)
+        c.output("y", net)
+        assert static_timing(c, UnitDelay()).critical_delay == 6
+
+    def test_outputs_only(self):
+        # deep logic that is not an output does not count
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        deep = a
+        for _ in range(10):
+            deep = c.xor(deep, b)
+        c.output("y", c.and_(a, b))
+        assert static_timing(c, UnitDelay()).critical_delay == 1
+
+    def test_per_net_arrivals(self):
+        c = _adder_like()
+        timing = static_timing(c, UnitDelay())
+        for net in c.input_nets:
+            assert timing.of(net) == 0
+
+    def test_per_op_delay(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        c.output("y", c.and_(a, b))
+        assert static_timing(c, PerOpDelay({"AND": 7})).critical_delay == 7
+
+    def test_matches_simulator_settle(self):
+        c = _adder_like()
+        sim = WaveformSimulator(c, UnitDelay())
+        assert sim.settle_step == static_timing(c, UnitDelay()).critical_delay
+
+    def test_empty_circuit(self):
+        c = Circuit()
+        assert static_timing(c).critical_delay == 0
+
+
+class TestCriticalPath:
+    def test_path_length_equals_delay(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        net = a
+        for _ in range(4):
+            net = c.xor(net, b)
+        c.output("y", net)
+        path = critical_path(c, UnitDelay())
+        assert len(path) == 4
+
+    def test_path_is_connected(self):
+        c = _adder_like()
+        path = critical_path(c, UnitDelay())
+        for g1, g2 in zip(path, path[1:]):
+            assert g1.output in g2.inputs
+
+    def test_no_outputs(self):
+        c = Circuit()
+        c.input("a")
+        assert critical_path(c) == []

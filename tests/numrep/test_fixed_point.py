@@ -1,0 +1,111 @@
+"""Unit tests for the two's-complement fixed-point codec."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.numrep.fixed_point import (
+    FixedPointFormat,
+    bits_to_int,
+    fixed_to_float,
+    float_to_fixed,
+    int_to_bits,
+    twos_complement_decode,
+    twos_complement_encode,
+)
+
+
+class TestFixedPointFormat:
+    def test_width(self):
+        fmt = FixedPointFormat(1, 8)
+        assert fmt.width == 9
+
+    def test_range_q1_8(self):
+        fmt = FixedPointFormat(1, 8)
+        assert fmt.min_value == -1
+        assert fmt.max_value == Fraction(255, 256)
+
+    def test_lsb(self):
+        assert FixedPointFormat(1, 4).lsb == Fraction(1, 16)
+
+    def test_rejects_zero_int_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(0, 8)
+
+    def test_rejects_negative_frac_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, -1)
+
+    def test_representable(self):
+        fmt = FixedPointFormat(1, 4)
+        assert fmt.representable(Fraction(3, 16))
+        assert not fmt.representable(Fraction(1, 32))
+        assert not fmt.representable(Fraction(3, 2))
+
+    def test_quantize_rounds(self):
+        fmt = FixedPointFormat(1, 4)
+        assert fmt.quantize(0.2) == Fraction(3, 16)
+
+    def test_quantize_saturates(self):
+        fmt = FixedPointFormat(1, 4)
+        assert fmt.quantize(5.0) == fmt.max_value
+        assert fmt.quantize(-5.0) == fmt.min_value
+
+
+class TestCodec:
+    def test_roundtrip_all_q1_4(self):
+        fmt = FixedPointFormat(1, 4)
+        for raw in range(32):
+            value = fixed_to_float(raw, fmt)
+            assert float_to_fixed(value, fmt) == raw
+
+    def test_negative_encoding(self):
+        fmt = FixedPointFormat(1, 4)
+        assert float_to_fixed(Fraction(-1, 16), fmt) == 0b11111
+
+    def test_unrepresentable_raises(self):
+        fmt = FixedPointFormat(1, 2)
+        with pytest.raises(ValueError):
+            float_to_fixed(Fraction(1, 8), fmt)
+
+    def test_out_of_range_raw(self):
+        fmt = FixedPointFormat(1, 2)
+        with pytest.raises(ValueError):
+            fixed_to_float(8, fmt)
+
+
+class TestBits:
+    def test_int_to_bits_lsb_first(self):
+        assert int_to_bits(0b1101, 4) == [1, 0, 1, 1]
+
+    def test_bits_roundtrip(self):
+        for value in range(64):
+            assert bits_to_int(int_to_bits(value, 6)) == value
+
+    def test_int_to_bits_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_bits_to_int_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+
+class TestTwosComplement:
+    def test_roundtrip_full_range(self):
+        for value in range(-8, 8):
+            raw = twos_complement_encode(value, 4)
+            assert twos_complement_decode(raw, 4) == value
+
+    def test_negative_is_high_half(self):
+        assert twos_complement_encode(-1, 4) == 0b1111
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            twos_complement_encode(8, 4)
+        with pytest.raises(ValueError):
+            twos_complement_encode(-9, 4)
+
+    def test_decode_range_check(self):
+        with pytest.raises(ValueError):
+            twos_complement_decode(16, 4)

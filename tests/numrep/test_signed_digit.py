@@ -1,0 +1,145 @@
+"""Unit and property tests for signed-digit numbers."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.numrep.signed_digit import (
+    SDNumber,
+    borrow_save_decode,
+    borrow_save_encode,
+    sd_canonical,
+    sd_from_twos_complement,
+    sd_random,
+    sd_value,
+)
+
+digits_strategy = st.lists(
+    st.sampled_from([-1, 0, 1]), min_size=1, max_size=16
+)
+
+
+class TestSDNumber:
+    def test_value_paper_convention(self):
+        # x = sum x_i 2^-i with digits at positions 1..N
+        x = SDNumber((1, 0, -1))  # 1/2 - 1/8
+        assert x.value() == Fraction(3, 8)
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError):
+            SDNumber((2, 0))
+
+    def test_digit_at(self):
+        x = SDNumber((1, -1), exp_msd=-1)
+        assert x.digit_at(-1) == 1
+        assert x.digit_at(-2) == -1
+        assert x.digit_at(0) == 0
+        assert x.digit_at(-5) == 0
+
+    def test_shift(self):
+        x = SDNumber((1,), exp_msd=-1)
+        assert x.shift(1).value() == 1
+        assert x.shift(-2).value() == Fraction(1, 8)
+
+    def test_negate(self):
+        x = SDNumber((1, 0, -1))
+        assert x.negate().value() == -x.value()
+
+    def test_append_prepend(self):
+        x = SDNumber((1,))
+        assert x.append(-1).value() == Fraction(1, 2) - Fraction(1, 4)
+        assert x.prepend(1).value() == 1 + Fraction(1, 2)
+
+    def test_truncate(self):
+        x = SDNumber((1, -1, 1, 0))
+        assert x.truncate(2).digits == (1, -1)
+
+    def test_pad_to(self):
+        x = SDNumber((1,), exp_msd=-1)
+        padded = x.pad_to(0, -3)
+        assert padded.digits == (0, 1, 0, 0)
+        assert padded.value() == x.value()
+
+    def test_pad_to_cannot_drop(self):
+        with pytest.raises(ValueError):
+            SDNumber((1, 1)).pad_to(-1, -1)
+
+    def test_scaled_int(self):
+        x = SDNumber((1, 0, -1))
+        assert x.scaled_int() == 3  # 3/8 * 8
+
+    @given(digits_strategy)
+    def test_redundancy_value_formula(self, digits):
+        x = SDNumber(tuple(digits))
+        expect = sum(
+            Fraction(d, 2 ** (i + 1)) for i, d in enumerate(digits)
+        )
+        assert x.value() == expect
+
+
+class TestConversions:
+    def test_from_twos_complement_positive(self):
+        # 0b0101 with 3 frac bits = 5/8
+        x = sd_from_twos_complement(0b0101, 4, 3)
+        assert x.value() == Fraction(5, 8)
+
+    def test_from_twos_complement_negative(self):
+        # 0b1011 (= -5) with 3 frac bits = -5/8
+        x = sd_from_twos_complement(0b1011, 4, 3)
+        assert x.value() == Fraction(-5, 8)
+
+    def test_from_twos_complement_exhaustive_width5(self):
+        for raw in range(32):
+            x = sd_from_twos_complement(raw, 5, 4)
+            signed = raw - 32 if raw >= 16 else raw
+            assert x.value() == Fraction(signed, 16)
+
+    def test_sd_value_helper(self):
+        assert sd_value([1, -1]) == Fraction(1, 4)
+
+
+class TestCanonical:
+    @given(digits_strategy)
+    def test_canonical_preserves_value(self, digits):
+        x = SDNumber(tuple(digits))
+        assert sd_canonical(x).value() == x.value()
+
+    @given(digits_strategy)
+    def test_canonical_is_nonadjacent(self, digits):
+        c = sd_canonical(SDNumber(tuple(digits)))
+        for a, b in zip(c.digits, c.digits[1:]):
+            assert not (a != 0 and b != 0)
+
+    def test_example(self):
+        # 0.111 -> 1.00-1
+        c = sd_canonical(SDNumber((1, 1, 1)))
+        assert c.value() == Fraction(7, 8)
+
+
+class TestBorrowSave:
+    @given(digits_strategy)
+    def test_encode_decode_roundtrip(self, digits):
+        x = SDNumber(tuple(digits))
+        pos, neg = borrow_save_encode(x)
+        assert borrow_save_decode(pos, neg, x.exp_msd) == x
+
+    def test_noncanonical_pair_decodes_to_zero(self):
+        x = borrow_save_decode([1, 0], [1, 0])
+        assert x.digits == (0, 0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            borrow_save_decode([1], [0, 0])
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = sd_random(10, random.Random(1))
+        b = sd_random(10, random.Random(1))
+        assert a == b
+
+    def test_digits_in_set(self):
+        x = sd_random(100, random.Random(2))
+        assert set(x.digits) <= {-1, 0, 1}

@@ -1,0 +1,111 @@
+"""Tests for the gate-level overclocking sweep harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.delay import UnitDelay
+from repro.sim.montecarlo import uniform_digit_batch
+from repro.sim.sweep import (
+    OnlineMultiplierHarness,
+    TraditionalMultiplierHarness,
+    max_error_free_step,
+)
+
+
+@pytest.fixture(scope="module")
+def online_sweep():
+    rng = np.random.default_rng(7)
+    harness = OnlineMultiplierHarness(6, UnitDelay())
+    xd = uniform_digit_batch(6, 800, rng)
+    yd = uniform_digit_batch(6, 800, rng)
+    return harness, harness.sweep(xd, yd)
+
+
+@pytest.fixture(scope="module")
+def trad_sweep():
+    rng = np.random.default_rng(8)
+    harness = TraditionalMultiplierHarness(7, UnitDelay())
+    xs = rng.integers(-63, 64, 800)
+    ys = rng.integers(-63, 64, 800)
+    return harness, harness.sweep(xs, ys)
+
+
+class TestOnlineHarness:
+    def test_final_values_are_products(self, online_sweep):
+        harness, res = online_sweep
+        assert res.mean_abs_error[res.settle_step] == 0.0
+
+    def test_error_free_step_definition(self, online_sweep):
+        _h, res = online_sweep
+        t0 = max_error_free_step(res)
+        assert np.all(res.mean_abs_error[t0:] == 0)
+        assert res.mean_abs_error[t0 - 1] > 0
+
+    def test_rated_vs_settle(self, online_sweep):
+        _h, res = online_sweep
+        assert res.rated_step == res.settle_step
+
+    def test_annihilation_margin(self, online_sweep):
+        """The measured error-free period is well below the structural
+        rating — the paper's chain-annihilation headroom."""
+        _h, res = online_sweep
+        assert res.error_free_step < res.rated_step
+
+    def test_at_normalized_frequency(self, online_sweep):
+        _h, res = online_sweep
+        assert res.at_normalized_frequency(1.0) == 0.0
+        deep = res.at_normalized_frequency(1.6)
+        assert deep >= 0.0
+
+    def test_encode_values_roundtrip(self, online_sweep):
+        harness, _res = online_sweep
+        vals = np.array([17, -33, 0], dtype=np.int64)
+        ports = harness.encode_values(vals, vals)
+        # decode of settled outputs equals the (value/2^n)^2 products
+        final = harness.simulator.run(ports).final()
+        got = harness.decode(final)
+        expect = (vals / 2**6) ** 2
+        assert np.allclose(got, expect, atol=2**-6)
+
+    def test_speedup_at_budget(self, online_sweep):
+        _h, res = online_sweep
+        gain = res.speedup_at_budget(1e9)  # everything within budget
+        assert gain is not None and gain > 0
+        tight = res.speedup_at_budget(0.0)
+        assert tight == pytest.approx(0.0) or tight is None
+
+    def test_invalid_factor(self, online_sweep):
+        _h, res = online_sweep
+        with pytest.raises(ValueError):
+            res.at_normalized_frequency(0)
+
+
+class TestTraditionalHarness:
+    def test_products_correct_at_settle(self, trad_sweep):
+        _h, res = trad_sweep
+        assert res.mean_abs_error[res.settle_step] == 0.0
+
+    def test_msb_errors_are_large(self, trad_sweep):
+        """Overclocking the conventional multiplier produces errors with
+        magnitudes near full scale (the MSB-first failure)."""
+        _h, res = trad_sweep
+        mid = res.error_free_step // 2
+        assert res.mean_abs_error[mid] > 0.01
+
+    def test_operand_overflow_rejected(self):
+        harness = TraditionalMultiplierHarness(4, UnitDelay())
+        with pytest.raises(ValueError):
+            harness.encode(np.array([100]), np.array([0]))
+
+
+class TestComparison:
+    def test_online_smaller_errors_at_equal_violation(
+        self, online_sweep, trad_sweep
+    ):
+        """At the first violating step of each design, the online error is
+        orders of magnitude below the conventional one (LSD vs MSB)."""
+        _h1, online = online_sweep
+        _h2, trad = trad_sweep
+        online_err = online.mean_abs_error[online.error_free_step - 1]
+        trad_err = trad.mean_abs_error[trad.error_free_step - 1]
+        assert online_err < trad_err

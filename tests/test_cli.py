@@ -1,0 +1,72 @@
+"""Tests for the repro-overclock command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["model"])
+        assert args.ndigits == 8
+        assert args.samples == 20000
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_chains(self, capsys):
+        assert main(["chains", "--ndigits", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "chain delay" in out
+        assert "P_d" in out
+
+    def test_model_small(self, capsys):
+        assert main(["model", "--ndigits", "6", "--samples", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "model vs Monte-Carlo" in out
+
+    def test_model_calibrated(self, capsys):
+        assert main(
+            ["model", "--ndigits", "6", "--samples", "500", "--calibrate"]
+        ) == 0
+        assert "calibrated kappa" in capsys.readouterr().out
+
+    def test_area(self, capsys):
+        assert main(["area", "--ndigits", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out
+
+    def test_multiplier_small(self, capsys):
+        assert main(
+            ["multiplier", "--ndigits", "4", "--samples", "200"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "error-free period" in out
+
+    def test_filter_tiny(self, capsys):
+        assert main(["filter", "--image", "lena", "--size", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "online SNR" in out
+
+    def test_verilog_stdout(self, capsys):
+        assert main(["verilog", "--what", "rca", "--ndigits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "module rca4" in out
+        assert "endmodule" in out
+
+    def test_verilog_file(self, tmp_path, capsys):
+        target = tmp_path / "om.v"
+        assert main(
+            ["verilog", "--what", "online-mult", "--ndigits", "4",
+             "--module", "om4", "-o", str(target)]
+        ) == 0
+        text = target.read_text()
+        assert "module om4" in text
+        assert "localparam" in text
