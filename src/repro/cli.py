@@ -33,7 +33,12 @@ def _cmd_model(args: argparse.Namespace) -> int:
     from repro.sim.montecarlo import mc_expected_error
 
     model = OverclockingErrorModel(args.ndigits)
-    mc = mc_expected_error(args.ndigits, num_samples=args.samples, seed=args.seed)
+    mc = mc_expected_error(
+        args.ndigits,
+        num_samples=args.samples,
+        seed=args.seed,
+        backend=args.backend,
+    )
     if args.calibrate:
         model = model.calibrated([int(b) for b in mc.depths], mc.mean_abs_error)
         print(f"calibrated kappa = {model.kappa:.3f}")
@@ -78,12 +83,12 @@ def _cmd_multiplier(args: argparse.Namespace) -> int:
 
     rng = np.random.default_rng(args.seed)
     n = args.ndigits
-    online = OnlineMultiplierHarness(n, FpgaDelay())
+    online = OnlineMultiplierHarness(n, FpgaDelay(), backend=args.backend)
     online_run = online.sweep(
         uniform_digit_batch(n, args.samples, rng),
         uniform_digit_batch(n, args.samples, rng),
     )
-    trad = TraditionalMultiplierHarness(n + 1, FpgaDelay())
+    trad = TraditionalMultiplierHarness(n + 1, FpgaDelay(), backend=args.backend)
     lim = 2**n - 1
     trad_run = trad.sweep(
         rng.integers(-lim, lim + 1, args.samples),
@@ -125,7 +130,7 @@ def _cmd_filter(args: argparse.Namespace) -> int:
     image = benchmark_image(args.image, size=args.size)
     runs = {}
     for arith in ("traditional", "online"):
-        run = GaussianFilterDatapath(arith).apply(image)
+        run = GaussianFilterDatapath(arith, backend=args.backend).apply(image)
         runs[arith] = run
         print(
             f"{arith}: rated {run.rated_step}, error-free "
@@ -200,6 +205,18 @@ def _cmd_verilog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    from repro.netlist.compiled import BACKENDS
+
+    p.add_argument(
+        "--backend",
+        default="packed",
+        choices=list(BACKENDS),
+        help="simulation engine: compiled bit-packed (default), "
+             "interpreting waveform, or auto (packed with fallback)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-overclock",
@@ -213,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2014)
     p.add_argument("--calibrate", action="store_true",
                    help="fit kappa to the Monte-Carlo before reporting")
+    _add_backend_flag(p)
     p.set_defaults(func=_cmd_model)
 
     p = sub.add_parser("chains", help="chain-delay statistics (Fig. 5)")
@@ -223,12 +241,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ndigits", type=int, default=8)
     p.add_argument("--samples", type=int, default=3000)
     p.add_argument("--seed", type=int, default=2014)
+    _add_backend_flag(p)
     p.set_defaults(func=_cmd_multiplier)
 
     p = sub.add_parser("filter", help="Gaussian-filter case study")
     p.add_argument("--image", default="lena",
                    choices=["lena", "pepper", "sailboat", "tiffany", "uniform"])
     p.add_argument("--size", type=int, default=48)
+    _add_backend_flag(p)
     p.set_defaults(func=_cmd_filter)
 
     p = sub.add_parser("area", help="area comparison (Table 4)")

@@ -181,6 +181,7 @@ class OnlineMultiplier:
         xdigits: np.ndarray,
         ydigits: np.ndarray,
         max_ticks: Optional[int] = None,
+        backend: str = "packed",
     ) -> np.ndarray:
         """Stage-delay timing simulation of a batch of multiplications.
 
@@ -197,6 +198,11 @@ class OnlineMultiplier:
         max_ticks:
             Number of ticks to simulate (default ``N + delta``, after which
             the wave has fully settled).
+        backend:
+            ``"packed"`` (default) runs the recurrence on bit-packed
+            uint64 words (64 samples per word, :class:`PackedOps`);
+            ``"wave"`` uses the original uint8-lane :class:`NumpyOps`
+            evaluation.  Both produce bit-identical results.
 
         Returns
         -------
@@ -204,6 +210,9 @@ class OnlineMultiplier:
         the digit ``z_k`` sampled at period ``b * mu`` for sample ``s``
         (tick 0 is the all-zero reset state).
         """
+        from repro.netlist.compiled import resolve_backend
+
+        packed = resolve_backend(backend) != "wave"
         n, delta = self.ndigits, self.delta
         xdigits = np.asarray(xdigits)
         ydigits = np.asarray(ydigits)
@@ -212,19 +221,31 @@ class OnlineMultiplier:
         num_samples = xdigits.shape[1]
         ticks = max_ticks if max_ticks is not None else self.num_stages
 
-        ops = NumpyOps()
+        if packed:
+            from repro.core.ops import PackedOps
+            from repro.netlist.packing import pack_bits, packed_width
+
+            ops: LogicOps = PackedOps()
+            lanes = packed_width(num_samples)
+            lane_dtype = np.uint64
+
+            def plane(mask: np.ndarray) -> np.ndarray:
+                return pack_bits(mask.astype(np.uint8))
+
+        else:
+            ops = NumpyOps()
+            lanes = num_samples
+            lane_dtype = np.uint8
+
+            def plane(mask: np.ndarray) -> np.ndarray:
+                return mask.astype(np.uint8)
+
         xbits = [
-            (
-                (xdigits[k] == 1).astype(np.uint8),
-                (xdigits[k] == -1).astype(np.uint8),
-            )
+            (plane(xdigits[k] == 1), plane(xdigits[k] == -1))
             for k in range(n)
         ]
         ybits = [
-            (
-                (ydigits[k] == 1).astype(np.uint8),
-                (ydigits[k] == -1).astype(np.uint8),
-            )
+            (plane(ydigits[k] == 1), plane(ydigits[k] == -1))
             for k in range(n)
         ]
 
@@ -244,11 +265,23 @@ class OnlineMultiplier:
             )
             p_shapes.append(sorted(p_probe))
 
+        if packed:
+            from repro.netlist.packing import unpack_bits
+
+            def digit_plane(v) -> np.ndarray:
+                arr = np.asarray(v, dtype=np.uint64)
+                return unpack_bits(arr, num_samples).astype(np.int8)
+
+        else:
+
+            def digit_plane(v) -> np.ndarray:
+                return np.asarray(v, dtype=np.int8)
+
         def zero_state(shape: List[int]) -> BSVec:
             return {
                 pos: (
-                    np.zeros(num_samples, dtype=np.uint8),
-                    np.zeros(num_samples, dtype=np.uint8),
+                    np.zeros(lanes, dtype=lane_dtype),
+                    np.zeros(lanes, dtype=lane_dtype),
                 )
                 for pos in shape
             }
@@ -269,9 +302,7 @@ class OnlineMultiplier:
                 new_state.append(p_next)
                 if z is not None:
                     zp, zn = z
-                    new_z[j] = np.asarray(zp, dtype=np.int8) - np.asarray(
-                        zn, dtype=np.int8
-                    )
+                    new_z[j] = digit_plane(zp) - digit_plane(zn)
             state = new_state
             z_state = new_z
             out[t] = z_state

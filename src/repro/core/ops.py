@@ -108,6 +108,54 @@ class NumpyOps(IntOps):
         return np.asarray(table, dtype=np.uint8)[np.asarray(idx, dtype=np.intp)]
 
 
+class PackedOps(LogicOps):
+    """Vectorized evaluation on bit-packed uint64 word arrays.
+
+    The packed sibling of :class:`NumpyOps`: a batch of ``S`` samples is
+    ``ceil(S / 64)`` words with one sample per bit (layout of
+    :mod:`repro.netlist.packing`), so every kernel operation processes 64
+    samples per machine word.  Constants are all-zeros / all-ones scalar
+    words, which numpy broadcasts against the word arrays; NOT is
+    XOR-with-all-ones; LUTs evaluate as constant-folded Shannon mux
+    cones.  Drives the ``backend="packed"`` stage-level Monte-Carlo path
+    (:meth:`repro.core.OnlineMultiplier.wave`).
+    """
+
+    checks_residual = False
+
+    def const(self, value: int):
+        from repro.netlist.packing import FULL_WORD, ZERO_WORD
+
+        if value not in (0, 1):
+            raise ValueError("const must be 0 or 1")
+        return FULL_WORD if value else ZERO_WORD
+
+    def not_(self, a):
+        from repro.netlist.packing import FULL_WORD
+
+        return a ^ FULL_WORD
+
+    def xor3(self, a, b, c):
+        return a ^ b ^ c
+
+    def maj3(self, a, b, c):
+        return (a & b) | (a & c) | (b & c)
+
+    def and2(self, a, b):
+        return a & b
+
+    def or2(self, a, b):
+        return a | b
+
+    def lut(self, table: Sequence[int], bits):
+        from repro.netlist.packing import lut_packed
+
+        out = lut_packed(table, bits)
+        if isinstance(out, int):
+            return self.const(out)
+        return out
+
+
 class NetOps(LogicOps):
     """Gate-emitting provider — bits are net handles in a circuit."""
 

@@ -43,9 +43,10 @@ from repro.arith.array_multiplier import array_multiplier
 from repro.core.kernels import BSVec, bs_add
 from repro.core.online_multiplier import OnlineMultiplier
 from repro.core.ops import NetOps
+from repro.netlist.compiled import make_simulator
 from repro.netlist.delay import DelayModel, FpgaDelay
 from repro.netlist.gates import Circuit
-from repro.netlist.sim import SimulationResult, WaveformSimulator
+from repro.netlist.sim import SimulationResult
 from repro.netlist.sta import static_timing
 from repro.numrep.signed_digit import SDNumber, sd_canonical
 
@@ -169,6 +170,10 @@ class ConvolutionDatapath:
         instead of embedding it as constants.  Default False.  Only
         non-negative kernels support this mode (the port encoder feeds
         plain binary digits).
+    backend:
+        Simulation engine: ``"packed"`` (default) compiles the datapath
+        to the bit-packed engine; ``"wave"`` uses the interpreting
+        waveform simulator.  Outputs are bit-identical.
     """
 
     def __init__(
@@ -179,6 +184,7 @@ class ConvolutionDatapath:
         ndigits: int = 8,
         delay_model: Optional[DelayModel] = None,
         coefficients_as_inputs: bool = False,
+        backend: str = "packed",
     ) -> None:
         if arithmetic not in ("online", "traditional"):
             raise ValueError("arithmetic must be 'online' or 'traditional'")
@@ -206,11 +212,12 @@ class ConvolutionDatapath:
         self.delay_model = (
             delay_model if delay_model is not None else FpgaDelay()
         )
+        self.backend = backend
         if arithmetic == "online":
             self.circuit, self._out_positions = self._build_online()
         else:
             self.circuit, self._out_positions = self._build_traditional()
-        self.simulator = WaveformSimulator(self.circuit, self.delay_model)
+        self.simulator = make_simulator(self.circuit, self.delay_model, backend)
         self.rated_step = static_timing(
             self.circuit, self.delay_model
         ).critical_delay
@@ -409,6 +416,7 @@ class GaussianFilterDatapath(ConvolutionDatapath):
         ndigits: int = 8,
         delay_model: Optional[DelayModel] = None,
         coefficients_as_inputs: bool = False,
+        backend: str = "packed",
     ) -> None:
         super().__init__(
             arithmetic,
@@ -417,6 +425,7 @@ class GaussianFilterDatapath(ConvolutionDatapath):
             ndigits=ndigits,
             delay_model=delay_model,
             coefficients_as_inputs=coefficients_as_inputs,
+            backend=backend,
         )
 
 
@@ -435,6 +444,7 @@ class SobelFilterDatapath(ConvolutionDatapath):
         ndigits: int = 8,
         delay_model: Optional[DelayModel] = None,
         vertical: bool = False,
+        backend: str = "packed",
     ) -> None:
         kernel = SOBEL_Y_KERNEL_8THS if vertical else SOBEL_X_KERNEL_8THS
         super().__init__(
@@ -443,4 +453,5 @@ class SobelFilterDatapath(ConvolutionDatapath):
             kernel_frac_bits=3,
             ndigits=ndigits,
             delay_model=delay_model,
+            backend=backend,
         )

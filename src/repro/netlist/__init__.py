@@ -22,6 +22,18 @@ from repro.netlist.delay import (
     CarryChainDelay,
 )
 from repro.netlist.sim import WaveformSimulator, SimulationResult, run_chunked
+from repro.netlist.compiled import (
+    BACKENDS,
+    CompiledCircuit,
+    PackedSimulationResult,
+    circuit_fingerprint,
+    clear_compile_cache,
+    compile_cache_info,
+    compile_circuit,
+    evaluate_packed,
+    make_simulator,
+)
+from repro.netlist.packing import pack_bits, unpack_bits, packed_width
 from repro.netlist.sta import static_timing, critical_path, ArrivalTimes
 from repro.netlist.area import estimate_area, AreaReport
 from repro.netlist.verilog import to_verilog
@@ -46,6 +58,18 @@ __all__ = [
     "WaveformSimulator",
     "SimulationResult",
     "run_chunked",
+    "BACKENDS",
+    "CompiledCircuit",
+    "PackedSimulationResult",
+    "circuit_fingerprint",
+    "clear_compile_cache",
+    "compile_cache_info",
+    "compile_circuit",
+    "evaluate_packed",
+    "make_simulator",
+    "pack_bits",
+    "unpack_bits",
+    "packed_width",
     "static_timing",
     "critical_path",
     "ArrivalTimes",

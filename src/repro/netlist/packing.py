@@ -1,0 +1,140 @@
+"""Bit-packing primitives for the compiled simulation backend.
+
+The packed engines keep one *sample* per bit: a batch of ``S`` boolean
+samples becomes ``ceil(S / 64)`` ``uint64`` words, and every gate
+evaluation turns into a handful of bitwise word operations — 64 samples
+per instruction instead of one ``uint8`` lane each.
+
+Layout
+------
+Sample ``s`` lives in bit ``s % 64`` of word ``s // 64`` *as laid out in
+memory* by ``np.packbits(..., bitorder="little")``.  Because the packed
+domain is only ever touched with bitwise operators (AND/OR/XOR and
+XOR-with-all-ones for NOT — never shifts or comparisons), the mapping
+from memory bytes to ``uint64`` lanes is irrelevant to correctness and
+the code is endian-agnostic.
+
+LUT gates cannot gather per-bit, so :func:`lut_packed` evaluates an
+arbitrary truth table as a Shannon-expansion multiplexer tree over the
+packed bit-planes, folding constant cofactors away as it goes — a LUT
+whose table happens to be, say, ``XOR`` costs exactly the XOR ops and
+nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+#: number of samples packed into one word
+WORD_BITS = 64
+
+#: all-ones word (packed-domain constant 1)
+FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: all-zeros word (packed-domain constant 0)
+ZERO_WORD = np.uint64(0)
+
+
+def packed_width(num_samples: int) -> int:
+    """Number of ``uint64`` words needed for *num_samples* packed bits."""
+    if num_samples < 0:
+        raise ValueError("num_samples must be >= 0")
+    return max(1, (num_samples + WORD_BITS - 1) // WORD_BITS)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack 0/1 values along the last axis into ``uint64`` words.
+
+    ``(..., S)`` uint8 in -> ``(..., packed_width(S))`` uint64 out; the
+    bits beyond ``S`` in the final word are zero-padded.
+    """
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    if bits.ndim == 0:
+        bits = bits.reshape(1)
+    width = packed_width(bits.shape[-1])
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    pad = width * (WORD_BITS // 8) - packed.shape[-1]
+    if pad:
+        packed = np.concatenate(
+            [packed, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)],
+            axis=-1,
+        )
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def unpack_bits(packed: np.ndarray, num_samples: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: ``(..., W)`` uint64 -> ``(..., S)`` uint8."""
+    packed = np.ascontiguousarray(packed, dtype=np.uint64)
+    if packed.ndim == 0:
+        packed = np.broadcast_to(packed, (packed_width(num_samples),)).copy()
+    return np.unpackbits(
+        packed.view(np.uint8), axis=-1, count=num_samples, bitorder="little"
+    )
+
+
+#: a packed-domain bit value: a word array or an all-same scalar word
+PackedBit = Union[np.ndarray, np.uint64]
+
+
+def lut_packed(table: Sequence[int], bits: Sequence[PackedBit]):
+    """Evaluate ``table[sum(bit_i << i)]`` elementwise in the packed domain.
+
+    Shannon-expands the table one variable at a time (LSB index bit
+    first), building the standard 2:1-mux cone ``f = f0 ^ ((f0 ^ f1) & x)``
+    — but with constant cofactors folded on the fly, so structured tables
+    (tie-offs, pass-throughs, AND/XOR-like functions) collapse to far
+    fewer word operations than the worst-case ``3 * (2**k - 1)``.
+
+    Returns a packed word array (or scalar, when every *bit* is scalar);
+    a fully-constant table returns the Python int ``0`` or ``1`` and the
+    caller materialises it.
+    """
+    k = len(bits)
+    if len(table) != 2**k:
+        raise ValueError(
+            f"LUT table must have {2 ** k} entries for {k} inputs, "
+            f"got {len(table)}"
+        )
+    # cofactor values: Python ints 0/1 are symbolic constants, anything
+    # else is a live packed-domain value
+    vals: List[object] = [int(v) for v in table]
+    for x in bits:
+        nx = None  # lazily computed NOT of this variable
+        nxt: List[object] = []
+        for i in range(0, len(vals), 2):
+            f0, f1 = vals[i], vals[i + 1]
+            if f0 is f1:
+                nxt.append(f0)
+                continue
+            c0 = type(f0) is int
+            c1 = type(f1) is int
+            if c0 and c1:
+                if f0 == f1:
+                    nxt.append(f0)
+                elif f0 == 0:  # (0, 1): f = x
+                    nxt.append(x)
+                else:  # (1, 0): f = ~x
+                    if nx is None:
+                        nx = x ^ FULL_WORD
+                    nxt.append(nx)
+            elif c0:
+                if f0 == 0:
+                    nxt.append(x & f1)
+                else:  # f0 == 1: f = ~x | f1
+                    if nx is None:
+                        nx = x ^ FULL_WORD
+                    nxt.append(nx | f1)
+            elif c1:
+                if f1 == 0:  # f = ~x & f0
+                    if nx is None:
+                        nx = x ^ FULL_WORD
+                    nxt.append(nx & f0)
+                else:  # f1 == 1: f = x | f0
+                    nxt.append(x | f0)
+            else:
+                nxt.append(f0 ^ ((f0 ^ f1) & x))
+        vals = nxt
+    assert len(vals) == 1
+    return vals[0]

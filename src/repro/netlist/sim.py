@@ -32,6 +32,45 @@ from repro.netlist.gates import Circuit, Gate
 ArrayLike = Union[int, Sequence[int], np.ndarray]
 
 
+def prepare_batch_inputs(
+    circuit: Circuit, inputs: Mapping[str, ArrayLike]
+) -> Dict[int, np.ndarray]:
+    """Validate and normalise a batch of input values.
+
+    Returns a mapping net handle -> 1-D uint8 array; scalars are
+    broadcast to the common batch size.  Shared by every simulation
+    backend (:class:`WaveformSimulator`, :func:`evaluate`, and the
+    compiled engine in :mod:`repro.netlist.compiled`).
+    """
+    names = circuit.input_names
+    missing = set(names) - set(inputs)
+    if missing:
+        raise ValueError(f"missing input values for {sorted(missing)}")
+    extra = set(inputs) - set(names)
+    if extra:
+        raise ValueError(f"unknown inputs {sorted(extra)}")
+    arrays: Dict[int, np.ndarray] = {}
+    size: Optional[int] = None
+    for name, net in zip(names, circuit.input_nets):
+        arr = np.asarray(inputs[name], dtype=np.uint8)
+        if arr.ndim == 0:
+            arr = arr.reshape(1)
+        if arr.ndim != 1:
+            raise ValueError(f"input {name!r} must be scalar or 1-D")
+        if size is None or arr.size > size:
+            size = arr.size
+        arrays[net] = arr
+    assert size is not None
+    for net, arr in arrays.items():
+        if arr.size == 1 and size > 1:
+            arrays[net] = np.full(size, arr[0], dtype=np.uint8)
+        elif arr.size != size:
+            raise ValueError("all inputs must share the same batch size")
+        if arrays[net].max(initial=0) > 1:
+            raise ValueError("input values must be 0/1")
+    return arrays
+
+
 def _eval_gate(
     op: str,
     ins: List[np.ndarray],
@@ -39,7 +78,13 @@ def _eval_gate(
 ) -> np.ndarray:
     """Evaluate one gate elementwise on uint8 arrays of 0/1."""
     if op == "LUT":
-        assert table is not None
+        if table is None:
+            raise ValueError("LUT gate is missing its truth table")
+        if len(table) != 2 ** len(ins):
+            raise ValueError(
+                f"LUT table must have {2 ** len(ins)} entries for "
+                f"{len(ins)} inputs, got {len(table)}"
+            )
         idx = ins[0].astype(np.intp).copy()
         for k, w in enumerate(ins[1:], start=1):
             idx += w.astype(np.intp) << k
@@ -159,33 +204,7 @@ class WaveformSimulator:
     def _prepare_inputs(
         self, inputs: Mapping[str, ArrayLike]
     ) -> Dict[int, np.ndarray]:
-        names = self.circuit.input_names
-        missing = set(names) - set(inputs)
-        if missing:
-            raise ValueError(f"missing input values for {sorted(missing)}")
-        extra = set(inputs) - set(names)
-        if extra:
-            raise ValueError(f"unknown inputs {sorted(extra)}")
-        arrays: Dict[int, np.ndarray] = {}
-        size: Optional[int] = None
-        for name, net in zip(names, self.circuit.input_nets):
-            arr = np.asarray(inputs[name], dtype=np.uint8)
-            if arr.ndim == 0:
-                arr = arr.reshape(1)
-            if arr.ndim != 1:
-                raise ValueError(f"input {name!r} must be scalar or 1-D")
-            if size is None or arr.size > size:
-                size = arr.size
-            arrays[net] = arr
-        assert size is not None
-        for net, arr in arrays.items():
-            if arr.size == 1 and size > 1:
-                arrays[net] = np.full(size, arr[0], dtype=np.uint8)
-            elif arr.size != size:
-                raise ValueError("all inputs must share the same batch size")
-            if arrays[net].max(initial=0) > 1:
-                raise ValueError("input values must be 0/1")
-        return arrays
+        return prepare_batch_inputs(self.circuit, inputs)
 
     def run(
         self,
@@ -300,9 +319,7 @@ def evaluate(circuit: Circuit, inputs: Mapping[str, ArrayLike]) -> Dict[str, np.
     Much faster than :class:`WaveformSimulator` when only logical correctness
     matters; used heavily by the operator test-suites.
     """
-    sim_inputs = WaveformSimulator.__new__(WaveformSimulator)
-    sim_inputs.circuit = circuit
-    arrays = WaveformSimulator._prepare_inputs(sim_inputs, inputs)
+    arrays = prepare_batch_inputs(circuit, inputs)
     values: Dict[int, np.ndarray] = dict(arrays)
     num_samples = next(iter(arrays.values())).shape[0] if arrays else 1
     for gate in circuit.gates:

@@ -31,6 +31,7 @@ from repro.sim.error_profile import (
     DigitErrorProfile,
     digit_error_profile,
     online_digit_groups,
+    profile_circuit,
     traditional_bit_groups,
 )
 from repro.sim.reporting import format_table, geomean
@@ -48,6 +49,7 @@ __all__ = [
     "DigitErrorProfile",
     "digit_error_profile",
     "online_digit_groups",
+    "profile_circuit",
     "traditional_bit_groups",
     "format_table",
     "geomean",

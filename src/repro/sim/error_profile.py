@@ -14,7 +14,7 @@ LSD-first/MSB-first contrast quantitatively.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -86,6 +86,31 @@ def digit_error_profile(
                 bad |= sample[name] != final[name]
             rates[i, k] = float(bad.mean())
     return DigitErrorProfile(steps_arr, list(labels), rates)
+
+
+def profile_circuit(
+    circuit,
+    inputs: Mapping[str, np.ndarray],
+    digit_groups: Sequence[Sequence[str]],
+    labels: Sequence[str],
+    steps: Sequence[int],
+    delay_model=None,
+    backend: str = "packed",
+) -> DigitErrorProfile:
+    """Simulate *circuit* and profile its per-digit error rates in one call.
+
+    Convenience wrapper around :func:`digit_error_profile` that runs the
+    simulation itself with the chosen engine (``backend="packed"`` uses
+    the compiled bit-packed simulator, ``"wave"`` the interpreting one;
+    both are bit-identical).  Only the nets named in *digit_groups* are
+    retained, which keeps memory proportional to the profiled outputs.
+    """
+    from repro.netlist.compiled import make_simulator
+
+    needed = {name for group in digit_groups for name in group}
+    simulator = make_simulator(circuit, delay_model, backend)
+    result = simulator.run(inputs, keep=needed)
+    return digit_error_profile(result, digit_groups, labels, steps)
 
 
 def online_digit_groups(ndigits: int) -> Dict[str, object]:

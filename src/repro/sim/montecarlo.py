@@ -78,6 +78,7 @@ def settle_depth_histogram(
     num_samples: int = 20000,
     seed: int = 2014,
     delta: int = 3,
+    backend: str = "packed",
 ) -> dict:
     """Empirical distribution of per-sample settling depths.
 
@@ -95,7 +96,7 @@ def settle_depth_histogram(
     rng = np.random.default_rng(seed)
     xd = uniform_digit_batch(ndigits, num_samples, rng)
     yd = uniform_digit_batch(ndigits, num_samples, rng)
-    waves = om.wave(xd, yd)
+    waves = om.wave(xd, yd, backend=backend)
     final_vals = digits_to_scaled_int(waves[-1])
     depth = np.zeros(num_samples, dtype=np.int64)
     unset = np.ones(num_samples, dtype=bool)
@@ -116,6 +117,7 @@ def mc_expected_error(
     seed: int = 2014,
     delta: int = 3,
     depths: Optional[List[int]] = None,
+    backend: str = "packed",
 ) -> MonteCarloResult:
     """Monte-Carlo ``E|eps|`` versus sampling depth for an ``N``-digit OM.
 
@@ -127,13 +129,17 @@ def mc_expected_error(
         Number of uniform-independent operand pairs.
     depths:
         Sampling depths ``b`` to report (default: ``delta+1 .. N+delta``).
+    backend:
+        Wave-evaluation engine, ``"packed"`` (default) or ``"wave"``;
+        both are bit-identical (``tests/sim/test_determinism.py``), so
+        every statistic is backend-independent.
     """
     om = OnlineMultiplier(ndigits, delta)
     rng = np.random.default_rng(seed)
     xd = uniform_digit_batch(ndigits, num_samples, rng)
     yd = uniform_digit_batch(ndigits, num_samples, rng)
 
-    waves = om.wave(xd, yd)  # (ticks+1, N, S)
+    waves = om.wave(xd, yd, backend=backend)  # (ticks+1, N, S)
     final = waves[-1]
     correct = digits_to_scaled_int(final).astype(np.float64)
 

@@ -28,8 +28,8 @@ from repro.core.conversion import (
 )
 from repro.core.online_multiplier import OnlineMultiplier
 from repro.arith.array_multiplier import build_array_multiplier
+from repro.netlist.compiled import make_simulator
 from repro.netlist.delay import DelayModel, UnitDelay
-from repro.netlist.sim import WaveformSimulator
 from repro.netlist.sta import static_timing
 
 
@@ -89,12 +89,25 @@ class SweepResult:
 
 
 class _Harness:
-    """Shared machinery: build once, sweep many batches."""
+    """Shared machinery: build once, sweep many batches.
 
-    def __init__(self, circuit, delay_model: Optional[DelayModel]) -> None:
+    ``backend`` selects the simulation engine: ``"packed"`` (default)
+    compiles the netlist to the bit-packed engine of
+    :mod:`repro.netlist.compiled`; ``"wave"`` uses the interpreting
+    :class:`repro.netlist.sim.WaveformSimulator`.  Results are
+    bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        circuit,
+        delay_model: Optional[DelayModel],
+        backend: str = "packed",
+    ) -> None:
         self.circuit = circuit
         self.delay_model = delay_model if delay_model is not None else UnitDelay()
-        self.simulator = WaveformSimulator(circuit, self.delay_model)
+        self.backend = backend
+        self.simulator = make_simulator(circuit, self.delay_model, backend)
         self.rated_step = static_timing(circuit, self.delay_model).critical_delay
 
     def decode(self, outputs: Dict[str, np.ndarray]) -> np.ndarray:
@@ -129,11 +142,14 @@ class OnlineMultiplierHarness(_Harness):
     """Gate-level online multiplier under overclocking."""
 
     def __init__(
-        self, ndigits: int, delay_model: Optional[DelayModel] = None
+        self,
+        ndigits: int,
+        delay_model: Optional[DelayModel] = None,
+        backend: str = "packed",
     ) -> None:
         self.ndigits = ndigits
         om = OnlineMultiplier(ndigits)
-        super().__init__(om.build_circuit(), delay_model)
+        super().__init__(om.build_circuit(), delay_model, backend)
 
     def encode(self, xdigits: np.ndarray, ydigits: np.ndarray) -> Dict[str, np.ndarray]:
         """Port values from digit batches of shape ``(N, S)``."""
@@ -166,10 +182,13 @@ class TraditionalMultiplierHarness(_Harness):
     """Gate-level two's-complement array multiplier under overclocking."""
 
     def __init__(
-        self, width: int, delay_model: Optional[DelayModel] = None
+        self,
+        width: int,
+        delay_model: Optional[DelayModel] = None,
+        backend: str = "packed",
     ) -> None:
         self.width = width
-        super().__init__(build_array_multiplier(width), delay_model)
+        super().__init__(build_array_multiplier(width), delay_model, backend)
 
     def encode(self, x_scaled: np.ndarray, y_scaled: np.ndarray) -> Dict[str, np.ndarray]:
         """Port values from integers scaled by ``2**(width-1)`` (Q1 format)."""

@@ -1,0 +1,53 @@
+"""Golden-value pinning of the N=8 Monte-Carlo error curve.
+
+``mc_expected_error`` is fully deterministic given its seed, and the two
+simulation backends are bit-identical, so the mean-absolute-error at any
+sampling depth is a *constant* of the repository.  Pinning three depths
+to stored values turns any silent numerical drift — a kernel change, an
+ops-provider change, a packing bug — into a loud test failure.
+
+The constants were produced by the seed-2014, 20000-sample run the CLI
+``model`` command uses by default (Fig. 4 top, N=8, delta=3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.montecarlo import mc_expected_error
+
+#: depth b -> (E|eps|, P(violation)) for N=8, delta=3, seed=2014, S=20000
+GOLDEN = {
+    4: (0.154214453125, 0.98525),
+    5: (0.039919921875, 0.9476),
+    6: (0.0098267578125, 0.8216),
+}
+
+TOL = 1e-12
+
+
+@pytest.fixture(scope="module", params=["packed", "wave"])
+def mc(request):
+    return mc_expected_error(
+        8, num_samples=20000, seed=2014, backend=request.param
+    )
+
+
+@pytest.mark.parametrize("depth", sorted(GOLDEN))
+def test_mean_abs_error_pinned(mc, depth):
+    want_err, want_viol = GOLDEN[depth]
+    got_err, got_viol = mc.at_depth(depth)
+    assert got_err == pytest.approx(want_err, abs=TOL)
+    assert got_viol == pytest.approx(want_viol, abs=TOL)
+
+
+def test_settled_depths_are_error_free(mc):
+    """From depth N (=8) on, every sample has settled: exact zero error."""
+    for depth in range(8, int(mc.depths[-1]) + 1):
+        err, viol = mc.at_depth(depth)
+        assert err == 0.0
+        assert viol == 0.0
+
+
+def test_curve_is_monotone_decreasing(mc):
+    assert np.all(np.diff(mc.mean_abs_error) <= 0)
+    assert np.all(np.diff(mc.violation_probability) <= 0)
