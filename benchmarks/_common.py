@@ -17,6 +17,9 @@ Environment knobs:
     images — larger sizes sharpen the statistics but cost simulation time).
 ``REPRO_BENCH_SAMPLES``
     Monte-Carlo sample count (default 20000).
+``REPRO_JOBS`` / ``REPRO_CACHE_DIR``
+    Worker processes and persistent result cache for the sharded
+    ``run_*`` experiments (see :func:`run_config`).
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from typing import Dict, Tuple
 from repro.imaging.filters import FilterRun, GaussianFilterDatapath
 from repro.imaging.synthetic import benchmark_image
 from repro.netlist.delay import FpgaDelay
+from repro.runners import RunConfig
 
 #: image inputs of the case study, in the paper's table order
 INPUT_NAMES = ("uniform", "lena", "pepper", "sailboat", "tiffany")
@@ -63,6 +67,17 @@ def filter_runs(image_name: str, arithmetic: str) -> FilterRun:
         image = benchmark_image(image_name, size=IMAGE_SIZE)
         _filter_cache[key] = filter_datapath(arithmetic).apply(image)
     return _filter_cache[key]
+
+
+def run_config(**overrides) -> RunConfig:
+    """Experiment configuration for the benchmark suite.
+
+    ``jobs`` and ``cache_dir`` default from ``REPRO_JOBS`` /
+    ``REPRO_CACHE_DIR`` (via the :class:`RunConfig` defaults), so CI can
+    parallelize and warm-cache the whole suite without touching every
+    benchmark; keyword overrides win.
+    """
+    return RunConfig(**overrides)
 
 
 def emit(name: str, text: str) -> None:

@@ -8,14 +8,16 @@ multipliers: ``E|eps|`` as a function of the normalized clock period
 
 import pytest
 
-from _common import MC_SAMPLES, emit
+from _common import MC_SAMPLES, emit, run_config
 from repro.core.model import OverclockingErrorModel
-from repro.sim.montecarlo import mc_expected_error
+from repro.sim.montecarlo import run_montecarlo
 from repro.sim.reporting import format_table
 
 
 def _series(ndigits: int):
-    mc = mc_expected_error(ndigits, num_samples=MC_SAMPLES, seed=2014)
+    mc = run_montecarlo(
+        run_config(ndigits=ndigits, seed=2014), num_samples=MC_SAMPLES
+    )
     model = OverclockingErrorModel(ndigits)
     rows = []
     for i, b in enumerate(mc.depths):

@@ -23,22 +23,40 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
-
 from repro.core.model import OverclockingErrorModel
-from repro.sim.reporting import format_table
+from repro.sim.reporting import format_run_stats, format_table
+
+
+def _config_from_args(args: argparse.Namespace, **overrides):
+    """Build the :class:`~repro.runners.RunConfig` a subcommand asked for.
+
+    Flags the subcommand does not define fall back to the RunConfig
+    defaults (which read ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``);
+    ``--no-cache`` forces the cache off even when the environment
+    configures one.
+    """
+    from repro.runners import RunConfig
+
+    kwargs = {}
+    for name in ("ndigits", "seed", "backend"):
+        if hasattr(args, name):
+            kwargs[name] = getattr(args, name)
+    if getattr(args, "jobs", None) is not None:
+        kwargs["jobs"] = args.jobs
+    if getattr(args, "no_cache", False):
+        kwargs["cache_dir"] = None
+    elif getattr(args, "cache_dir", None) is not None:
+        kwargs["cache_dir"] = args.cache_dir
+    kwargs.update(overrides)
+    return RunConfig(**kwargs)
 
 
 def _cmd_model(args: argparse.Namespace) -> int:
-    from repro.sim.montecarlo import mc_expected_error
+    from repro.sim.montecarlo import run_montecarlo
 
+    config = _config_from_args(args)
     model = OverclockingErrorModel(args.ndigits)
-    mc = mc_expected_error(
-        args.ndigits,
-        num_samples=args.samples,
-        seed=args.seed,
-        backend=args.backend,
-    )
+    mc = run_montecarlo(config, num_samples=args.samples)
     if args.calibrate:
         model = model.calibrated([int(b) for b in mc.depths], mc.mean_abs_error)
         print(f"calibrated kappa = {model.kappa:.3f}")
@@ -56,6 +74,7 @@ def _cmd_model(args: argparse.Namespace) -> int:
         rows,
         title=f"{args.ndigits}-digit online multiplier: model vs Monte-Carlo",
     ))
+    print(format_run_stats(mc.run_stats))
     return 0
 
 
@@ -74,28 +93,15 @@ def _cmd_chains(args: argparse.Namespace) -> int:
 
 
 def _cmd_multiplier(args: argparse.Namespace) -> int:
-    from repro.netlist.delay import FpgaDelay
-    from repro.sim.montecarlo import uniform_digit_batch
-    from repro.sim.sweep import (
-        OnlineMultiplierHarness,
-        TraditionalMultiplierHarness,
-    )
+    from repro.sim.sweep import run_sweep
 
-    rng = np.random.default_rng(args.seed)
-    n = args.ndigits
-    online = OnlineMultiplierHarness(n, FpgaDelay(), backend=args.backend)
-    online_run = online.sweep(
-        uniform_digit_batch(n, args.samples, rng),
-        uniform_digit_batch(n, args.samples, rng),
-    )
-    trad = TraditionalMultiplierHarness(n + 1, FpgaDelay(), backend=args.backend)
-    lim = 2**n - 1
-    trad_run = trad.sweep(
-        rng.integers(-lim, lim + 1, args.samples),
-        rng.integers(-lim, lim + 1, args.samples),
-    )
+    config = _config_from_args(args)
+    runs = {
+        design: run_sweep(config, design=design, num_samples=args.samples)
+        for design in ("online", "traditional")
+    }
     rows = []
-    for name, run in (("online", online_run), ("traditional", trad_run)):
+    for name, run in runs.items():
         rows.append(
             [name, run.rated_step, run.error_free_step,
              f"{100 * (run.rated_step / run.error_free_step - 1):.1f}%"]
@@ -107,8 +113,8 @@ def _cmd_multiplier(args: argparse.Namespace) -> int:
     for factor in (1.05, 1.10, 1.15, 1.20, 1.25, 1.30):
         rows.append(
             [f"{factor:.2f}x",
-             f"{online_run.at_normalized_frequency(factor):.3e}",
-             f"{trad_run.at_normalized_frequency(factor):.3e}"]
+             f"{runs['online'].at_normalized_frequency(factor):.3e}",
+             f"{runs['traditional'].at_normalized_frequency(factor):.3e}"]
         )
     print()
     print(format_table(
@@ -116,34 +122,35 @@ def _cmd_multiplier(args: argparse.Namespace) -> int:
         rows,
         title="product error vs normalized frequency (gate level)",
     ))
+    for run in runs.values():
+        print(format_run_stats(run.run_stats))
     return 0
 
 
 def _cmd_filter(args: argparse.Namespace) -> int:
-    from repro.imaging import (
-        GaussianFilterDatapath,
-        benchmark_image,
-        mre_percent,
-        snr_db,
-    )
+    from repro.imaging import run_filter_study
 
-    image = benchmark_image(args.image, size=args.size)
-    runs = {}
+    factors = (1.05, 1.10, 1.15, 1.20, 1.25)
+    config = _config_from_args(args)
+    study = run_filter_study(
+        config,
+        images=(args.image,),
+        arithmetics=("traditional", "online"),
+        factors=factors,
+        size=args.size,
+    )
     for arith in ("traditional", "online"):
-        run = GaussianFilterDatapath(arith, backend=args.backend).apply(image)
-        runs[arith] = run
+        steps = study.steps(arith, args.image)
         print(
-            f"{arith}: rated {run.rated_step}, error-free "
-            f"{run.error_free_step} quanta"
+            f"{arith}: rated {steps['rated_step']}, error-free "
+            f"{steps['error_free_step']} quanta"
         )
     rows = []
-    for factor in (1.05, 1.10, 1.15, 1.20, 1.25):
+    for factor in factors:
         row = [f"{factor:.2f}x"]
         for arith in ("traditional", "online"):
-            run = runs[arith]
-            out = run.at_factor(factor)
-            row.append(f"{mre_percent(run.correct, out):.3f}%")
-            row.append(f"{snr_db(run.correct, out):.1f}")
+            row.append(f"{study.mre(arith, args.image, factor):.3f}%")
+            row.append(f"{study.snr(arith, args.image, factor):.1f}")
         rows.append(row)
     print()
     print(format_table(
@@ -151,6 +158,7 @@ def _cmd_filter(args: argparse.Namespace) -> int:
         rows,
         title=f"Gaussian filter on '{args.image}' ({args.size}x{args.size})",
     ))
+    print(format_run_stats(study.run_stats))
     return 0
 
 
@@ -217,6 +225,27 @@ def _add_backend_flag(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_run_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sharded experiments "
+             "(default: $REPRO_JOBS or 1)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result-cache directory "
+             "(default: $REPRO_CACHE_DIR; unset disables caching)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache even if $REPRO_CACHE_DIR is set",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-overclock",
@@ -231,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--calibrate", action="store_true",
                    help="fit kappa to the Monte-Carlo before reporting")
     _add_backend_flag(p)
+    _add_run_flags(p)
     p.set_defaults(func=_cmd_model)
 
     p = sub.add_parser("chains", help="chain-delay statistics (Fig. 5)")
@@ -242,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=3000)
     p.add_argument("--seed", type=int, default=2014)
     _add_backend_flag(p)
+    _add_run_flags(p)
     p.set_defaults(func=_cmd_multiplier)
 
     p = sub.add_parser("filter", help="Gaussian-filter case study")
@@ -249,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["lena", "pepper", "sailboat", "tiffany", "uniform"])
     p.add_argument("--size", type=int, default=48)
     _add_backend_flag(p)
+    _add_run_flags(p)
     p.set_defaults(func=_cmd_filter)
 
     p = sub.add_parser("area", help="area comparison (Table 4)")

@@ -25,14 +25,17 @@ from repro.imaging.synthetic import (
 from repro.imaging.metrics import mre_percent, snr_db, psnr_db
 from repro.imaging.filters import (
     GAUSSIAN_KERNEL_64THS,
+    KERNEL_PRESETS,
     SOBEL_X_KERNEL_8THS,
     SOBEL_Y_KERNEL_8THS,
     ConvolutionDatapath,
+    FilterStudyResult,
     GaussianFilterDatapath,
     SobelFilterDatapath,
     convolution_reference,
     gaussian_reference,
     image_patches,
+    run_filter_study,
 )
 from repro.imaging.pgm import write_pgm, read_pgm
 
@@ -48,14 +51,17 @@ __all__ = [
     "snr_db",
     "psnr_db",
     "GAUSSIAN_KERNEL_64THS",
+    "KERNEL_PRESETS",
     "SOBEL_X_KERNEL_8THS",
     "SOBEL_Y_KERNEL_8THS",
     "ConvolutionDatapath",
+    "FilterStudyResult",
     "GaussianFilterDatapath",
     "SobelFilterDatapath",
     "convolution_reference",
     "gaussian_reference",
     "image_patches",
+    "run_filter_study",
     "write_pgm",
     "read_pgm",
 ]

@@ -34,7 +34,7 @@ MRE/SNR metrics and for writing the Fig. 7 images.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,12 +43,19 @@ from repro.arith.array_multiplier import array_multiplier
 from repro.core.kernels import BSVec, bs_add
 from repro.core.online_multiplier import OnlineMultiplier
 from repro.core.ops import NetOps
+from repro.imaging.metrics import mre_percent as _mre_percent
+from repro.imaging.metrics import snr_db as _snr_db
+from repro.imaging.synthetic import benchmark_image
 from repro.netlist.compiled import make_simulator
-from repro.netlist.delay import DelayModel, FpgaDelay
+from repro.netlist.delay import DelayModel, FpgaDelay, delay_signature
 from repro.netlist.gates import Circuit
 from repro.netlist.sim import SimulationResult
 from repro.netlist.sta import static_timing
 from repro.numrep.signed_digit import SDNumber, sd_canonical
+from repro.runners.cache import cache_for, cache_key
+from repro.runners.config import RunConfig
+from repro.runners.parallel import ParallelRunner
+from repro.runners.results import register_result
 
 #: quantized Gaussian kernel in units of 1/64, row-major
 GAUSSIAN_KERNEL_64THS = np.array(
@@ -65,6 +72,13 @@ SOBEL_X_KERNEL_8THS = np.array(
 
 #: vertical Sobel edge kernel in units of 1/8
 SOBEL_Y_KERNEL_8THS = SOBEL_X_KERNEL_8THS.T.copy()
+
+#: named kernel presets for :func:`run_filter_study`: name -> (kernel, frac_bits)
+KERNEL_PRESETS: Dict[str, Tuple[np.ndarray, int]] = {
+    "gaussian": (GAUSSIAN_KERNEL_64THS, KERNEL_FRAC_BITS),
+    "sobel-x": (SOBEL_X_KERNEL_8THS, 3),
+    "sobel-y": (SOBEL_Y_KERNEL_8THS, 3),
+}
 
 
 def convolution_reference(
@@ -174,6 +188,11 @@ class ConvolutionDatapath:
         Simulation engine: ``"packed"`` (default) compiles the datapath
         to the bit-packed engine; ``"wave"`` uses the interpreting
         waveform simulator.  Outputs are bit-identical.
+    config:
+        Optional :class:`~repro.runners.RunConfig`; when given, its
+        ``ndigits`` and ``backend`` override the corresponding keyword
+        arguments, so CLI/experiment code can thread one parameter block
+        through every layer.
     """
 
     def __init__(
@@ -185,7 +204,11 @@ class ConvolutionDatapath:
         delay_model: Optional[DelayModel] = None,
         coefficients_as_inputs: bool = False,
         backend: str = "packed",
+        config: Optional[RunConfig] = None,
     ) -> None:
+        if config is not None:
+            ndigits = config.ndigits
+            backend = config.backend
         if arithmetic not in ("online", "traditional"):
             raise ValueError("arithmetic must be 'online' or 'traditional'")
         if ndigits < 8:
@@ -455,3 +478,264 @@ class SobelFilterDatapath(ConvolutionDatapath):
             delay_model=delay_model,
             backend=backend,
         )
+
+
+# ------------------------------------------------------------- filter study
+
+@register_result
+@dataclass
+class FilterStudyResult:
+    """Quality metrics of one kernel over an (arithmetic, image) grid.
+
+    The array axes follow the list fields: ``rated_step[a, i]`` etc. are
+    indexed by ``arithmetics[a]`` and ``images[i]``; the metric arrays add
+    a trailing ``factors`` axis (``mre_percent[a, i, f]`` is the MRE when
+    the ``arithmetics[a]`` datapath filters ``images[i]`` clocked at
+    ``factors[f]`` times its own measured error-free frequency).
+    """
+
+    images: List[str]
+    arithmetics: List[str]
+    factors: List[float]
+    kernel: str
+    size: int
+    ndigits: int
+    rated_step: np.ndarray  # (A, I)
+    error_free_step: np.ndarray  # (A, I)
+    settle_step: np.ndarray  # (A, I)
+    mre_percent: np.ndarray  # (A, I, F)
+    snr_db: np.ndarray  # (A, I, F)
+
+    kind: ClassVar[str] = "filter_study"
+    _array_fields: ClassVar[Dict[str, str]] = {
+        "rated_step": "int64",
+        "error_free_step": "int64",
+        "settle_step": "int64",
+        "mre_percent": "float64",
+        "snr_db": "float64",
+    }
+
+    # ------------------------------------------------------------ accessors
+    def _cell(self, arithmetic: str, image: str) -> Tuple[int, int]:
+        return self.arithmetics.index(arithmetic), self.images.index(image)
+
+    def steps(self, arithmetic: str, image: str) -> Dict[str, int]:
+        """Rated / error-free / settle periods of one datapath on one image."""
+        a, i = self._cell(arithmetic, image)
+        return {
+            "rated_step": int(self.rated_step[a, i]),
+            "error_free_step": int(self.error_free_step[a, i]),
+            "settle_step": int(self.settle_step[a, i]),
+        }
+
+    def _factor_index(self, factor: float) -> int:
+        for f, known in enumerate(self.factors):
+            if abs(known - factor) < 1e-9:
+                return f
+        raise ValueError(f"factor {factor!r} not in study grid {self.factors}")
+
+    def mre(self, arithmetic: str, image: str, factor: float) -> float:
+        """MRE (percent) at ``factor`` times the error-free frequency."""
+        a, i = self._cell(arithmetic, image)
+        return float(self.mre_percent[a, i, self._factor_index(factor)])
+
+    def snr(self, arithmetic: str, image: str, factor: float) -> float:
+        """SNR (dB) at ``factor`` times the error-free frequency."""
+        a, i = self._cell(arithmetic, image)
+        return float(self.snr_db[a, i, self._factor_index(factor)])
+
+    # ------------------------------------------------- Result protocol
+    def to_dict(self) -> Dict[str, Any]:
+        """Pure-JSON representation (see :mod:`repro.runners.results`)."""
+        return {
+            "kind": self.kind,
+            "images": list(self.images),
+            "arithmetics": list(self.arithmetics),
+            "factors": [float(f) for f in self.factors],
+            "kernel": self.kernel,
+            "size": int(self.size),
+            "ndigits": int(self.ndigits),
+            "rated_step": self.rated_step.tolist(),
+            "error_free_step": self.error_free_step.tolist(),
+            "settle_step": self.settle_step.tolist(),
+            "mre_percent": self.mre_percent.tolist(),
+            "snr_db": self.snr_db.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FilterStudyResult":
+        return cls(
+            images=[str(v) for v in data["images"]],
+            arithmetics=[str(v) for v in data["arithmetics"]],
+            factors=[float(v) for v in data["factors"]],
+            kernel=str(data["kernel"]),
+            size=int(data["size"]),
+            ndigits=int(data["ndigits"]),
+            rated_step=np.asarray(data["rated_step"], dtype=np.int64),
+            error_free_step=np.asarray(data["error_free_step"], dtype=np.int64),
+            settle_step=np.asarray(data["settle_step"], dtype=np.int64),
+            mre_percent=np.asarray(data["mre_percent"], dtype=np.float64),
+            snr_db=np.asarray(data["snr_db"], dtype=np.float64),
+        )
+
+
+#: per-process datapath memo — building + compiling a 9-multiplier datapath
+#: dwarfs a single image, so worker processes keep theirs across jobs
+_DATAPATH_CACHE: Dict[Tuple, ConvolutionDatapath] = {}
+
+
+def _worker_datapath(
+    arithmetic: str,
+    kernel: str,
+    ndigits: int,
+    backend: str,
+    delay_model: DelayModel,
+) -> ConvolutionDatapath:
+    key = (arithmetic, kernel, ndigits, backend, delay_signature(delay_model))
+    datapath = _DATAPATH_CACHE.get(key)
+    if datapath is None:
+        kern, frac_bits = KERNEL_PRESETS[kernel]
+        datapath = ConvolutionDatapath(
+            arithmetic,
+            kernel=kern,
+            kernel_frac_bits=frac_bits,
+            ndigits=ndigits,
+            delay_model=delay_model,
+            backend=backend,
+        )
+        _DATAPATH_CACHE[key] = datapath
+    return datapath
+
+
+def _filter_job_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One study job: filter one benchmark image with one datapath."""
+    datapath = _worker_datapath(
+        payload["arithmetic"],
+        payload["kernel"],
+        payload["ndigits"],
+        payload["backend"],
+        payload["delay_model"],
+    )
+    image = benchmark_image(payload["image"], size=payload["size"])
+    run = datapath.apply(image)
+    mres: List[float] = []
+    snrs: List[float] = []
+    for factor in payload["factors"]:
+        out = run.at_factor(factor)
+        mres.append(float(_mre_percent(run.correct, out)))
+        snrs.append(float(_snr_db(run.correct, out)))
+    return {
+        "rated": int(run.rated_step),
+        "error_free": int(run.error_free_step),
+        "settle": int(run.settle_step),
+        "mre": mres,
+        "snr": snrs,
+    }
+
+
+def run_filter_study(
+    config: RunConfig,
+    images: Sequence[str] = ("lena",),
+    arithmetics: Sequence[str] = ("traditional", "online"),
+    factors: Sequence[float] = (1.05, 1.10, 1.15, 1.20, 1.25),
+    size: int = 48,
+    kernel: str = "gaussian",
+    delay_model: Optional[DelayModel] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> FilterStudyResult:
+    """Filter-quality study over an (arithmetic, image) grid (Tables 1-2).
+
+    Each (arithmetic, image) cell is one job — a full overclocking sweep
+    of that datapath on that benchmark image — and the jobs fan out
+    across ``config.jobs`` worker processes.  The benchmark images are
+    generated from fixed per-image seeds and the datapaths are fully
+    deterministic, so ``config.seed`` (and ``shard_size``) do not enter
+    the result or its cache key; ``ndigits``/``backend`` do.
+    """
+    images = [str(name) for name in images]
+    arithmetics = [str(a) for a in arithmetics]
+    factors = [float(f) for f in factors]
+    if kernel not in KERNEL_PRESETS:
+        raise ValueError(
+            f"unknown kernel preset {kernel!r}; choose from "
+            f"{sorted(KERNEL_PRESETS)}"
+        )
+    for arith in arithmetics:
+        if arith not in ("online", "traditional"):
+            raise ValueError("arithmetics must be 'online' or 'traditional'")
+    model = delay_model if delay_model is not None else FpgaDelay()
+
+    cache = cache_for(config)
+    runner = runner or ParallelRunner.from_config(config)
+    key = None
+    key_components = None
+    if cache is not None:
+        described = config.describe()
+        described.pop("seed")  # pixel-deterministic: no randomness consumed
+        described.pop("shard_size")  # jobs are whole images, never sharded
+        key_components = dict(
+            experiment="filter_study",
+            kernel=kernel,
+            images=images,
+            arithmetics=arithmetics,
+            factors=factors,
+            size=int(size),
+            delay=delay_signature(model),
+            **described,
+        )
+        key = cache_key(**key_components)
+        hit = cache.get(key)
+        if hit is not None:
+            hit.run_stats = runner.finalize_stats("filter_study", cache="hit")
+            return hit
+
+    jobs = [
+        {
+            "arithmetic": arith,
+            "image": name,
+            "kernel": kernel,
+            "size": int(size),
+            "ndigits": config.ndigits,
+            "backend": config.backend,
+            "delay_model": model,
+            "factors": factors,
+        }
+        for arith in arithmetics
+        for name in images
+    ]
+    # one "sample" per filtered interior pixel, for throughput stats
+    samples = [(size - 2) * (size - 2)] * len(jobs)
+    parts = runner.map(_filter_job_worker, jobs, samples=samples)
+
+    num_a, num_i, num_f = len(arithmetics), len(images), len(factors)
+    rated = np.zeros((num_a, num_i), dtype=np.int64)
+    error_free = np.zeros((num_a, num_i), dtype=np.int64)
+    settle = np.zeros((num_a, num_i), dtype=np.int64)
+    mre = np.zeros((num_a, num_i, num_f), dtype=np.float64)
+    snr = np.zeros((num_a, num_i, num_f), dtype=np.float64)
+    for job_idx, part in enumerate(parts):
+        a, i = divmod(job_idx, num_i)
+        rated[a, i] = part["rated"]
+        error_free[a, i] = part["error_free"]
+        settle[a, i] = part["settle"]
+        mre[a, i, :] = part["mre"]
+        snr[a, i, :] = part["snr"]
+    result = FilterStudyResult(
+        images=images,
+        arithmetics=arithmetics,
+        factors=factors,
+        kernel=kernel,
+        size=int(size),
+        ndigits=config.ndigits,
+        rated_step=rated,
+        error_free_step=error_free,
+        settle_step=settle,
+        mre_percent=mre,
+        snr_db=snr,
+    )
+    if cache is not None:
+        cache.put(key, result, key_components)
+    result.run_stats = runner.finalize_stats(
+        "filter_study", cache="miss" if cache is not None else "off"
+    )
+    return result

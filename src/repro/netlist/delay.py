@@ -26,6 +26,21 @@ from repro.netlist.gates import Circuit, Gate
 FREE_OPS = frozenset({"CONST0", "CONST1", "BUF"})
 
 
+def delay_signature(model: "DelayModel") -> str:
+    """Stable textual identity of a delay model instance.
+
+    Class name plus sorted constructor state — every provided model keeps
+    its parameters as plain instance attributes, so two instances with
+    equal signatures assign identical delays to any circuit.  Used as
+    worker-side memo keys and as cache-key material by the experiment
+    runners.
+    """
+    params = ", ".join(
+        f"{k}={v!r}" for k, v in sorted(vars(model).items())
+    )
+    return f"{type(model).__name__}({params})"
+
+
 class DelayModel:
     """Interface: assign integer delays to every gate of a circuit."""
 

@@ -1,0 +1,166 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cache entry is addressed by the blake2b digest of the canonical JSON of
+its *key components* — the experiment name plus everything that
+determines the result: netlist structural fingerprint and exact delay
+assignment for gate-level experiments, operand geometry, backend, master
+seed, shard size and per-experiment parameters (sample counts, depths,
+steps, images, frequency factors).  Execution details — ``jobs``,
+``cache_dir`` — never enter the key, so a result computed by one worker
+layout is served to every other.
+
+Storage is the split format the :mod:`repro.runners.results` protocol is
+designed around:
+
+* ``<digest>.json`` — the result's ``to_dict()`` minus its array fields,
+  plus the key components (for debuggability) and the list of array
+  names;
+* ``<digest>.npz`` — the array fields as compressed numpy binary.
+
+Both files are written to a temporary name and atomically renamed, so a
+crashed writer can never leave a half-entry that poisons later runs; any
+unreadable/corrupt entry is treated as a miss and recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.runners.results import jsonable, result_from_dict
+
+#: bump to invalidate every existing cache entry on a format change
+CACHE_FORMAT_VERSION = 1
+
+
+def cache_key(**components: Any) -> str:
+    """Content address of a result: blake2b over canonical JSON.
+
+    Components may contain numpy arrays/scalars; they are canonicalised
+    to JSON (sorted keys, no whitespace) before hashing, so logically
+    equal keys hash equally regardless of construction order.
+    """
+    canon = json.dumps(
+        jsonable(dict(components, _cache_format=CACHE_FORMAT_VERSION)),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(canon.encode(), digest_size=16).hexdigest()
+
+
+class ResultCache:
+    """JSON + npz result store under one directory.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the entries (created on first use).
+    """
+
+    def __init__(self, cache_dir: os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # --------------------------------------------------------------- paths
+    def _json_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def _npz_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.npz"
+
+    # ---------------------------------------------------------------- I/O
+    def get(self, key: str) -> Optional[Any]:
+        """Load the result stored under *key*, or None on miss/corruption."""
+        try:
+            meta = json.loads(self._json_path(key).read_text())
+            data = dict(meta["result"])
+            array_names = meta.get("arrays", [])
+            if array_names:
+                with np.load(self._npz_path(key)) as npz:
+                    for name in array_names:
+                        data[name] = npz[name]
+            result = result_from_dict(data)
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: Any, key_components: Optional[Mapping] = None) -> None:
+        """Store *result* (a :class:`~repro.runners.results.Result`) under *key*."""
+        data = result.to_dict()
+        array_fields = getattr(type(result), "_array_fields", {})
+        arrays: Dict[str, np.ndarray] = {}
+        for name, dtype in array_fields.items():
+            if name in data:
+                arrays[name] = np.asarray(data.pop(name), dtype=dtype)
+        if arrays:
+            self._atomic_write(
+                self._npz_path(key),
+                lambda fh: np.savez_compressed(fh, **arrays),
+                binary=True,
+            )
+        meta = {
+            "format": CACHE_FORMAT_VERSION,
+            "kind": getattr(result, "kind", None),
+            "arrays": sorted(arrays),
+            "key_components": jsonable(dict(key_components or {})),
+            "result": jsonable(data),
+        }
+        self._atomic_write(
+            self._json_path(key),
+            lambda fh: fh.write(json.dumps(meta, sort_keys=True, indent=1)),
+            binary=False,
+        )
+
+    def _atomic_write(self, path: Path, write_fn, binary: bool) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb" if binary else "w") as fh:
+                write_fn(fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -------------------------------------------------------------- admin
+    def contains(self, key: str) -> bool:
+        return self._json_path(key).exists()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters and entry count of this cache handle."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(list(self.cache_dir.glob("*.json"))),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for path in self.cache_dir.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in self.cache_dir.glob("*.npz"):
+            path.unlink(missing_ok=True)
+        return removed
+
+
+def cache_for(config) -> Optional[ResultCache]:
+    """The :class:`ResultCache` a :class:`RunConfig` asks for, or None."""
+    if getattr(config, "cache_dir", None):
+        return ResultCache(config.cache_dir)
+    return None

@@ -1,0 +1,120 @@
+"""The unified experiment configuration (:class:`RunConfig`).
+
+Every batch experiment in the repository — the stage-delay Monte-Carlo,
+the gate-level overclocking sweeps, the per-digit error-profile grids and
+the image-filter case study — is parameterised by the same handful of
+knobs: operand geometry (``ndigits``/``delta``), the simulation engine
+(``backend``), the master ``seed``, and the execution environment
+(``jobs`` worker processes, ``cache_dir`` for the persistent result
+cache).  Historically each entry point grew its own ad-hoc subset of
+these as keyword arguments; :class:`RunConfig` replaces that with one
+immutable dataclass consumed uniformly by
+
+* :func:`repro.sim.montecarlo.run_montecarlo`,
+* :func:`repro.sim.sweep.run_sweep`,
+* :func:`repro.sim.error_profile.run_error_profile`, and
+* :func:`repro.imaging.filters.run_filter_study`.
+
+Two fields deserve emphasis:
+
+``jobs``
+    Number of worker processes.  **Results never depend on it**: the
+    workload is split into shards of ``shard_size`` samples with
+    deterministically spawned per-shard seeds, and shards merge in index
+    order, so ``jobs=1`` and ``jobs=N`` produce bit-identical results
+    (``tests/runners/test_parallel.py`` enforces this).
+``shard_size``
+    Samples per shard.  Part of the statistical identity of a run —
+    changing it regroups the per-shard RNG streams and therefore changes
+    the drawn samples — so it participates in cache keys while ``jobs``
+    and ``cache_dir`` do not.
+
+Environment defaults: ``REPRO_JOBS`` seeds the default ``jobs`` and
+``REPRO_CACHE_DIR`` the default ``cache_dir``, so CI legs and benchmark
+sweeps can opt whole suites into parallel/cached execution without
+touching call sites.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+#: default samples per shard (see :attr:`RunConfig.shard_size`)
+DEFAULT_SHARD_SIZE = 2500
+
+
+def _default_jobs() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _default_cache_dir() -> Optional[str]:
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Uniform parameter block for every batch experiment.
+
+    Attributes
+    ----------
+    ndigits / delta:
+        Operand geometry (word length ``N`` and online delay).
+    backend:
+        Simulation engine: ``"packed"`` (default), ``"wave"`` or
+        ``"auto"`` — all bit-identical.
+    seed:
+        Master seed; per-shard streams are spawned from it via
+        :class:`numpy.random.SeedSequence`.
+    jobs:
+        Worker processes (>= 1).  Execution detail only — never affects
+        results.  Defaults to ``$REPRO_JOBS`` or 1.
+    cache_dir:
+        Directory of the persistent result cache, or None to disable
+        caching.  Defaults to ``$REPRO_CACHE_DIR`` or None.
+    shard_size:
+        Samples per shard of the deterministic seed-splitting scheme.
+    """
+
+    ndigits: int = 8
+    delta: int = 3
+    backend: str = "packed"
+    seed: int = 2014
+    jobs: int = field(default_factory=_default_jobs)
+    cache_dir: Optional[str] = field(default_factory=_default_cache_dir)
+    shard_size: int = DEFAULT_SHARD_SIZE
+
+    def __post_init__(self) -> None:
+        from repro.netlist.compiled import resolve_backend
+
+        if self.ndigits < 1:
+            raise ValueError("ndigits must be >= 1")
+        if self.delta < 1:
+            raise ValueError("delta must be >= 1")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        resolve_backend(self.backend)
+
+    def with_(self, **changes: object) -> "RunConfig":
+        """A copy with the given fields replaced (the config is frozen)."""
+        return replace(self, **changes)
+
+    def describe(self) -> Dict[str, object]:
+        """The fields that define *what* is computed (cache-key material).
+
+        Excludes ``jobs`` and ``cache_dir`` on purpose: they change how a
+        result is produced, never the result itself.
+        """
+        return {
+            "ndigits": self.ndigits,
+            "delta": self.delta,
+            "backend": self.backend,
+            "seed": self.seed,
+            "shard_size": self.shard_size,
+        }

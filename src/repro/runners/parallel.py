@@ -1,0 +1,250 @@
+"""Sharded multi-process execution of batch experiments.
+
+The execution model every ``run_*`` entry point shares:
+
+1. **Shard** the sample budget into fixed-size shards
+   (:func:`split_samples`) — shard layout depends only on
+   ``(num_samples, shard_size)``, never on ``jobs``.
+2. **Spawn** one child seed per shard with
+   :meth:`numpy.random.SeedSequence.spawn` (:func:`spawn_seeds`), keyed
+   by the master seed plus a stable per-experiment tag
+   (:func:`seed_tag`), so different experiments sharing one master seed
+   draw independent streams.
+3. **Map** a picklable worker over the shard payloads with
+   :meth:`ParallelRunner.map` — in-process when ``jobs <= 1``, over a
+   :class:`~concurrent.futures.ProcessPoolExecutor` otherwise.
+4. **Merge** the per-shard partial sums *in shard-index order* — float
+   accumulation order is fixed, so the merged statistics are
+   bit-identical for ``jobs=1`` and ``jobs=N``.
+
+Failure semantics: a worker-process crash (``BrokenProcessPool``) is
+retried with exponential backoff on a fresh pool; after
+``max_pool_failures`` consecutive pool losses the runner *degrades to
+in-process execution* for the remaining shards, so a broken
+multiprocessing environment can slow an experiment down but never fail
+it.  Ordinary exceptions raised by the worker function are not retried —
+they are deterministic and would fail in-process too — and propagate to
+the caller.
+
+:class:`RunStats` records per-shard timing, throughput and cache
+outcome; entry points attach it to their result as ``run_stats`` and
+:func:`repro.sim.reporting.format_run_stats` renders it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: consecutive pool losses tolerated before degrading to in-process runs
+DEFAULT_MAX_POOL_FAILURES = 2
+
+#: base backoff (seconds) between pool rebuilds; doubles per failure
+DEFAULT_BACKOFF = 0.1
+
+
+def split_samples(num_samples: int, shard_size: int) -> List[int]:
+    """Deterministic shard sizes: full shards then the remainder.
+
+    Depends only on its arguments — in particular not on ``jobs`` — which
+    is half of the bit-identical-merge guarantee (the other half is the
+    ordered accumulation in the merge step).
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    full, rest = divmod(num_samples, shard_size)
+    sizes = [shard_size] * full
+    if rest:
+        sizes.append(rest)
+    return sizes
+
+
+def seed_tag(name: str) -> int:
+    """Stable 32-bit tag for an experiment name (seed-stream separation)."""
+    return int.from_bytes(
+        hashlib.blake2b(name.encode(), digest_size=4).digest(), "big"
+    )
+
+
+def spawn_seeds(
+    seed: int, nshards: int, *tags: int
+) -> List[np.random.SeedSequence]:
+    """One independent child :class:`~numpy.random.SeedSequence` per shard.
+
+    The parent entropy is ``(seed, *tags)``; tags (from :func:`seed_tag`)
+    keep experiments that share a master seed on independent streams.
+    """
+    parent = np.random.SeedSequence([int(seed)] + [int(t) for t in tags])
+    return list(parent.spawn(nshards))
+
+
+@dataclass
+class ShardStat:
+    """Timing record of one executed shard."""
+
+    index: int
+    samples: int
+    elapsed: float
+    where: str  # "pool" | "inline"
+
+
+@dataclass
+class RunStats:
+    """Execution statistics of one ``run_*`` invocation."""
+
+    experiment: str = ""
+    jobs: int = 1
+    samples: int = 0
+    elapsed: float = 0.0
+    cache: str = "off"  # "off" | "miss" | "hit"
+    pool_failures: int = 0
+    retries: int = 0
+    degraded: bool = False
+    shards: List[ShardStat] = field(default_factory=list)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def samples_per_second(self) -> float:
+        if self.elapsed <= 0:
+            return float("inf") if self.samples else 0.0
+        return self.samples / self.elapsed
+
+
+def _timed_call(fn: Callable[[Any], Any], task: Any):
+    t0 = time.perf_counter()
+    result = fn(task)
+    return result, time.perf_counter() - t0
+
+
+class ParallelRunner:
+    """Order-preserving parallel map with crash retry and inline fallback.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``jobs <= 1`` runs everything in-process.
+    max_pool_failures:
+        Pool crashes tolerated before degrading to in-process execution.
+    backoff:
+        Base sleep between pool rebuilds (doubles per consecutive crash).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        max_pool_failures: int = DEFAULT_MAX_POOL_FAILURES,
+        backoff: float = DEFAULT_BACKOFF,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.max_pool_failures = max_pool_failures
+        self.backoff = backoff
+        self.stats = RunStats(jobs=jobs)
+
+    @classmethod
+    def from_config(cls, config) -> "ParallelRunner":
+        return cls(jobs=config.jobs)
+
+    # ----------------------------------------------------------------- map
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        samples: Optional[Sequence[int]] = None,
+    ) -> List[Any]:
+        """Apply *fn* to every task; results return in task order.
+
+        *fn* and each task must be picklable when ``jobs > 1`` (module-
+        level worker functions with plain-data payloads).  *samples*
+        optionally annotates each task's sample count for the stats.
+        """
+        tasks = list(tasks)
+        counts = list(samples) if samples is not None else [0] * len(tasks)
+        if len(counts) != len(tasks):
+            raise ValueError("samples must parallel tasks")
+        self.stats = RunStats(jobs=self.jobs)
+        t_start = time.perf_counter()
+        results: List[Any] = [None] * len(tasks)
+
+        remaining = set(range(len(tasks)))
+        if self.jobs > 1 and len(tasks) > 1:
+            self._map_pool(fn, tasks, counts, results, remaining)
+        for i in sorted(remaining):
+            res, dt = _timed_call(fn, tasks[i])
+            results[i] = res
+            self.stats.shards.append(ShardStat(i, counts[i], dt, "inline"))
+        self.stats.samples = sum(counts)
+        self.stats.elapsed = time.perf_counter() - t_start
+        return results
+
+    def _map_pool(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: List[Any],
+        counts: List[int],
+        results: List[Any],
+        remaining: set,
+    ) -> None:
+        """Pool execution with crash retry; leaves failures in *remaining*."""
+        while remaining and self.stats.pool_failures < self.max_pool_failures:
+            try:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    futures = {
+                        i: pool.submit(_timed_call, fn, tasks[i])
+                        for i in sorted(remaining)
+                    }
+                    for i, future in futures.items():
+                        res, dt = future.result()
+                        results[i] = res
+                        remaining.discard(i)
+                        self.stats.shards.append(
+                            ShardStat(i, counts[i], dt, "pool")
+                        )
+                return
+            except BrokenProcessPool:
+                self.stats.pool_failures += 1
+                self.stats.retries += 1
+                if self.stats.pool_failures >= self.max_pool_failures:
+                    break
+                time.sleep(
+                    self.backoff * (2 ** (self.stats.pool_failures - 1))
+                )
+        if remaining:
+            self.stats.degraded = True
+
+    # --------------------------------------------------------------- stats
+    def finalize_stats(
+        self, experiment: str, cache: str = "off"
+    ) -> RunStats:
+        """Label the stats of the last :meth:`map` call and return them."""
+        self.stats.experiment = experiment
+        self.stats.cache = cache
+        return self.stats
+
+
+def merge_float_sums(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum per-shard float arrays in shard order (deterministic merge)."""
+    total = np.zeros_like(np.asarray(parts[0], dtype=np.float64))
+    for part in parts:
+        total = total + np.asarray(part, dtype=np.float64)
+    return total
+
+
+def merge_int_sums(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum per-shard integer count arrays (exact, order-free)."""
+    total = np.zeros_like(np.asarray(parts[0], dtype=np.int64))
+    for part in parts:
+        total = total + np.asarray(part, dtype=np.int64)
+    return total

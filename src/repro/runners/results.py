@@ -1,0 +1,91 @@
+"""The common ``Result`` protocol and its serialization registry.
+
+Every experiment result class — :class:`repro.sim.montecarlo.MonteCarloResult`,
+:class:`repro.sim.sweep.SweepResult`, :class:`repro.sim.error_profile.\
+DigitErrorProfile` and :class:`repro.imaging.filters.FilterStudyResult` —
+implements one round-trippable shape:
+
+* a class-level ``kind`` string naming the result type,
+* ``to_dict()`` returning a pure-JSON dict (numpy arrays as nested lists,
+  numpy scalars as Python ints/floats) that includes ``"kind"``,
+* ``from_dict(data)`` rebuilding the instance from that dict (array
+  fields are re-materialised with their declared dtypes), and
+* a class-level ``_array_fields`` mapping ``field name -> dtype string``
+  that tells the on-disk cache which entries to store as compact ``npz``
+  binary instead of JSON text.
+
+``json.loads(json.dumps(r.to_dict()))`` then ``from_dict`` must
+reconstruct the result bit-exactly (Python's float repr round-trips
+IEEE-754 doubles), which is what lets the persistent cache serve results
+that are indistinguishable from freshly computed ones.
+
+Classes self-register through :func:`register_result`;
+:func:`result_from_dict` dispatches a loaded dict back to the right
+class via its ``"kind"`` entry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Dict, Mapping, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Result(Protocol):
+    """Structural protocol shared by every cacheable experiment result."""
+
+    kind: ClassVar[str]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Pure-JSON representation, including the ``"kind"`` tag."""
+        ...  # pragma: no cover
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Result":
+        """Rebuild an instance from :meth:`to_dict` output."""
+        ...  # pragma: no cover
+
+
+#: kind string -> result class
+_REGISTRY: Dict[str, type] = {}
+
+
+def register_result(cls: type) -> type:
+    """Class decorator: register *cls* under its ``kind`` for dispatch."""
+    kind = getattr(cls, "kind", None)
+    if not isinstance(kind, str) or not kind:
+        raise TypeError(f"{cls.__name__} must define a class-level 'kind' string")
+    _REGISTRY[kind] = cls
+    return cls
+
+
+def registered_kinds() -> Dict[str, type]:
+    """A snapshot of the kind -> class registry."""
+    return dict(_REGISTRY)
+
+
+def result_from_dict(data: Mapping[str, Any]) -> Any:
+    """Rebuild any registered result from its ``to_dict`` form."""
+    kind = data.get("kind")
+    cls = _REGISTRY.get(kind)
+    if cls is None:
+        raise KeyError(
+            f"unknown result kind {kind!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return cls.from_dict(data)
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert numpy arrays/scalars to plain JSON values."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: jsonable(v) for k, v in value.items()}
+    return value

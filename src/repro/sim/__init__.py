@@ -11,12 +11,21 @@ Two levels of timing fidelity, matching the paper's two verification rows
   netlists under a chosen delay model (the FPGA stand-in).  One simulation
   of a batch yields every clock period at once.
 
-:mod:`repro.sim.reporting` renders the tables the benchmarks print.
+The ``run_*`` entry points are the unified API: each takes a
+:class:`repro.runners.RunConfig` and shards its sample batch across
+worker processes with deterministic seed-splitting (results are
+bit-identical for any ``jobs``), consulting the persistent result cache
+when one is configured.  :mod:`repro.sim.error_profile` adds the
+per-digit error anatomy, and :mod:`repro.sim.reporting` renders the
+tables (and runner statistics lines) the benchmarks print.
 """
 
 from repro.sim.montecarlo import (
     uniform_digit_batch,
+    default_depths,
     mc_expected_error,
+    run_montecarlo,
+    run_settle_histogram,
     settle_depth_histogram,
     MonteCarloResult,
 )
@@ -24,6 +33,8 @@ from repro.sim.sweep import (
     OnlineMultiplierHarness,
     TraditionalMultiplierHarness,
     SweepResult,
+    SWEEP_DESIGNS,
+    run_sweep,
     sweep_operator,
     max_error_free_step,
 )
@@ -32,25 +43,33 @@ from repro.sim.error_profile import (
     digit_error_profile,
     online_digit_groups,
     profile_circuit,
+    run_error_profile,
     traditional_bit_groups,
 )
-from repro.sim.reporting import format_table, geomean
+from repro.sim.reporting import format_run_stats, format_table, geomean
 
 __all__ = [
     "uniform_digit_batch",
+    "default_depths",
     "mc_expected_error",
+    "run_montecarlo",
+    "run_settle_histogram",
     "settle_depth_histogram",
     "MonteCarloResult",
     "OnlineMultiplierHarness",
     "TraditionalMultiplierHarness",
     "SweepResult",
+    "SWEEP_DESIGNS",
+    "run_sweep",
     "sweep_operator",
     "max_error_free_step",
     "DigitErrorProfile",
     "digit_error_profile",
     "online_digit_groups",
     "profile_circuit",
+    "run_error_profile",
     "traditional_bit_groups",
+    "format_run_stats",
     "format_table",
     "geomean",
 ]

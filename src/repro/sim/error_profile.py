@@ -9,18 +9,39 @@ that the sampled value differs from the settled one.
 
 Used by the error-anatomy benchmark and by the tests that pin down the
 LSD-first/MSB-first contrast quantitatively.
+
+:func:`run_error_profile` is the unified :class:`~repro.runners.RunConfig`
+entry point: it profiles a whole multiplier design on a random operand
+batch, sharded across worker processes (per-shard mismatch *counts*
+merge exactly, so the grid is independent of ``jobs``) and served from
+the persistent result cache when one is configured.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.netlist.compiled import circuit_fingerprint
+from repro.netlist.delay import DelayModel, FpgaDelay, delay_signature
 from repro.netlist.sim import SimulationResult
+from repro.netlist.sta import static_timing
+from repro.runners.cache import cache_for, cache_key
+from repro.runners.config import RunConfig
+from repro.runners.parallel import (
+    ParallelRunner,
+    merge_int_sums,
+    seed_tag,
+    split_samples,
+    spawn_seeds,
+)
+from repro.runners.results import register_result
 
 
+@register_result
 @dataclass
 class DigitErrorProfile:
     """Error-rate map: ``rates[t, k]`` = P(output digit k wrong at period t).
@@ -32,6 +53,12 @@ class DigitErrorProfile:
     steps: np.ndarray
     positions: List[str]
     rates: np.ndarray  # shape (len(steps), len(positions))
+
+    kind: ClassVar[str] = "error_profile"
+    _array_fields: ClassVar[Dict[str, str]] = {
+        "steps": "int64",
+        "rates": "float64",
+    }
 
     def first_affected(self, step: int) -> str:
         """Most significant position with a non-zero error rate at *step*."""
@@ -50,6 +77,42 @@ class DigitErrorProfile:
         if total == 0:
             return float(len(self.positions))
         return float((row * np.arange(len(row))).sum() / total)
+
+    # ------------------------------------------------- Result protocol
+    def to_dict(self) -> Dict[str, Any]:
+        """Pure-JSON representation (see :mod:`repro.runners.results`)."""
+        return {
+            "kind": self.kind,
+            "steps": [int(t) for t in self.steps],
+            "positions": list(self.positions),
+            "rates": [[float(r) for r in row] for row in self.rates],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DigitErrorProfile":
+        return cls(
+            steps=np.asarray(data["steps"], dtype=np.int64),
+            positions=[str(p) for p in data["positions"]],
+            rates=np.asarray(data["rates"], dtype=np.float64),
+        )
+
+
+def _digit_error_counts(
+    result: SimulationResult,
+    digit_groups: Sequence[Sequence[str]],
+    steps: np.ndarray,
+) -> np.ndarray:
+    """Mismatch counts per (step, digit position) — exact integers."""
+    final = result.final()
+    counts = np.zeros((len(steps), len(digit_groups)), dtype=np.int64)
+    for i, t in enumerate(steps):
+        sample = result.sample(int(t))
+        for k, names in enumerate(digit_groups):
+            bad = np.zeros(result.num_samples, dtype=bool)
+            for name in names:
+                bad |= sample[name] != final[name]
+            counts[i, k] = int(bad.sum())
+    return counts
 
 
 def digit_error_profile(
@@ -75,16 +138,9 @@ def digit_error_profile(
     """
     if len(digit_groups) != len(labels):
         raise ValueError("digit_groups and labels must pair up")
-    final = result.final()
     steps_arr = np.asarray(sorted(steps), dtype=np.int64)
-    rates = np.zeros((len(steps_arr), len(digit_groups)))
-    for i, t in enumerate(steps_arr):
-        sample = result.sample(int(t))
-        for k, names in enumerate(digit_groups):
-            bad = np.zeros(result.num_samples, dtype=bool)
-            for name in names:
-                bad |= sample[name] != final[name]
-            rates[i, k] = float(bad.mean())
+    counts = _digit_error_counts(result, digit_groups, steps_arr)
+    rates = counts / float(result.num_samples)
     return DigitErrorProfile(steps_arr, list(labels), rates)
 
 
@@ -99,12 +155,25 @@ def profile_circuit(
 ) -> DigitErrorProfile:
     """Simulate *circuit* and profile its per-digit error rates in one call.
 
+    .. deprecated::
+        For whole-design grids, use :func:`run_error_profile` with a
+        :class:`~repro.runners.RunConfig`; for custom circuits/inputs,
+        run the simulator yourself and call :func:`digit_error_profile`.
+
     Convenience wrapper around :func:`digit_error_profile` that runs the
     simulation itself with the chosen engine (``backend="packed"`` uses
     the compiled bit-packed simulator, ``"wave"`` the interpreting one;
     both are bit-identical).  Only the nets named in *digit_groups* are
     retained, which keeps memory proportional to the profiled outputs.
     """
+    warnings.warn(
+        "profile_circuit(..., backend=) is deprecated; use "
+        "run_error_profile(RunConfig(...)) for design grids, or "
+        "make_simulator(...).run() + digit_error_profile() for custom "
+        "circuits",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.netlist.compiled import make_simulator
 
     needed = {name for group in digit_groups for name in group}
@@ -125,3 +194,112 @@ def traditional_bit_groups(width: int) -> Dict[str, object]:
     groups = [[f"p{i}"] for i in range(2 * width - 1, -1, -1)]
     labels = [f"p{i}" for i in range(2 * width - 1, -1, -1)]
     return {"digit_groups": groups, "labels": labels}
+
+
+# --------------------------------------------------------------- shard worker
+
+def _design_groups(design: str, ndigits: int) -> Dict[str, object]:
+    if design == "online":
+        return online_digit_groups(ndigits)
+    if design == "traditional":
+        return traditional_bit_groups(ndigits + 1)
+    raise ValueError(f"unknown design {design!r}")
+
+
+def _profile_shard_worker(payload: Dict[str, Any]) -> np.ndarray:
+    """One profile shard: mismatch counts over the (step, position) grid."""
+    from repro.sim.sweep import sweep_shard_ports, worker_harness
+
+    design = payload["design"]
+    ndigits = payload["ndigits"]
+    harness = worker_harness(
+        design, ndigits, payload["backend"], payload["delay_model"]
+    )
+    rng = np.random.default_rng(payload["seed_seq"])
+    ports = sweep_shard_ports(
+        design, ndigits, harness, rng, payload["samples"]
+    )
+    spec = _design_groups(design, ndigits)
+    needed = {name for group in spec["digit_groups"] for name in group}
+    result = harness.simulator.run(ports, keep=needed)
+    steps = np.asarray(payload["steps"], dtype=np.int64)
+    return _digit_error_counts(result, spec["digit_groups"], steps)
+
+
+# ----------------------------------------------------------- unified entry
+
+def run_error_profile(
+    config: RunConfig,
+    design: str = "online",
+    num_samples: int = 2000,
+    steps: Optional[Sequence[int]] = None,
+    delay_model: Optional[DelayModel] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> DigitErrorProfile:
+    """Sharded per-digit error-rate grid of one multiplier design.
+
+    Profiles the ``config.ndigits``-digit online multiplier (or the
+    ``ndigits + 1``-bit traditional one) on a random operand batch drawn
+    exactly like :func:`run_sweep`'s.  *steps* defaults to every clock
+    period up to the design's settle step.  Per-shard mismatch counts
+    are integers, so the merged grid is independent of ``config.jobs``.
+    """
+    from repro.sim.sweep import _sweep_circuit
+
+    model = delay_model if delay_model is not None else FpgaDelay()
+    circuit = _sweep_circuit(design, config.ndigits)
+    if steps is None:
+        settle = static_timing(circuit, model).critical_delay
+        steps = range(settle + 1)
+    steps_arr = np.asarray(sorted(int(t) for t in steps), dtype=np.int64)
+
+    cache = cache_for(config)
+    runner = runner or ParallelRunner.from_config(config)
+    experiment = f"error_profile:{design}"
+    key = None
+    key_components = None
+    if cache is not None:
+        key_components = dict(
+            experiment="error_profile",
+            design=design,
+            num_samples=int(num_samples),
+            steps=[int(t) for t in steps_arr],
+            fingerprint=circuit_fingerprint(circuit),
+            delay=delay_signature(model),
+            delays=list(model.assign(circuit)),
+            **config.describe(),
+        )
+        key = cache_key(**key_components)
+        hit = cache.get(key)
+        if hit is not None:
+            hit.run_stats = runner.finalize_stats(experiment, cache="hit")
+            return hit
+
+    sizes = split_samples(num_samples, config.shard_size)
+    seeds = spawn_seeds(
+        config.seed, len(sizes), seed_tag("error_profile"), seed_tag(design)
+    )
+    payloads = [
+        {
+            "design": design,
+            "ndigits": config.ndigits,
+            "backend": config.backend,
+            "delay_model": model,
+            "steps": [int(t) for t in steps_arr],
+            "seed_seq": ss,
+            "samples": m,
+        }
+        for ss, m in zip(seeds, sizes)
+    ]
+    parts = runner.map(_profile_shard_worker, payloads, samples=sizes)
+    counts = merge_int_sums(parts)
+    spec = _design_groups(design, config.ndigits)
+    result = DigitErrorProfile(
+        steps_arr, list(spec["labels"]), counts / float(num_samples)
+    )
+    if cache is not None:
+        cache.put(key, result, key_components)
+    result.run_stats = runner.finalize_stats(
+        experiment, cache="miss" if cache is not None else "off"
+    )
+    return result

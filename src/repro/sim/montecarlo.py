@@ -8,17 +8,42 @@ resets to zero, inputs apply at t = 0, and a register clocked with period
 ticks.  :meth:`repro.core.OnlineMultiplier.wave` implements exactly that;
 this module wraps it with uniform-independent input generation and error
 statistics.
+
+Two generations of entry points coexist:
+
+* :func:`run_montecarlo` / :func:`run_settle_histogram` — the unified
+  :class:`~repro.runners.RunConfig` API: sharded across worker processes
+  with deterministic seed-splitting (``jobs=1`` and ``jobs=N`` merge
+  bit-identically) and served from the persistent result cache when one
+  is configured.
+* :func:`mc_expected_error` / :func:`settle_depth_histogram` — the
+  original single-process spellings, kept as thin deprecation shims.
+  Their sample stream (one monolithic RNG) intentionally differs from
+  the sharded scheme, because golden regression values are pinned to it
+  (``tests/integration/test_golden_mre.py``).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.core.conversion import digits_to_scaled_int
 from repro.core.online_multiplier import OnlineMultiplier
+from repro.runners.cache import cache_for, cache_key
+from repro.runners.config import RunConfig
+from repro.runners.parallel import (
+    ParallelRunner,
+    merge_float_sums,
+    merge_int_sums,
+    seed_tag,
+    split_samples,
+    spawn_seeds,
+)
+from repro.runners.results import register_result
 
 
 def uniform_digit_batch(
@@ -32,6 +57,7 @@ def uniform_digit_batch(
     return rng.integers(-1, 2, size=(ndigits, num_samples)).astype(np.int8)
 
 
+@register_result
 @dataclass
 class MonteCarloResult:
     """Error statistics of one stage-delay Monte-Carlo run.
@@ -58,6 +84,13 @@ class MonteCarloResult:
     mean_abs_error: np.ndarray
     violation_probability: np.ndarray
 
+    kind: ClassVar[str] = "montecarlo"
+    _array_fields: ClassVar[Dict[str, str]] = {
+        "depths": "int64",
+        "mean_abs_error": "float64",
+        "violation_probability": "float64",
+    }
+
     def normalized_periods(self) -> np.ndarray:
         """Depths as fractions of the structural delay ``(N + delta)``."""
         return self.depths / (self.ndigits + self.delta)
@@ -72,30 +105,95 @@ class MonteCarloResult:
             float(self.violation_probability[idx]),
         )
 
+    # ------------------------------------------------- Result protocol
+    def to_dict(self) -> Dict[str, Any]:
+        """Pure-JSON representation (see :mod:`repro.runners.results`)."""
+        return {
+            "kind": self.kind,
+            "ndigits": int(self.ndigits),
+            "delta": int(self.delta),
+            "num_samples": int(self.num_samples),
+            "depths": [int(b) for b in self.depths],
+            "mean_abs_error": [float(e) for e in self.mean_abs_error],
+            "violation_probability": [
+                float(p) for p in self.violation_probability
+            ],
+        }
 
-def settle_depth_histogram(
-    ndigits: int,
-    num_samples: int = 20000,
-    seed: int = 2014,
-    delta: int = 3,
-    backend: str = "packed",
-) -> dict:
-    """Empirical distribution of per-sample settling depths.
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MonteCarloResult":
+        return cls(
+            ndigits=int(data["ndigits"]),
+            delta=int(data["delta"]),
+            num_samples=int(data["num_samples"]),
+            depths=np.asarray(data["depths"], dtype=np.int64),
+            mean_abs_error=np.asarray(data["mean_abs_error"], dtype=np.float64),
+            violation_probability=np.asarray(
+                data["violation_probability"], dtype=np.float64
+            ),
+        )
 
-    The settling depth of one multiplication is the smallest ``b`` whose
-    sample equals the final product — i.e. one more than the longest chain
-    that particular input pair excites.  Its histogram is the empirical
-    counterpart of the model's chain-delay statistics (Fig. 5): most
-    samples need nearly the maximal ``(N + 2*delta)/2`` chain depth, which
-    is the paper's observation that long chains are *common* in the OM
-    (they overlap), while their error contribution stays negligible.
 
-    Returns a mapping ``depth -> fraction of samples``.
+# --------------------------------------------------------------- shard workers
+
+#: per-process multiplier memo, keyed by (ndigits, delta)
+_OM_CACHE: Dict[Tuple[int, int], OnlineMultiplier] = {}
+
+
+def _worker_om(ndigits: int, delta: int) -> OnlineMultiplier:
+    key = (ndigits, delta)
+    om = _OM_CACHE.get(key)
+    if om is None:
+        om = OnlineMultiplier(ndigits, delta)
+        _OM_CACHE[key] = om
+    return om
+
+
+def _mc_shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One Monte-Carlo shard: per-depth |error| sums and violation counts.
+
+    Returns exact partials (float sums, integer counts) so the parent can
+    merge in shard order and divide once — the float accumulation order
+    is then independent of ``jobs``.
     """
-    om = OnlineMultiplier(ndigits, delta)
-    rng = np.random.default_rng(seed)
-    xd = uniform_digit_batch(ndigits, num_samples, rng)
-    yd = uniform_digit_batch(ndigits, num_samples, rng)
+    ndigits = payload["ndigits"]
+    om = _worker_om(ndigits, payload["delta"])
+    rng = np.random.default_rng(payload["seed_seq"])
+    m = payload["samples"]
+    xd = uniform_digit_batch(ndigits, m, rng)
+    yd = uniform_digit_batch(ndigits, m, rng)
+    waves = om.wave(xd, yd, backend=payload["backend"])
+    correct = digits_to_scaled_int(waves[-1]).astype(np.float64)
+    scale = float(2**ndigits)
+    sum_err: List[float] = []
+    viol: List[int] = []
+    for b in payload["depths"]:
+        b_clamped = min(int(b), waves.shape[0] - 1)
+        sampled = digits_to_scaled_int(waves[b_clamped]).astype(np.float64)
+        err = np.abs(sampled - correct) / scale
+        sum_err.append(float(err.sum()))
+        viol.append(int((err > 0).sum()))
+    return {"sum_err": sum_err, "viol": viol}
+
+
+def _settle_shard_worker(payload: Dict[str, Any]) -> Dict[int, int]:
+    """One settling-depth shard: ``depth -> sample count`` (exact ints)."""
+    ndigits = payload["ndigits"]
+    om = _worker_om(ndigits, payload["delta"])
+    rng = np.random.default_rng(payload["seed_seq"])
+    m = payload["samples"]
+    xd = uniform_digit_batch(ndigits, m, rng)
+    yd = uniform_digit_batch(ndigits, m, rng)
+    depth = _settle_depths(om, xd, yd, payload["backend"])
+    values, counts = np.unique(depth, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def _settle_depths(
+    om: OnlineMultiplier, xd: np.ndarray, yd: np.ndarray, backend: str
+) -> np.ndarray:
+    """Per-sample settling depth (smallest ``b`` whose sample is final)."""
+    num_samples = xd.shape[1]
     waves = om.wave(xd, yd, backend=backend)
     final_vals = digits_to_scaled_int(waves[-1])
     depth = np.zeros(num_samples, dtype=np.int64)
@@ -107,6 +205,157 @@ def settle_depth_histogram(
         unset &= ~newly
         if not unset.any():
             break
+    return depth
+
+
+# ----------------------------------------------------------- unified entry
+
+def default_depths(ndigits: int, delta: int) -> List[int]:
+    """The depth grid of Fig. 4: ``delta+1 .. N+delta``."""
+    return list(range(delta + 1, ndigits + delta + 1))
+
+
+def run_montecarlo(
+    config: RunConfig,
+    num_samples: int = 20000,
+    depths: Optional[List[int]] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> MonteCarloResult:
+    """Sharded Monte-Carlo ``E|eps|`` versus sampling depth.
+
+    The unified-API counterpart of :func:`mc_expected_error`: the sample
+    budget is split into ``config.shard_size`` shards with seeds spawned
+    from ``config.seed``, shards run on ``config.jobs`` worker processes,
+    and the per-shard exact partials merge in shard order — so the result
+    depends on ``(seed, shard_size, num_samples)`` but never on ``jobs``.
+    With ``config.cache_dir`` set, repeated runs are served from the
+    persistent cache.
+    """
+    if depths is None:
+        depths = default_depths(config.ndigits, config.delta)
+    depths_arr = np.asarray(sorted(int(b) for b in depths), dtype=np.int64)
+
+    cache = cache_for(config)
+    key_components = dict(
+        experiment="montecarlo",
+        num_samples=int(num_samples),
+        depths=[int(b) for b in depths_arr],
+        **config.describe(),
+    )
+    key = cache_key(**key_components)
+    runner = runner or ParallelRunner.from_config(config)
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            hit.run_stats = runner.finalize_stats("montecarlo", cache="hit")
+            return hit
+
+    sizes = split_samples(num_samples, config.shard_size)
+    seeds = spawn_seeds(config.seed, len(sizes), seed_tag("montecarlo"))
+    payloads = [
+        {
+            "ndigits": config.ndigits,
+            "delta": config.delta,
+            "backend": config.backend,
+            "depths": [int(b) for b in depths_arr],
+            "seed_seq": ss,
+            "samples": m,
+        }
+        for ss, m in zip(seeds, sizes)
+    ]
+    parts = runner.map(_mc_shard_worker, payloads, samples=sizes)
+    sum_err = merge_float_sums([p["sum_err"] for p in parts])
+    viol = merge_int_sums([p["viol"] for p in parts])
+    result = MonteCarloResult(
+        ndigits=config.ndigits,
+        delta=config.delta,
+        num_samples=num_samples,
+        depths=depths_arr,
+        mean_abs_error=sum_err / num_samples,
+        violation_probability=viol / num_samples,
+    )
+    if cache is not None:
+        cache.put(key, result, key_components)
+    result.run_stats = runner.finalize_stats(
+        "montecarlo", cache="miss" if cache is not None else "off"
+    )
+    return result
+
+
+def run_settle_histogram(
+    config: RunConfig,
+    num_samples: int = 20000,
+    runner: Optional[ParallelRunner] = None,
+) -> Dict[int, float]:
+    """Sharded settling-depth histogram (``depth -> fraction of samples``).
+
+    Unified-API counterpart of :func:`settle_depth_histogram`; integer
+    per-shard counts merge exactly, so the histogram is independent of
+    ``config.jobs``.  Returns a plain dict (not cached — recomputation is
+    cheap and the dict is not a :class:`~repro.runners.results.Result`).
+    """
+    sizes = split_samples(num_samples, config.shard_size)
+    seeds = spawn_seeds(config.seed, len(sizes), seed_tag("settle"))
+    payloads = [
+        {
+            "ndigits": config.ndigits,
+            "delta": config.delta,
+            "backend": config.backend,
+            "seed_seq": ss,
+            "samples": m,
+        }
+        for ss, m in zip(seeds, sizes)
+    ]
+    runner = runner or ParallelRunner.from_config(config)
+    parts = runner.map(_settle_shard_worker, payloads, samples=sizes)
+    counts: Dict[int, int] = {}
+    for part in parts:
+        for depth, c in part.items():
+            counts[depth] = counts.get(depth, 0) + c
+    runner.finalize_stats("settle_histogram")
+    return {
+        depth: counts[depth] / num_samples for depth in sorted(counts)
+    }
+
+
+# ------------------------------------------------------- deprecated shims
+
+def settle_depth_histogram(
+    ndigits: int,
+    num_samples: int = 20000,
+    seed: int = 2014,
+    delta: int = 3,
+    backend: str = "packed",
+) -> dict:
+    """Empirical distribution of per-sample settling depths.
+
+    .. deprecated::
+        Use :func:`run_settle_histogram` with a
+        :class:`~repro.runners.RunConfig` instead.  This shim keeps the
+        original single-RNG sample stream for backward compatibility.
+
+    The settling depth of one multiplication is the smallest ``b`` whose
+    sample equals the final product — i.e. one more than the longest chain
+    that particular input pair excites.  Its histogram is the empirical
+    counterpart of the model's chain-delay statistics (Fig. 5): most
+    samples need nearly the maximal ``(N + 2*delta)/2`` chain depth, which
+    is the paper's observation that long chains are *common* in the OM
+    (they overlap), while their error contribution stays negligible.
+
+    Returns a mapping ``depth -> fraction of samples``.
+    """
+    warnings.warn(
+        "settle_depth_histogram(ndigits, ..., seed=, backend=) is "
+        "deprecated; use run_settle_histogram(RunConfig(ndigits=..., "
+        "seed=..., backend=...), num_samples=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    om = OnlineMultiplier(ndigits, delta)
+    rng = np.random.default_rng(seed)
+    xd = uniform_digit_batch(ndigits, num_samples, rng)
+    yd = uniform_digit_batch(ndigits, num_samples, rng)
+    depth = _settle_depths(om, xd, yd, backend)
     values, counts = np.unique(depth, return_counts=True)
     return {int(v): float(cnt) / num_samples for v, cnt in zip(values, counts)}
 
@@ -121,6 +370,13 @@ def mc_expected_error(
 ) -> MonteCarloResult:
     """Monte-Carlo ``E|eps|`` versus sampling depth for an ``N``-digit OM.
 
+    .. deprecated::
+        Use :func:`run_montecarlo` with a
+        :class:`~repro.runners.RunConfig` instead.  This shim keeps the
+        original monolithic-RNG sample stream because golden regression
+        constants are pinned to it; the sharded path draws a different
+        (equally valid) stream.
+
     Parameters
     ----------
     ndigits:
@@ -134,6 +390,13 @@ def mc_expected_error(
         both are bit-identical (``tests/sim/test_determinism.py``), so
         every statistic is backend-independent.
     """
+    warnings.warn(
+        "mc_expected_error(ndigits, ..., seed=, backend=) is deprecated; "
+        "use run_montecarlo(RunConfig(ndigits=..., seed=..., "
+        "backend=...), num_samples=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     om = OnlineMultiplier(ndigits, delta)
     rng = np.random.default_rng(seed)
     xd = uniform_digit_batch(ndigits, num_samples, rng)

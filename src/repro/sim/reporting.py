@@ -58,3 +58,27 @@ def geomean(values: Sequence[float]) -> float:
 def percent(value: float) -> str:
     """Format a ratio as a percentage string."""
     return f"{100.0 * value:.2f}%"
+
+
+def format_run_stats(stats) -> str:
+    """One grep-friendly line of runner statistics.
+
+    *stats* is the :class:`repro.runners.RunStats` a ``run_*`` entry
+    point attaches to its result as ``run_stats``.  ``key=value`` pairs
+    on a fixed ``[runner]`` prefix so CI scripts can assert on e.g.
+    ``cache=hit`` with a plain grep.
+    """
+    fields = [
+        f"experiment={stats.experiment or '<unknown>'}",
+        f"jobs={stats.jobs}",
+        f"shards={stats.num_shards}",
+        f"samples={stats.samples}",
+        f"elapsed={stats.elapsed:.3f}s",
+        f"samples/s={stats.samples_per_second:.0f}",
+        f"cache={stats.cache}",
+    ]
+    if stats.retries:
+        fields.append(f"retries={stats.retries}")
+    if stats.degraded:
+        fields.append("degraded=inline")
+    return "[runner] " + " ".join(fields)

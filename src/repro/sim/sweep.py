@@ -11,12 +11,19 @@ fastest clock at which the whole batch still produces settled values.
 two designs under a common interface so the benchmarks can sweep them
 side by side; both decode their outputs to the *product value* so error
 magnitudes are directly comparable.
+
+:func:`run_sweep` is the unified :class:`~repro.runners.RunConfig` entry
+point: it shards the operand batch across worker processes with
+deterministic seed-splitting (``jobs=1`` and ``jobs=N`` merge
+bit-identically) and serves repeated sweeps from the persistent result
+cache, keyed by the netlist's structural fingerprint and exact delay
+assignment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, ClassVar, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -28,11 +35,27 @@ from repro.core.conversion import (
 )
 from repro.core.online_multiplier import OnlineMultiplier
 from repro.arith.array_multiplier import build_array_multiplier
-from repro.netlist.compiled import make_simulator
-from repro.netlist.delay import DelayModel, UnitDelay
+from repro.netlist.compiled import circuit_fingerprint, make_simulator
+from repro.netlist.delay import DelayModel, FpgaDelay, UnitDelay, delay_signature
 from repro.netlist.sta import static_timing
+from repro.runners.cache import cache_for, cache_key
+from repro.runners.config import RunConfig
+from repro.runners.parallel import (
+    ParallelRunner,
+    merge_float_sums,
+    merge_int_sums,
+    seed_tag,
+    split_samples,
+    spawn_seeds,
+)
+from repro.runners.results import register_result
+from repro.sim.montecarlo import uniform_digit_batch
+
+#: designs :func:`run_sweep` can build
+SWEEP_DESIGNS = ("online", "traditional")
 
 
+@register_result
 @dataclass
 class SweepResult:
     """Per-clock-step error statistics of one overclocking sweep.
@@ -52,11 +75,35 @@ class SweepResult:
     error_free_step: int
     num_samples: int
 
-    def at_step(self, step: int) -> float:
-        """Mean |error| at clock period *step* (clamped to the sweep)."""
-        step = int(np.clip(step, self.steps[0], self.steps[-1]))
-        idx = int(np.searchsorted(self.steps, step))
-        return float(self.mean_abs_error[idx])
+    kind: ClassVar[str] = "sweep"
+    _array_fields: ClassVar[Dict[str, str]] = {
+        "steps": "int64",
+        "mean_abs_error": "float64",
+        "violation_probability": "float64",
+    }
+
+    def at_step(self, step: float) -> float:
+        """Mean |error| at the grid step *nearest* to *step*.
+
+        Queries are clamped to the swept range.  An off-grid period
+        resolves to the nearest grid step; an exact midpoint resolves to
+        the *smaller* (faster-clock, larger-error) neighbor — the
+        pessimistic side.  Before this policy, the lookup was a bare
+        ``searchsorted``, which always returned the *right* neighbor of
+        an off-grid period, i.e. the next larger period and therefore an
+        optimistically small error.
+        """
+        steps = self.steps
+        s = float(np.clip(step, steps[0], steps[-1]))
+        idx = int(np.searchsorted(steps, s, side="left"))
+        if idx == 0:
+            return float(self.mean_abs_error[0])
+        if idx >= len(steps):
+            return float(self.mean_abs_error[-1])
+        left_gap = s - float(steps[idx - 1])
+        right_gap = float(steps[idx]) - s
+        nearest = idx - 1 if left_gap <= right_gap else idx
+        return float(self.mean_abs_error[nearest])
 
     def at_normalized_frequency(self, factor: float) -> float:
         """Mean |error| when clocked at ``factor * f0``.
@@ -87,6 +134,36 @@ class SweepResult:
                 best = max(best, gain) if best is not None else gain
         return best
 
+    # ------------------------------------------------- Result protocol
+    def to_dict(self) -> Dict[str, Any]:
+        """Pure-JSON representation (see :mod:`repro.runners.results`)."""
+        return {
+            "kind": self.kind,
+            "steps": [int(s) for s in self.steps],
+            "mean_abs_error": [float(e) for e in self.mean_abs_error],
+            "violation_probability": [
+                float(p) for p in self.violation_probability
+            ],
+            "rated_step": int(self.rated_step),
+            "settle_step": int(self.settle_step),
+            "error_free_step": int(self.error_free_step),
+            "num_samples": int(self.num_samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        return cls(
+            steps=np.asarray(data["steps"], dtype=np.int64),
+            mean_abs_error=np.asarray(data["mean_abs_error"], dtype=np.float64),
+            violation_probability=np.asarray(
+                data["violation_probability"], dtype=np.float64
+            ),
+            rated_step=int(data["rated_step"]),
+            settle_step=int(data["settle_step"]),
+            error_free_step=int(data["error_free_step"]),
+            num_samples=int(data["num_samples"]),
+        )
+
 
 class _Harness:
     """Shared machinery: build once, sweep many batches.
@@ -113,29 +190,63 @@ class _Harness:
     def decode(self, outputs: Dict[str, np.ndarray]) -> np.ndarray:
         raise NotImplementedError
 
-    def run(self, port_values: Dict[str, np.ndarray]) -> "SweepResult":
+    def run_partial(self, port_values: Dict[str, np.ndarray]) -> Dict[str, Any]:
+        """One batch as exact partial sums (the shard-merge currency).
+
+        Returns per-step |error| sums (float) and violation counts (int)
+        plus the batch size — partials from different shards of one
+        experiment merge exactly, independent of execution layout.
+        """
         res = self.simulator.run(port_values)
         settle = res.settle_step
         correct = self.decode(res.sample(settle)).astype(np.float64)
-        steps = np.arange(settle + 1)
-        mean_err = np.empty(settle + 1)
-        p_viol = np.empty(settle + 1)
+        sum_err = np.empty(settle + 1)
+        viol = np.empty(settle + 1, dtype=np.int64)
         for t in range(settle + 1):
             values = self.decode(res.sample(t)).astype(np.float64)
             err = np.abs(values - correct)
-            mean_err[t] = float(err.mean())
-            p_viol[t] = float((err > 0).mean())
-        violating = np.nonzero(mean_err > 0)[0]
-        error_free = int(violating[-1] + 1) if violating.size else 0
-        return SweepResult(
-            steps=steps,
-            mean_abs_error=mean_err,
-            violation_probability=p_viol,
-            rated_step=self.rated_step,
-            settle_step=settle,
-            error_free_step=error_free,
-            num_samples=res.num_samples,
+            sum_err[t] = float(err.sum())
+            viol[t] = int((err > 0).sum())
+        return {
+            "settle_step": settle,
+            "rated_step": self.rated_step,
+            "sum_err": sum_err,
+            "viol": viol,
+            "num_samples": res.num_samples,
+        }
+
+    def run(self, port_values: Dict[str, np.ndarray]) -> "SweepResult":
+        return _sweep_from_partials(
+            [self.run_partial(port_values)]
         )
+
+
+def _sweep_from_partials(parts: List[Dict[str, Any]]) -> SweepResult:
+    """Merge shard partials (in shard order) into one :class:`SweepResult`."""
+    settle = parts[0]["settle_step"]
+    rated = parts[0]["rated_step"]
+    for p in parts[1:]:
+        if p["settle_step"] != settle or p["rated_step"] != rated:
+            raise ValueError(
+                "shards disagree on circuit timing; delay assignment is "
+                "not deterministic"
+            )
+    num_samples = sum(p["num_samples"] for p in parts)
+    sum_err = merge_float_sums([p["sum_err"] for p in parts])
+    viol = merge_int_sums([p["viol"] for p in parts])
+    mean_err = sum_err / num_samples
+    p_viol = viol / num_samples
+    violating = np.nonzero(mean_err > 0)[0]
+    error_free = int(violating[-1] + 1) if violating.size else 0
+    return SweepResult(
+        steps=np.arange(settle + 1),
+        mean_abs_error=mean_err,
+        violation_probability=p_viol,
+        rated_step=rated,
+        settle_step=settle,
+        error_free_step=error_free,
+        num_samples=num_samples,
+    )
 
 
 class OnlineMultiplierHarness(_Harness):
@@ -213,6 +324,155 @@ class TraditionalMultiplierHarness(_Harness):
 
     def sweep(self, x_scaled: np.ndarray, y_scaled: np.ndarray) -> SweepResult:
         return self.run(self.encode(x_scaled, y_scaled))
+
+
+# --------------------------------------------------------------- shard workers
+
+#: per-process harness memo, keyed by (design, ndigits, backend, delay sig)
+_HARNESS_CACHE: Dict[Any, _Harness] = {}
+
+
+def worker_harness(
+    design: str,
+    ndigits: int,
+    backend: str,
+    delay_model: DelayModel,
+) -> _Harness:
+    """Per-process harness memo (one netlist compile per worker process)."""
+    key = (design, ndigits, backend, delay_signature(delay_model))
+    harness = _HARNESS_CACHE.get(key)
+    if harness is None:
+        if design == "online":
+            harness = OnlineMultiplierHarness(ndigits, delay_model, backend)
+        elif design == "traditional":
+            harness = TraditionalMultiplierHarness(
+                ndigits + 1, delay_model, backend
+            )
+        else:
+            raise ValueError(
+                f"unknown design {design!r}; expected one of {SWEEP_DESIGNS}"
+            )
+        _HARNESS_CACHE[key] = harness
+    return harness
+
+
+def sweep_shard_ports(
+    design: str,
+    ndigits: int,
+    harness: _Harness,
+    rng: np.random.Generator,
+    m: int,
+) -> Dict[str, np.ndarray]:
+    """Draw one shard's operand batch and encode it as port values."""
+    if design == "online":
+        xd = uniform_digit_batch(ndigits, m, rng)
+        yd = uniform_digit_batch(ndigits, m, rng)
+        return harness.encode(xd, yd)
+    lim = 2**ndigits - 1
+    xs = rng.integers(-lim, lim + 1, m)
+    ys = rng.integers(-lim, lim + 1, m)
+    return harness.encode(xs, ys)
+
+
+def _sweep_shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One sweep shard: generate operands, simulate, return exact partials."""
+    design = payload["design"]
+    ndigits = payload["ndigits"]
+    harness = worker_harness(
+        design, ndigits, payload["backend"], payload["delay_model"]
+    )
+    rng = np.random.default_rng(payload["seed_seq"])
+    ports = sweep_shard_ports(
+        design, ndigits, harness, rng, payload["samples"]
+    )
+    return harness.run_partial(ports)
+
+
+def _sweep_circuit(design: str, ndigits: int):
+    if design == "online":
+        return OnlineMultiplier(ndigits).build_circuit()
+    if design == "traditional":
+        return build_array_multiplier(ndigits + 1)
+    raise ValueError(
+        f"unknown design {design!r}; expected one of {SWEEP_DESIGNS}"
+    )
+
+
+# ----------------------------------------------------------- unified entry
+
+def run_sweep(
+    config: RunConfig,
+    design: str = "online",
+    num_samples: int = 3000,
+    delay_model: Optional[DelayModel] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> SweepResult:
+    """Sharded gate-level overclocking sweep of one multiplier design.
+
+    Parameters
+    ----------
+    config:
+        The unified run parameters; ``config.ndigits`` sets the operand
+        word length (the traditional design uses ``ndigits + 1`` bits,
+        the paper's range-parity pairing).
+    design:
+        ``"online"`` or ``"traditional"``.
+    delay_model:
+        Gate delays; defaults to the FPGA-like jittered model.
+
+    The operand batch shards exactly like :func:`run_montecarlo` —
+    results depend on ``(seed, shard_size, num_samples)`` but never on
+    ``config.jobs``.  The cache key includes the netlist's structural
+    fingerprint and the exact per-gate delay assignment, so any change
+    to the operator generator or the delay model invalidates stale
+    entries automatically.
+    """
+    model = delay_model if delay_model is not None else FpgaDelay()
+    cache = cache_for(config)
+    runner = runner or ParallelRunner.from_config(config)
+    experiment = f"sweep:{design}"
+    key = None
+    key_components = None
+    if cache is not None:
+        circuit = _sweep_circuit(design, config.ndigits)
+        key_components = dict(
+            experiment="sweep",
+            design=design,
+            num_samples=int(num_samples),
+            fingerprint=circuit_fingerprint(circuit),
+            delay=delay_signature(model),
+            delays=list(model.assign(circuit)),
+            **config.describe(),
+        )
+        key = cache_key(**key_components)
+        hit = cache.get(key)
+        if hit is not None:
+            hit.run_stats = runner.finalize_stats(experiment, cache="hit")
+            return hit
+
+    sizes = split_samples(num_samples, config.shard_size)
+    seeds = spawn_seeds(
+        config.seed, len(sizes), seed_tag("sweep"), seed_tag(design)
+    )
+    payloads = [
+        {
+            "design": design,
+            "ndigits": config.ndigits,
+            "backend": config.backend,
+            "delay_model": model,
+            "seed_seq": ss,
+            "samples": m,
+        }
+        for ss, m in zip(seeds, sizes)
+    ]
+    parts = runner.map(_sweep_shard_worker, payloads, samples=sizes)
+    result = _sweep_from_partials(parts)
+    if cache is not None:
+        cache.put(key, result, key_components)
+    result.run_stats = runner.finalize_stats(
+        experiment, cache="miss" if cache is not None else "off"
+    )
+    return result
 
 
 def sweep_operator(harness: _Harness, port_values: Dict[str, np.ndarray]) -> SweepResult:

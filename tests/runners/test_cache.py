@@ -1,0 +1,121 @@
+"""ResultCache: round-trips, key sensitivity, corruption tolerance."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runners import ResultCache, RunConfig, cache_for, cache_key
+from repro.sim.sweep import SweepResult
+
+
+def make_sweep(scale: float = 1.0) -> SweepResult:
+    return SweepResult(
+        steps=np.arange(4, dtype=np.int64),
+        mean_abs_error=np.array([0.5, 0.25, 0.125, 0.0]) * scale,
+        violation_probability=np.array([1.0, 0.5, 0.25, 0.0]),
+        rated_step=3,
+        settle_step=3,
+        error_free_step=3,
+        num_samples=16,
+    )
+
+
+class TestCacheKey:
+    def test_deterministic_and_order_free(self):
+        assert cache_key(a=1, b="x") == cache_key(b="x", a=1)
+
+    def test_sensitive_to_every_component(self):
+        base = cache_key(experiment="sweep", seed=2014, num_samples=100)
+        assert base != cache_key(experiment="sweep", seed=2015, num_samples=100)
+        assert base != cache_key(experiment="sweep", seed=2014, num_samples=101)
+        assert base != cache_key(experiment="mc", seed=2014, num_samples=100)
+
+    def test_numpy_components_canonicalised(self):
+        assert cache_key(depths=np.array([4, 5])) == cache_key(depths=[4, 5])
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = make_sweep()
+        key = cache_key(experiment="sweep", seed=1)
+        cache.put(key, result, {"experiment": "sweep", "seed": 1})
+        back = cache.get(key)
+        assert isinstance(back, SweepResult)
+        for name in SweepResult._array_fields:
+            assert np.array_equal(getattr(result, name), getattr(back, name))
+        assert back.error_free_step == result.error_free_step
+
+    def test_split_storage_on_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(x=1)
+        cache.put(key, make_sweep(), {"x": 1})
+        assert (tmp_path / f"{key}.json").exists()
+        assert (tmp_path / f"{key}.npz").exists()
+        meta = json.loads((tmp_path / f"{key}.json").read_text())
+        # arrays live in the npz, not the JSON
+        assert sorted(meta["arrays"]) == sorted(SweepResult._array_fields)
+        for name in SweepResult._array_fields:
+            assert name not in meta["result"]
+        assert meta["key_components"] == {"x": 1}
+
+    def test_miss_and_hit_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(x=1)
+        assert cache.get(key) is None
+        cache.put(key, make_sweep(), {})
+        assert cache.get(key) is not None
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_different_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache_key(seed=1), make_sweep(), {})
+        assert cache.get(cache_key(seed=2)) is None
+
+    def test_contains_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(x=1)
+        assert not cache.contains(key)
+        cache.put(key, make_sweep(), {})
+        assert cache.contains(key)
+        assert cache.clear() == 1
+        assert not cache.contains(key)
+        assert list(tmp_path.glob("*.npz")) == []
+
+
+class TestCorruption:
+    def test_truncated_json_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(x=1)
+        cache.put(key, make_sweep(), {})
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_missing_npz_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(x=1)
+        cache.put(key, make_sweep(), {})
+        (tmp_path / f"{key}.npz").unlink()
+        assert cache.get(key) is None
+
+    def test_unknown_kind_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(x=1)
+        cache.put(key, make_sweep(), {})
+        path = tmp_path / f"{key}.json"
+        meta = json.loads(path.read_text())
+        meta["result"]["kind"] = "hologram"
+        path.write_text(json.dumps(meta))
+        assert cache.get(key) is None
+
+
+class TestCacheFor:
+    def test_none_without_cache_dir(self):
+        assert cache_for(RunConfig(cache_dir=None)) is None
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "cache"
+        cache = cache_for(RunConfig(cache_dir=str(target)))
+        assert isinstance(cache, ResultCache)
+        assert target.is_dir()

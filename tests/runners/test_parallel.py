@@ -1,0 +1,242 @@
+"""ParallelRunner: determinism across jobs, crash fallback, shims.
+
+The two load-bearing guarantees of the orchestration layer:
+
+* ``jobs=1`` and ``jobs=N`` merge to **bit-identical** results for every
+  experiment entry point (deterministic shard layout + spawned seeds +
+  ordered accumulation);
+* a crashing worker pool degrades to in-process execution instead of
+  failing the experiment.
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.runners import (
+    ParallelRunner,
+    RunConfig,
+    seed_tag,
+    split_samples,
+    spawn_seeds,
+)
+from repro.sim.error_profile import run_error_profile
+from repro.sim.montecarlo import (
+    mc_expected_error,
+    run_montecarlo,
+    run_settle_histogram,
+    settle_depth_histogram,
+    uniform_digit_batch,
+)
+from repro.sim.sweep import OnlineMultiplierHarness, run_sweep
+
+
+class TestSplitSamples:
+    def test_exact_division(self):
+        assert split_samples(600, 200) == [200, 200, 200]
+
+    def test_remainder_shard(self):
+        assert split_samples(650, 200) == [200, 200, 200, 50]
+
+    def test_single_small_shard(self):
+        assert split_samples(5, 200) == [5]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            split_samples(0, 10)
+        with pytest.raises(ValueError):
+            split_samples(10, 0)
+
+
+class TestSeeds:
+    def test_seed_tag_stable_and_distinct(self):
+        assert seed_tag("montecarlo") == seed_tag("montecarlo")
+        assert seed_tag("montecarlo") != seed_tag("sweep")
+        assert 0 <= seed_tag("sweep") < 2**32
+
+    def test_spawned_streams_reproducible(self):
+        a = spawn_seeds(2014, 3, seed_tag("x"))
+        b = spawn_seeds(2014, 3, seed_tag("x"))
+        for sa, sb in zip(a, b):
+            assert (
+                np.random.default_rng(sa).integers(0, 1 << 30, 8).tolist()
+                == np.random.default_rng(sb).integers(0, 1 << 30, 8).tolist()
+            )
+
+    def test_tags_separate_streams(self):
+        a, = spawn_seeds(2014, 1, seed_tag("x"))
+        b, = spawn_seeds(2014, 1, seed_tag("y"))
+        assert (
+            np.random.default_rng(a).integers(0, 1 << 30, 8).tolist()
+            != np.random.default_rng(b).integers(0, 1 << 30, 8).tolist()
+        )
+
+
+# module-level workers: must be picklable for the process pool
+def _double(task):
+    return task * 2
+
+
+def _crash_in_child(task):
+    if os.getpid() != task["parent"]:
+        os._exit(3)  # hard-kill pool workers; inline execution survives
+    return task["value"] * 2
+
+
+def _raise_value_error(task):
+    raise ValueError(f"bad task {task}")
+
+
+class TestRunnerMap:
+    def test_inline_map_preserves_order(self):
+        runner = ParallelRunner(jobs=1)
+        assert runner.map(_double, [3, 1, 2]) == [6, 2, 4]
+        assert all(s.where == "inline" for s in runner.stats.shards)
+
+    def test_pool_map_preserves_order(self):
+        runner = ParallelRunner(jobs=2)
+        assert runner.map(_double, list(range(7))) == [
+            2 * i for i in range(7)
+        ]
+        assert any(s.where == "pool" for s in runner.stats.shards)
+
+    def test_stats_populated(self):
+        runner = ParallelRunner(jobs=1)
+        runner.map(_double, [1, 2, 3], samples=[10, 10, 5])
+        stats = runner.finalize_stats("unit", cache="off")
+        assert stats.samples == 25
+        assert stats.num_shards == 3
+        assert stats.elapsed > 0
+        assert stats.samples_per_second > 0
+        assert not stats.degraded
+
+    def test_worker_crash_degrades_to_inline(self):
+        runner = ParallelRunner(jobs=2, backoff=0.01)
+        tasks = [{"parent": os.getpid(), "value": v} for v in range(4)]
+        results = runner.map(_crash_in_child, tasks, samples=[1] * 4)
+        assert results == [0, 2, 4, 6]
+        stats = runner.finalize_stats("crashy")
+        assert stats.degraded
+        assert stats.pool_failures == runner.max_pool_failures
+        assert stats.retries >= 1
+        assert all(s.where == "inline" for s in stats.shards)
+
+    def test_worker_exception_propagates(self):
+        runner = ParallelRunner(jobs=2)
+        with pytest.raises(ValueError, match="bad task"):
+            runner.map(_raise_value_error, [1, 2])
+
+    def test_from_config(self):
+        assert ParallelRunner.from_config(RunConfig(jobs=3)).jobs == 3
+
+
+# small shard_size so even tiny budgets exercise multi-shard merging
+def _config(jobs: int) -> RunConfig:
+    return RunConfig(ndigits=4, jobs=jobs, cache_dir=None, shard_size=100)
+
+
+class TestBitIdenticalAcrossJobs:
+    def test_montecarlo(self):
+        a = run_montecarlo(_config(1), num_samples=350)
+        b = run_montecarlo(_config(2), num_samples=350)
+        assert np.array_equal(a.depths, b.depths)
+        assert np.array_equal(a.mean_abs_error, b.mean_abs_error)
+        assert np.array_equal(a.violation_probability, b.violation_probability)
+
+    def test_sweep(self):
+        a = run_sweep(_config(1), num_samples=250)
+        b = run_sweep(_config(2), num_samples=250)
+        assert np.array_equal(a.mean_abs_error, b.mean_abs_error)
+        assert np.array_equal(a.violation_probability, b.violation_probability)
+        assert a.error_free_step == b.error_free_step
+
+    def test_error_profile(self):
+        a = run_error_profile(_config(1), num_samples=250)
+        b = run_error_profile(_config(2), num_samples=250)
+        assert np.array_equal(a.rates, b.rates)
+        assert a.positions == b.positions
+
+    def test_settle_histogram(self):
+        a = run_settle_histogram(_config(1), num_samples=350)
+        b = run_settle_histogram(_config(2), num_samples=350)
+        assert a == b
+
+    def test_run_stats_attached(self):
+        result = run_montecarlo(_config(1), num_samples=150)
+        stats = result.run_stats
+        assert stats.experiment == "montecarlo"
+        assert stats.samples == 150
+        assert stats.num_shards == 2  # 100 + 50
+        assert stats.cache == "off"
+
+    def test_shard_size_changes_the_draw(self):
+        a = run_montecarlo(_config(1), num_samples=350)
+        b = run_montecarlo(
+            _config(1).with_(shard_size=70), num_samples=350
+        )
+        # different shard layout => different per-shard streams
+        assert not np.array_equal(a.mean_abs_error, b.mean_abs_error)
+
+
+class TestCachedRuns:
+    def test_hit_equals_fresh(self, tmp_path):
+        config = _config(1).with_(cache_dir=str(tmp_path))
+        fresh = run_sweep(config, num_samples=250)
+        assert fresh.run_stats.cache == "miss"
+        cached = run_sweep(config, num_samples=250)
+        assert cached.run_stats.cache == "hit"
+        assert np.array_equal(fresh.mean_abs_error, cached.mean_abs_error)
+        assert fresh.error_free_step == cached.error_free_step
+
+    def test_param_change_invalidates(self, tmp_path):
+        config = _config(1).with_(cache_dir=str(tmp_path))
+        run_sweep(config, num_samples=250)
+        assert run_sweep(config, num_samples=251).run_stats.cache == "miss"
+        assert (
+            run_sweep(config.with_(seed=7), num_samples=250).run_stats.cache
+            == "miss"
+        )
+
+    def test_jobs_change_still_hits(self, tmp_path):
+        config = _config(1).with_(cache_dir=str(tmp_path))
+        run_montecarlo(config, num_samples=150)
+        again = run_montecarlo(config.with_(jobs=2), num_samples=150)
+        assert again.run_stats.cache == "hit"
+
+
+class TestDeprecationShims:
+    def test_mc_expected_error_warns_but_matches_golden_path(self):
+        with pytest.warns(DeprecationWarning):
+            result = mc_expected_error(4, num_samples=100, seed=2014)
+        assert result.num_samples == 100
+
+    def test_settle_depth_histogram_warns(self):
+        with pytest.warns(DeprecationWarning):
+            histogram = settle_depth_histogram(4, num_samples=100)
+        assert sum(histogram.values()) == pytest.approx(1.0)
+
+    def test_profile_circuit_warns(self):
+        from repro.sim.error_profile import profile_circuit
+
+        rng = np.random.default_rng(0)
+        harness = OnlineMultiplierHarness(2)
+        ports = harness.encode(
+            uniform_digit_batch(2, 4, rng), uniform_digit_batch(2, 4, rng)
+        )
+        with pytest.warns(DeprecationWarning):
+            profile = profile_circuit(
+                harness.circuit,
+                ports,
+                [["zp0", "zn0"]],
+                ["z0"],
+                [1, 2],
+                delay_model=harness.delay_model,
+            )
+        assert profile.rates.shape == (2, 1)
+
+    def test_new_api_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_montecarlo(_config(1), num_samples=120)

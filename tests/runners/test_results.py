@@ -1,0 +1,115 @@
+"""Result protocol: JSON round-trips, registry dispatch, jsonable()."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.imaging.filters import FilterStudyResult
+from repro.runners import (
+    Result,
+    jsonable,
+    registered_kinds,
+    result_from_dict,
+)
+from repro.sim.error_profile import DigitErrorProfile
+from repro.sim.montecarlo import MonteCarloResult
+from repro.sim.sweep import SweepResult
+
+
+def sample_results():
+    return [
+        MonteCarloResult(
+            ndigits=4,
+            delta=3,
+            num_samples=10,
+            depths=np.array([4, 5, 6, 7], dtype=np.int64),
+            mean_abs_error=np.array([0.1, 0.03, 0.0, 0.0]),
+            violation_probability=np.array([0.8, 0.5, 0.0, 0.0]),
+        ),
+        SweepResult(
+            steps=np.arange(5, dtype=np.int64),
+            mean_abs_error=np.array([0.5, 0.25, 1.0 / 3.0, 0.0, 0.0]),
+            violation_probability=np.array([1.0, 0.5, 0.25, 0.0, 0.0]),
+            rated_step=4,
+            settle_step=3,
+            error_free_step=3,
+            num_samples=10,
+        ),
+        DigitErrorProfile(
+            steps=np.array([0, 1, 2], dtype=np.int64),
+            positions=["z0", "z1"],
+            rates=np.array([[0.5, 0.25], [0.1, 0.0], [0.0, 0.0]]),
+        ),
+        FilterStudyResult(
+            images=["lena", "pepper"],
+            arithmetics=["traditional", "online"],
+            factors=[1.05, 1.10],
+            kernel="gaussian",
+            size=24,
+            ndigits=8,
+            rated_step=np.array([[100, 101], [140, 141]], dtype=np.int64),
+            error_free_step=np.array([[90, 91], [110, 111]], dtype=np.int64),
+            settle_step=np.array([[100, 101], [140, 141]], dtype=np.int64),
+            mre_percent=np.arange(8, dtype=np.float64).reshape(2, 2, 2) / 7.0,
+            snr_db=np.arange(8, dtype=np.float64).reshape(2, 2, 2) * 3.1,
+        ),
+    ]
+
+
+@pytest.mark.parametrize(
+    "result", sample_results(), ids=lambda r: type(r).kind
+)
+class TestRoundTrip:
+    def test_satisfies_protocol(self, result):
+        assert isinstance(result, Result)
+
+    def test_to_dict_is_pure_json(self, result):
+        # json.dumps with allow_nan=False rejects anything non-JSON
+        json.dumps(result.to_dict(), allow_nan=False)
+
+    def test_json_round_trip_bit_exact(self, result):
+        wire = json.loads(json.dumps(result.to_dict()))
+        back = result_from_dict(wire)
+        assert type(back) is type(result)
+        for name, dtype in type(result)._array_fields.items():
+            original = getattr(result, name)
+            restored = getattr(back, name)
+            assert restored.dtype == np.dtype(dtype)
+            assert np.array_equal(original, restored)
+
+    def test_kind_in_wire_format(self, result):
+        assert result.to_dict()["kind"] == type(result).kind
+
+
+class TestRegistry:
+    def test_all_kinds_registered(self):
+        kinds = registered_kinds()
+        assert {
+            "montecarlo",
+            "sweep",
+            "error_profile",
+            "filter_study",
+        } <= set(kinds)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="unknown result kind"):
+            result_from_dict({"kind": "hologram"})
+
+    def test_missing_kind_raises(self):
+        with pytest.raises(KeyError):
+            result_from_dict({"steps": [1, 2]})
+
+
+class TestJsonable:
+    def test_numpy_values(self):
+        out = jsonable(
+            {
+                "arr": np.array([1, 2]),
+                "i": np.int64(3),
+                "f": np.float64(0.5),
+                "nested": [np.array([0.25]), (np.int32(1),)],
+            }
+        )
+        assert out == {"arr": [1, 2], "i": 3, "f": 0.5, "nested": [[0.25], [1]]}
+        json.dumps(out)

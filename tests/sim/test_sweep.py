@@ -7,6 +7,7 @@ from repro.netlist.delay import UnitDelay
 from repro.sim.montecarlo import uniform_digit_batch
 from repro.sim.sweep import (
     OnlineMultiplierHarness,
+    SweepResult,
     TraditionalMultiplierHarness,
     max_error_free_step,
 )
@@ -96,6 +97,46 @@ class TestTraditionalHarness:
         harness = TraditionalMultiplierHarness(4, UnitDelay())
         with pytest.raises(ValueError):
             harness.encode(np.array([100]), np.array([0]))
+
+
+class TestAtStep:
+    """`at_step` answers with the *nearest* grid step.
+
+    It used to return the right neighbour unconditionally (a plain
+    ``searchsorted``), so a query just past a grid point — e.g. the
+    fractional periods `at_normalized_frequency` produces — silently
+    read the optimistic (slower-clock) entry.
+    """
+
+    @pytest.fixture()
+    def result(self):
+        return SweepResult(
+            steps=np.arange(5, dtype=np.int64),
+            mean_abs_error=np.array([0.8, 0.4, 0.2, 0.1, 0.0]),
+            violation_probability=np.array([1.0, 0.9, 0.5, 0.2, 0.0]),
+            rated_step=4,
+            settle_step=4,
+            error_free_step=4,
+            num_samples=100,
+        )
+
+    def test_on_grid_queries_are_exact(self, result):
+        for i, step in enumerate(result.steps):
+            assert result.at_step(float(step)) == result.mean_abs_error[i]
+
+    def test_between_grid_picks_nearest(self, result):
+        assert result.at_step(1.4) == 0.4  # closer to step 1
+        assert result.at_step(1.6) == 0.2  # closer to step 2
+
+    def test_midpoint_tie_breaks_pessimistic(self, result):
+        # equidistant: prefer the smaller (faster-clock, larger-error) step
+        assert result.at_step(1.5) == 0.4
+
+    def test_clips_below_grid(self, result):
+        assert result.at_step(-3.0) == 0.8
+
+    def test_clips_above_grid(self, result):
+        assert result.at_step(99.0) == 0.0
 
 
 class TestComparison:
