@@ -15,6 +15,10 @@ Installed as ``repro-overclock`` (see ``pyproject.toml``), or run as
     (Fig. 6 / 7, Tables 1-2 style output).
 ``area``
     LUT/slice area comparison (Table 4).
+``faults``
+    Fault-injection campaign: degradation curves of the online vs
+    conventional multiplier under clock jitter, delay drift, SEUs,
+    metastable capture or stuck-at defects.
 """
 
 from __future__ import annotations
@@ -24,7 +28,11 @@ import sys
 from typing import List, Optional
 
 from repro.core.model import OverclockingErrorModel
-from repro.sim.reporting import format_run_stats, format_table
+from repro.sim.reporting import (
+    format_fault_stats,
+    format_run_stats,
+    format_table,
+)
 
 
 def _config_from_args(args: argparse.Namespace, **overrides):
@@ -183,6 +191,40 @@ def _cmd_area(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import run_fault_campaign
+
+    config = _config_from_args(args)
+    if args.shard_timeout is not None:
+        config = config.with_(shard_timeout=args.shard_timeout)
+    rates = tuple(args.rates)
+    result = run_fault_campaign(
+        config,
+        model=args.model,
+        rates=rates,
+        num_samples=args.samples,
+        overclock=args.overclock,
+    )
+    rows = []
+    for i, rate in enumerate(result.rates):
+        rows.append(
+            [f"{float(rate):.3f}",
+             f"{result.online_error[i]:.4e}",
+             f"{result.traditional_error[i]:.4e}"]
+        )
+    print(format_table(
+        ["fault rate", "online rel. err", "traditional rel. err"],
+        rows,
+        title=(
+            f"{config.ndigits}-digit multipliers under '{args.model}' "
+            f"faults at {args.overclock:.2f}x clock"
+        ),
+    ))
+    print(format_run_stats(result.run_stats))
+    print(format_fault_stats(result.fault_stats))
+    return 0
+
+
 def _cmd_verilog(args: argparse.Namespace) -> int:
     from repro.arith.array_multiplier import build_array_multiplier
     from repro.arith.prefix_adder import build_kogge_stone_adder
@@ -286,6 +328,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("area", help="area comparison (Table 4)")
     p.add_argument("--ndigits", type=int, default=8)
     p.set_defaults(func=_cmd_area)
+
+    p = sub.add_parser(
+        "faults", help="fault-injection degradation curves"
+    )
+    from repro.faults.models import FAULT_MODELS
+    from repro.faults.campaign import DEFAULT_RATES
+
+    p.add_argument("--model", default="jitter", choices=list(FAULT_MODELS),
+                   help="fault-model family to sweep")
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=list(DEFAULT_RATES),
+                   help="fault-intensity grid in [0, 1]")
+    p.add_argument("--ndigits", type=int, default=8)
+    p.add_argument("--samples", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=2014)
+    p.add_argument("--overclock", type=float, default=1.0,
+                   help="clock speedup over the rated period")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   help="per-shard wall-clock budget in seconds")
+    _add_backend_flag(p)
+    _add_run_flags(p)
+    p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser("verilog", help="export an operator as Verilog")
     p.add_argument(

@@ -1,0 +1,78 @@
+"""Composable fault injection for the overclocking experiments.
+
+The repository's original failure mode is *deterministic*: a capture
+register clocked at period ``T_S`` truncates the propagation wave at
+depth ``b = ceil(T_S / mu)``.  Real overclocked silicon misbehaves in
+messier ways — clock jitter, voltage/temperature delay drift, single
+event upsets, metastable register capture, stuck-at defects — and the
+paper's graceful-degradation claim is only convincing if it survives
+those regimes too.  This package perturbs the simulation at three layers:
+
+**Timing faults** (:mod:`repro.faults.timing`)
+    :class:`DriftedDelayModel` composes seeded per-gate delay drift on
+    top of any existing :class:`~repro.netlist.delay.DelayModel`;
+    per-cycle clock jitter perturbs the capture instant of every sample
+    (each sample of a batch belongs to a different clock cycle).  Both
+    reuse :func:`~repro.netlist.delay.delay_signature`, so faulted runs
+    stay compile- and result-cacheable.
+
+**Value faults** (:mod:`repro.faults.inject`, :mod:`repro.faults.stuck`)
+    Seeded SEU bit-flips and metastable capture (a digit that settles
+    within a guard window of the deadline resolves randomly) are
+    injected at the capture boundary by :class:`FaultInjector` with
+    bit-identical semantics on the wave and packed backends; stuck-at-0/1
+    gates are a deterministic circuit transform
+    (:func:`apply_stuck_faults`) consumed identically by every backend.
+
+**Pipeline faults** (:mod:`repro.faults.pipeline`)
+    A crash/hang/corruption-injecting harness for
+    :mod:`repro.runners`, used by the robustness tests to prove that the
+    hardened runner retries crashed shards, times out hung ones and
+    recomputes corrupt cache entries.
+
+:func:`run_fault_campaign` sweeps fault intensity for the online and
+conventional multipliers and reports degradation curves; it checkpoints
+every shard into the persistent result cache, so a killed campaign
+resumes and completes only the missing shards (bit-identical to an
+uninterrupted run).
+"""
+
+from repro.faults.models import (
+    FAULT_MODELS,
+    FaultConfig,
+    config_for_model,
+    fault_signature,
+)
+from repro.faults.timing import DriftedDelayModel
+from repro.faults.stuck import apply_stuck_faults
+from repro.faults.inject import FaultInjector
+from repro.faults.campaign import (
+    CAMPAIGN_DESIGNS,
+    DEFAULT_RATES,
+    FaultCampaignResult,
+    FaultStats,
+    run_fault_campaign,
+)
+from repro.faults.pipeline import (
+    FaultyPipelineWorker,
+    PipelineFaultPlan,
+    corrupt_cache_entry,
+)
+
+__all__ = [
+    "FAULT_MODELS",
+    "FaultConfig",
+    "config_for_model",
+    "fault_signature",
+    "DriftedDelayModel",
+    "apply_stuck_faults",
+    "FaultInjector",
+    "CAMPAIGN_DESIGNS",
+    "DEFAULT_RATES",
+    "FaultCampaignResult",
+    "FaultStats",
+    "run_fault_campaign",
+    "FaultyPipelineWorker",
+    "PipelineFaultPlan",
+    "corrupt_cache_entry",
+]

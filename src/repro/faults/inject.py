@@ -1,0 +1,108 @@
+"""Capture-boundary fault injection with backend-identical semantics.
+
+:class:`FaultInjector` perturbs what a capture register latches, on top
+of any simulation result — per-cycle clock jitter (each sample latches
+at a jittered instant), metastable capture (a bit whose waveform is
+still changing within a guard window of the capture instant resolves
+randomly) and SEU bit-flips.  Everything operates on *unpacked* ``uint8``
+sample arrays obtained through the backend-neutral
+:meth:`~repro.netlist.sim.SimulationResult.sample_rows` primitive, with
+one seeded RNG stream whose draw layout depends only on the fault
+config, the output-name order and the batch size — so the wave and
+packed backends produce bit-identical faulted captures, and so does any
+worker-process layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.faults.models import FaultConfig
+from repro.netlist.sim import SimulationResult
+
+#: injected-fault kinds counted by :meth:`FaultInjector.capture`
+CAPTURE_FAULT_KINDS = ("jitter", "meta", "seu")
+
+Entropy = Union[int, np.random.SeedSequence]
+
+
+class FaultInjector:
+    """Inject capture-boundary faults into a simulation result.
+
+    Parameters
+    ----------
+    config:
+        The fault knobs; a null config makes :meth:`capture` the
+        identity (bit-identical to ``result.sample``).
+    entropy:
+        Seed material (int or :class:`numpy.random.SeedSequence`) for
+        the capture draws.  Campaigns pass a per-shard spawned sequence
+        so draws are independent of the worker layout.
+    """
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        entropy: Entropy = 0,
+    ) -> None:
+        self.config = config
+        if isinstance(entropy, np.random.SeedSequence):
+            self._entropy = entropy
+        else:
+            self._entropy = np.random.SeedSequence(int(entropy))
+
+    def capture(
+        self,
+        result: SimulationResult,
+        step: int,
+        names: Optional[Iterable[str]] = None,
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        """Faulted capture of *result* at nominal clock period *step*.
+
+        Returns ``(values, injected)``: per-output ``uint8`` arrays of
+        what the (faulty) capture register actually latched, plus counts
+        of injected faults by kind.  Repeated calls with the same
+        arguments reproduce the same draws (the RNG restarts from the
+        injector's entropy on every call).
+        """
+        cfg = self.config
+        names_sorted: List[str] = sorted(
+            result.output_names if names is None else names
+        )
+        num_samples = result.num_samples
+        rng = np.random.default_rng(self._entropy)
+        injected = {kind: 0 for kind in CAPTURE_FAULT_KINDS}
+
+        if cfg.clock_jitter > 0:
+            offsets = rng.integers(
+                -cfg.clock_jitter, cfg.clock_jitter + 1, size=num_samples
+            )
+            injected["jitter"] = int(np.count_nonzero(offsets))
+        else:
+            offsets = np.zeros(num_samples, dtype=np.int64)
+        rows = np.clip(int(step) + offsets, 0, result.settle_step)
+
+        values: Dict[str, np.ndarray] = {}
+        for name in names_sorted:
+            vals = result.sample_rows(name, rows)
+            if cfg.meta_window > 0:
+                # unstable = the waveform still changes within the guard
+                # window around this sample's capture instant
+                early = result.sample_rows(name, rows - cfg.meta_window)
+                late = result.sample_rows(name, rows + cfg.meta_window)
+                unstable = early != late
+                select = rng.random(num_samples) < cfg.meta_rate
+                resolved = rng.integers(
+                    0, 2, size=num_samples, dtype=np.int64
+                ).astype(np.uint8)
+                hit = unstable & select
+                vals = np.where(hit, resolved, vals).astype(np.uint8)
+                injected["meta"] += int(hit.sum())
+            if cfg.seu_rate > 0:
+                flips = rng.random(num_samples) < cfg.seu_rate
+                vals = (vals ^ flips.astype(np.uint8)).astype(np.uint8)
+                injected["seu"] += int(flips.sum())
+            values[name] = vals
+        return values, injected

@@ -1,0 +1,72 @@
+"""Stuck-at faults as a deterministic circuit transform.
+
+A stuck-at defect pins a gate output to a constant regardless of its
+inputs.  Rather than special-casing every simulation backend, the fault
+is applied *structurally*: the circuit is rebuilt with each afflicted
+gate replaced by a constant driver.  Both backends then simulate the
+same faulted netlist, so their outputs agree bit-for-bit by the existing
+cross-engine equivalence guarantee — no backend-specific injection code
+to keep in sync.
+
+The rebuild disables constant folding so the faulted constant is not
+propagated away structurally (the *simulators* still see the constant's
+fanout cone compute faulted values, which is the physical behaviour —
+downstream logic genuinely evaluates the stuck level).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.netlist.gates import Circuit
+
+
+def apply_stuck_faults(
+    circuit: Circuit, stuck_rate: float, seed: int = 2014
+) -> Tuple[Circuit, int]:
+    """Stick a seeded random subset of gates at constant 0/1.
+
+    Each non-constant gate is stuck with probability ``stuck_rate`` at a
+    level drawn uniformly from {0, 1}.  Returns ``(faulted, n_stuck)``;
+    with ``stuck_rate = 0`` — or when the draw selects no gate — the
+    *original* circuit object is returned unchanged, so the null-fault
+    path shares compiled engines and cache entries with unfaulted runs.
+    """
+    if not 0.0 <= float(stuck_rate) <= 1.0:
+        raise ValueError(f"stuck_rate must be in [0, 1], got {stuck_rate!r}")
+    if stuck_rate <= 0.0 or not circuit.gates:
+        return circuit, 0
+
+    rng = random.Random(
+        f"stuck:{int(seed)}:{circuit.name}:{circuit.num_gates}"
+    )
+    # draw the full fault plan first so the RNG stream depends only on
+    # the gate list, never on the rebuild's control flow
+    plan: Dict[int, int] = {}
+    for idx, gate in enumerate(circuit.gates):
+        if gate.op in ("CONST0", "CONST1"):
+            continue
+        if rng.random() < stuck_rate:
+            plan[idx] = rng.randint(0, 1)
+    if not plan:
+        return circuit, 0
+
+    faulted = Circuit(f"{circuit.name}_stuck", fold_constants=False)
+    netmap: Dict[int, int] = {}
+    for name, net in zip(circuit.input_names, circuit.input_nets):
+        netmap[net] = faulted.input(name)
+    for idx, gate in enumerate(circuit.gates):
+        stuck_value = plan.get(idx)
+        if stuck_value is not None:
+            netmap[gate.output] = faulted.gate(
+                "CONST1" if stuck_value else "CONST0"
+            )
+        else:
+            ins = tuple(netmap[n] for n in gate.inputs)
+            netmap[gate.output] = faulted.gate(
+                gate.op, *ins, table=gate.table
+            )
+    for name, net in circuit.output_map.items():
+        faulted.output(name, netmap[net])
+    return faulted, len(plan)

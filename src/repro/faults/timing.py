@@ -1,0 +1,72 @@
+"""Timing faults: delay drift composed on any base delay model.
+
+Voltage and temperature excursions on an overclocked part slow
+individual paths by fractions of a LUT delay.  :class:`DriftedDelayModel`
+models this as seeded per-gate extra delay on top of an arbitrary base
+:class:`~repro.netlist.delay.DelayModel` — the drift is a property of
+the (circuit, seed) pair, not of the batch, so a drifted model is still
+deterministic: :func:`~repro.netlist.delay.delay_signature` renders the
+nested base model recursively, which keeps drifted runs eligible for the
+compile cache and the persistent result cache.
+
+Per-*cycle* clock jitter is not a delay-model concern (every sample of a
+batch is a different clock cycle); it is injected at the capture
+boundary by :class:`repro.faults.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.netlist.delay import DelayModel
+from repro.netlist.gates import Circuit
+
+
+class DriftedDelayModel(DelayModel):
+    """Seeded per-gate delay drift over a base delay model.
+
+    Each gate the base model charges a nonzero delay drifts, with
+    probability ``drift_rate``, by an extra ``U{1..drift_max}`` quanta.
+    Free gates (wiring, constants, absorbed inverters) never drift.
+    ``drift_rate = 0`` (or ``drift_max = 0``) assigns exactly the base
+    delays — the null-fault identity the regression suite pins down.
+    """
+
+    def __init__(
+        self,
+        base: DelayModel,
+        drift_rate: float,
+        drift_max: int,
+        seed: int = 2014,
+    ) -> None:
+        if not 0.0 <= float(drift_rate) <= 1.0:
+            raise ValueError(
+                f"drift_rate must be in [0, 1], got {drift_rate!r}"
+            )
+        if drift_max < 0:
+            raise ValueError(f"drift_max must be >= 0, got {drift_max}")
+        self.base = base
+        self.drift_rate = float(drift_rate)
+        self.drift_max = int(drift_max)
+        self.seed = int(seed)
+        self.quanta_per_unit = base.quanta_per_unit
+
+    def assign(self, circuit: Circuit) -> Sequence[int]:
+        delays: List[int] = list(self.base.assign(circuit))
+        if self.drift_rate <= 0.0 or self.drift_max <= 0:
+            return delays
+        rng = random.Random(
+            f"drift:{self.seed}:{circuit.name}:{circuit.num_gates}"
+        )
+        for i, d in enumerate(delays):
+            if d > 0 and rng.random() < self.drift_rate:
+                delays[i] = d + rng.randint(1, self.drift_max)
+        return delays
+
+    def drifted_gates(self, circuit: Circuit) -> int:
+        """Number of gates whose delay drifts on *circuit* (reporting)."""
+        base = list(self.base.assign(circuit))
+        return sum(
+            1 for b, d in zip(base, self.assign(circuit)) if d != b
+        )

@@ -193,6 +193,18 @@ class PackedSimulationResult(SimulationResult):
             ]
         )
 
+    def sample_rows(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Per-sample capture without unpacking the full waveform.
+
+        Only the distinct requested rows are unpacked (a jittered capture
+        touches a handful of rows around the nominal step, not the whole
+        waveform); bit-identical to the ``uint8`` base implementation.
+        """
+        rows = np.clip(np.asarray(rows, dtype=np.int64), 0, self.settle_step)
+        unique, inverse = np.unique(rows, return_inverse=True)
+        unpacked = unpack_bits(self._waveforms[name][unique], self.num_samples)
+        return unpacked[inverse, np.arange(rows.shape[0])]
+
 
 class CompiledCircuit:
     """A circuit lowered to an opcode program over packed words.

@@ -31,12 +31,16 @@ def delay_signature(model: "DelayModel") -> str:
 
     Class name plus sorted constructor state — every provided model keeps
     its parameters as plain instance attributes, so two instances with
-    equal signatures assign identical delays to any circuit.  Used as
-    worker-side memo keys and as cache-key material by the experiment
-    runners.
+    equal signatures assign identical delays to any circuit.  Attribute
+    values that are themselves :class:`DelayModel` instances (e.g. the
+    base model a fault-injecting wrapper perturbs, see
+    :class:`repro.faults.DriftedDelayModel`) render as their own
+    signature, so composed models stay stable too.  Used as worker-side
+    memo keys and as cache-key material by the experiment runners.
     """
     params = ", ".join(
-        f"{k}={v!r}" for k, v in sorted(vars(model).items())
+        f"{k}={delay_signature(v) if isinstance(v, DelayModel) else repr(v)}"
+        for k, v in sorted(vars(model).items())
     )
     return f"{type(model).__name__}({params})"
 

@@ -164,6 +164,20 @@ class SimulationResult:
         row = min(max(int(step), 0), self.settle_step)
         return np.stack([self._waveforms[n][row] for n in names])
 
+    def sample_rows(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Per-sample capture of output *name* at per-sample time steps.
+
+        ``rows`` is a length-``S`` integer array: sample ``s`` is captured
+        at step ``rows[s]`` (clamped to ``[0, settle_step]``).  This is
+        the capture primitive behind per-cycle clock-jitter fault
+        injection (:mod:`repro.faults`): every sample of a batch belongs
+        to a different clock cycle, so each may latch at a slightly
+        different instant.  Identical semantics on every backend.
+        """
+        rows = np.clip(np.asarray(rows, dtype=np.int64), 0, self.settle_step)
+        wave = self.waveform(name)
+        return wave[rows, np.arange(wave.shape[1])]
+
 
 class WaveformSimulator:
     """Simulate a circuit batch under a given delay model.

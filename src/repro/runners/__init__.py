@@ -34,7 +34,13 @@ from repro.runners.parallel import (
     split_samples,
     spawn_seeds,
 )
-from repro.runners.cache import ResultCache, cache_for, cache_key
+from repro.runners.cache import (
+    QUARANTINE_DIR,
+    RAW_KIND,
+    ResultCache,
+    cache_for,
+    cache_key,
+)
 from repro.runners.results import (
     Result,
     jsonable,
@@ -54,6 +60,8 @@ __all__ = [
     "seed_tag",
     "split_samples",
     "spawn_seeds",
+    "QUARANTINE_DIR",
+    "RAW_KIND",
     "ResultCache",
     "cache_for",
     "cache_key",

@@ -18,8 +18,21 @@ designed around:
 * ``<digest>.npz`` — the array fields as compressed numpy binary.
 
 Both files are written to a temporary name and atomically renamed, so a
-crashed writer can never leave a half-entry that poisons later runs; any
-unreadable/corrupt entry is treated as a miss and recomputed.
+crashed writer can never leave a half-entry that poisons later runs.
+
+Robustness: the store never *trusts* on-disk bytes.  A truncated,
+hand-edited or otherwise undecodable entry is detected on read, moved
+into a ``quarantine/`` subdirectory (preserving the evidence), reported
+with a :class:`RuntimeWarning`, and treated as a miss — the caller
+recomputes and overwrites, so storage rot can cost time but never
+correctness and never a crash.
+
+Besides full :class:`~repro.runners.results.Result` objects, the store
+also holds *raw* JSON payloads (:meth:`ResultCache.put_raw` /
+:meth:`ResultCache.get_raw`): plain dicts of JSON scalars, used as
+per-shard checkpoints by long campaigns so a killed run resumes from the
+completed shards (floats round-trip exactly through JSON's repr-based
+encoding, keeping resumed merges bit-identical).
 """
 
 from __future__ import annotations
@@ -28,6 +41,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
@@ -37,6 +51,12 @@ from repro.runners.results import jsonable, result_from_dict
 
 #: bump to invalidate every existing cache entry on a format change
 CACHE_FORMAT_VERSION = 1
+
+#: ``kind`` tag of raw (non-Result) JSON payload entries
+RAW_KIND = "_raw"
+
+#: subdirectory corrupt entries are moved into (never auto-deleted)
+QUARANTINE_DIR = "quarantine"
 
 
 def cache_key(**components: Any) -> str:
@@ -68,6 +88,7 @@ class ResultCache:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     # --------------------------------------------------------------- paths
     def _json_path(self, key: str) -> Path:
@@ -78,9 +99,28 @@ class ResultCache:
 
     # ---------------------------------------------------------------- I/O
     def get(self, key: str) -> Optional[Any]:
-        """Load the result stored under *key*, or None on miss/corruption."""
+        """Load the result stored under *key*, or None on miss.
+
+        A present-but-unreadable entry (truncated npz, hand-edited JSON,
+        unknown result kind, format-version mismatch) is *quarantined*:
+        moved aside with a warning and reported as a miss, so the caller
+        recomputes instead of crashing on rotten bytes.
+        """
+        json_path = self._json_path(key)
+        if not json_path.exists():
+            self.misses += 1
+            return None
         try:
-            meta = json.loads(self._json_path(key).read_text())
+            meta = json.loads(json_path.read_text())
+            if meta.get("format") != CACHE_FORMAT_VERSION:
+                raise ValueError(
+                    f"cache format {meta.get('format')!r} != "
+                    f"{CACHE_FORMAT_VERSION}"
+                )
+            if meta.get("kind") == RAW_KIND:
+                # a raw checkpoint entry under a Result key — type clash
+                self.misses += 1
+                return None
             data = dict(meta["result"])
             array_names = meta.get("arrays", [])
             if array_names:
@@ -88,7 +128,8 @@ class ResultCache:
                     for name in array_names:
                         data[name] = npz[name]
             result = result_from_dict(data)
-        except Exception:
+        except Exception as exc:
+            self._quarantine(key, exc)
             self.misses += 1
             return None
         self.hits += 1
@@ -121,6 +162,83 @@ class ResultCache:
             binary=False,
         )
 
+    # ------------------------------------------------------ raw payloads
+    def put_raw(self, key: str, payload: Mapping[str, Any]) -> None:
+        """Store a plain JSON payload (shard checkpoints, small partials).
+
+        Raw entries hold exact values: ints are arbitrary precision and
+        floats round-trip bit-exactly through JSON's repr encoding, so a
+        merge over resumed checkpoints equals the uninterrupted merge.
+        """
+        meta = {
+            "format": CACHE_FORMAT_VERSION,
+            "kind": RAW_KIND,
+            "arrays": [],
+            "payload": jsonable(dict(payload)),
+        }
+        self._atomic_write(
+            self._json_path(key),
+            lambda fh: fh.write(json.dumps(meta, sort_keys=True, indent=1)),
+            binary=False,
+        )
+
+    def get_raw(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load a raw payload stored by :meth:`put_raw`, or None on miss.
+
+        Corrupt or type-mismatched entries quarantine exactly like
+        :meth:`get`.
+        """
+        json_path = self._json_path(key)
+        if not json_path.exists():
+            self.misses += 1
+            return None
+        try:
+            meta = json.loads(json_path.read_text())
+            if meta.get("format") != CACHE_FORMAT_VERSION:
+                raise ValueError(
+                    f"cache format {meta.get('format')!r} != "
+                    f"{CACHE_FORMAT_VERSION}"
+                )
+            if meta.get("kind") != RAW_KIND:
+                # a Result entry under a raw key — type clash, plain miss
+                self.misses += 1
+                return None
+            payload = dict(meta["payload"])
+        except Exception as exc:
+            self._quarantine(key, exc)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    # ------------------------------------------------------------ plumbing
+    def _quarantine(self, key: str, exc: Exception) -> None:
+        """Move a corrupt entry aside (evidence preserved) and warn."""
+        self.corrupt += 1
+        target_dir = self.cache_dir / QUARANTINE_DIR
+        moved = []
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            for path in (self._json_path(key), self._npz_path(key)):
+                if path.exists():
+                    os.replace(path, target_dir / path.name)
+                    moved.append(path.name)
+        except OSError:
+            # quarantine is best-effort: fall back to dropping the entry
+            for path in (self._json_path(key), self._npz_path(key)):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        warnings.warn(
+            f"corrupt result-cache entry {key} "
+            f"({type(exc).__name__}: {exc}); "
+            f"moved {moved or 'nothing'} to {QUARANTINE_DIR}/ and "
+            "recomputing",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def _atomic_write(self, path: Path, write_fn, binary: bool) -> None:
         fd, tmp = tempfile.mkstemp(
             dir=self.cache_dir, prefix=path.stem, suffix=".tmp"
@@ -141,10 +259,11 @@ class ResultCache:
         return self._json_path(key).exists()
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters and entry count of this cache handle."""
+        """Hit/miss/corruption counters and entry count of this handle."""
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "corrupt": self.corrupt,
             "entries": len(list(self.cache_dir.glob("*.json"))),
         }
 

@@ -33,12 +33,19 @@ Environment defaults: ``REPRO_JOBS`` seeds the default ``jobs`` and
 ``REPRO_CACHE_DIR`` the default ``cache_dir``, so CI legs and benchmark
 sweeps can opt whole suites into parallel/cached execution without
 touching call sites.
+
+Validation is *eager*: every field is checked at construction with an
+actionable message naming the offending value, including that
+``cache_dir`` can actually be created and written — a typo'd cache path
+fails in milliseconds at config time, not after an hour of simulation
+when the first result is flushed.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, Optional
 
 #: default samples per shard (see :attr:`RunConfig.shard_size`)
@@ -75,9 +82,15 @@ class RunConfig:
         results.  Defaults to ``$REPRO_JOBS`` or 1.
     cache_dir:
         Directory of the persistent result cache, or None to disable
-        caching.  Defaults to ``$REPRO_CACHE_DIR`` or None.
+        caching.  Defaults to ``$REPRO_CACHE_DIR`` or None.  Validated
+        eagerly: it must be creatable and writable.
     shard_size:
         Samples per shard of the deterministic seed-splitting scheme.
+    shard_timeout:
+        Per-shard wall-clock budget in seconds for pool execution, or
+        None (default) for no budget.  Execution detail like ``jobs`` —
+        never affects results (a timed-out shard is retried and
+        ultimately completes in-process).
     """
 
     ndigits: int = 8
@@ -87,19 +100,54 @@ class RunConfig:
     jobs: int = field(default_factory=_default_jobs)
     cache_dir: Optional[str] = field(default_factory=_default_cache_dir)
     shard_size: int = DEFAULT_SHARD_SIZE
+    shard_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         from repro.netlist.compiled import resolve_backend
 
-        if self.ndigits < 1:
-            raise ValueError("ndigits must be >= 1")
-        if self.delta < 1:
-            raise ValueError("delta must be >= 1")
-        if self.jobs < 1:
-            raise ValueError("jobs must be >= 1")
-        if self.shard_size < 1:
-            raise ValueError("shard_size must be >= 1")
+        if not isinstance(self.ndigits, int) or self.ndigits < 1:
+            raise ValueError(
+                f"ndigits must be an integer >= 1, got {self.ndigits!r}"
+            )
+        if not isinstance(self.delta, int) or self.delta < 1:
+            raise ValueError(
+                f"delta must be an integer >= 1, got {self.delta!r}"
+            )
+        if not isinstance(self.jobs, int) or self.jobs < 1:
+            raise ValueError(
+                f"jobs must be an integer >= 1, got {self.jobs!r} "
+                "(use jobs=1 for in-process execution)"
+            )
+        if not isinstance(self.shard_size, int) or self.shard_size < 1:
+            raise ValueError(
+                f"shard_size must be an integer >= 1, got {self.shard_size!r}"
+            )
+        if self.shard_timeout is not None and not self.shard_timeout > 0:
+            raise ValueError(
+                "shard_timeout must be a positive number of seconds or "
+                f"None, got {self.shard_timeout!r}"
+            )
         resolve_backend(self.backend)
+        self._check_cache_dir()
+
+    def _check_cache_dir(self) -> None:
+        if not self.cache_dir:
+            return
+        path = Path(self.cache_dir).expanduser()
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ValueError(
+                f"cache_dir {self.cache_dir!r} cannot be created "
+                f"({type(exc).__name__}: {exc}); point it at a writable "
+                "directory or set cache_dir=None to disable caching"
+            ) from exc
+        if not os.access(path, os.W_OK | os.X_OK):
+            raise ValueError(
+                f"cache_dir {self.cache_dir!r} exists but is not "
+                "writable; fix its permissions or set cache_dir=None "
+                "to disable caching"
+            )
 
     def with_(self, **changes: object) -> "RunConfig":
         """A copy with the given fields replaced (the config is frozen)."""

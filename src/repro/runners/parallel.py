@@ -17,14 +17,16 @@ The execution model every ``run_*`` entry point shares:
    accumulation order is fixed, so the merged statistics are
    bit-identical for ``jobs=1`` and ``jobs=N``.
 
-Failure semantics: a worker-process crash (``BrokenProcessPool``) is
-retried with exponential backoff on a fresh pool; after
-``max_pool_failures`` consecutive pool losses the runner *degrades to
-in-process execution* for the remaining shards, so a broken
-multiprocessing environment can slow an experiment down but never fail
-it.  Ordinary exceptions raised by the worker function are not retried —
-they are deterministic and would fail in-process too — and propagate to
-the caller.
+Failure semantics: a worker-process crash (``BrokenProcessPool``) or a
+shard exceeding the per-shard wall-clock budget (``shard_timeout``) is
+retried with exponential backoff on a fresh pool — the old pool is
+abandoned without waiting, since a hung worker would block a graceful
+shutdown indefinitely.  After ``max_pool_failures`` consecutive pool
+losses the runner *degrades to in-process execution* for the remaining
+shards, so a broken multiprocessing environment can slow an experiment
+down but never fail it.  Ordinary exceptions raised by the worker
+function are not retried — they are deterministic and would fail
+in-process too — and propagate to the caller.
 
 :class:`RunStats` records per-shard timing, throughput and cache
 outcome; entry points attach it to their result as ``run_stats`` and
@@ -36,6 +38,7 @@ from __future__ import annotations
 import hashlib
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -107,6 +110,7 @@ class RunStats:
     cache: str = "off"  # "off" | "miss" | "hit"
     pool_failures: int = 0
     retries: int = 0
+    timeouts: int = 0
     degraded: bool = False
     shards: List[ShardStat] = field(default_factory=list)
 
@@ -135,9 +139,19 @@ class ParallelRunner:
     jobs:
         Worker processes; ``jobs <= 1`` runs everything in-process.
     max_pool_failures:
-        Pool crashes tolerated before degrading to in-process execution.
+        Pool losses (crash or shard timeout) tolerated before degrading
+        to in-process execution.
     backoff:
-        Base sleep between pool rebuilds (doubles per consecutive crash).
+        Base sleep between pool rebuilds (doubles per consecutive loss).
+    shard_timeout:
+        Wall-clock budget in seconds a shard may spend in the pool
+        before its whole pool is abandoned and the missing shards are
+        retried; None (the default) waits forever.  The budget is *at
+        least* semantics: shards are awaited in index order, so a
+        shard's clock only starts once every earlier shard has been
+        collected.  Timed-out shards eventually run to completion
+        in-process (which cannot hang on a lost worker), preserving the
+        never-fail guarantee.
     """
 
     def __init__(
@@ -145,17 +159,26 @@ class ParallelRunner:
         jobs: int = 1,
         max_pool_failures: int = DEFAULT_MAX_POOL_FAILURES,
         backoff: float = DEFAULT_BACKOFF,
+        shard_timeout: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive or None, got {shard_timeout!r}"
+            )
         self.jobs = jobs
         self.max_pool_failures = max_pool_failures
         self.backoff = backoff
+        self.shard_timeout = shard_timeout
         self.stats = RunStats(jobs=jobs)
 
     @classmethod
     def from_config(cls, config) -> "ParallelRunner":
-        return cls(jobs=config.jobs)
+        return cls(
+            jobs=config.jobs,
+            shard_timeout=getattr(config, "shard_timeout", None),
+        )
 
     # ----------------------------------------------------------------- map
     def map(
@@ -197,30 +220,41 @@ class ParallelRunner:
         results: List[Any],
         remaining: set,
     ) -> None:
-        """Pool execution with crash retry; leaves failures in *remaining*."""
+        """Pool execution with crash/timeout retry; failures stay in *remaining*."""
         while remaining and self.stats.pool_failures < self.max_pool_failures:
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
             try:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    futures = {
-                        i: pool.submit(_timed_call, fn, tasks[i])
-                        for i in sorted(remaining)
-                    }
-                    for i, future in futures.items():
-                        res, dt = future.result()
-                        results[i] = res
-                        remaining.discard(i)
-                        self.stats.shards.append(
-                            ShardStat(i, counts[i], dt, "pool")
-                        )
-                return
+                futures = {
+                    i: pool.submit(_timed_call, fn, tasks[i])
+                    for i in sorted(remaining)
+                }
+                for i, future in futures.items():
+                    res, dt = future.result(timeout=self.shard_timeout)
+                    results[i] = res
+                    remaining.discard(i)
+                    self.stats.shards.append(
+                        ShardStat(i, counts[i], dt, "pool")
+                    )
+            except FutureTimeoutError:
+                self.stats.timeouts += 1
             except BrokenProcessPool:
-                self.stats.pool_failures += 1
-                self.stats.retries += 1
-                if self.stats.pool_failures >= self.max_pool_failures:
-                    break
-                time.sleep(
-                    self.backoff * (2 ** (self.stats.pool_failures - 1))
-                )
+                pass
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            else:
+                pool.shutdown(wait=True)
+                return
+            # abandon the lost pool without waiting: a hung worker would
+            # block a graceful shutdown for as long as it hangs
+            pool.shutdown(wait=False, cancel_futures=True)
+            self.stats.pool_failures += 1
+            self.stats.retries += 1
+            if self.stats.pool_failures >= self.max_pool_failures:
+                break
+            time.sleep(
+                self.backoff * (2 ** (self.stats.pool_failures - 1))
+            )
         if remaining:
             self.stats.degraded = True
 

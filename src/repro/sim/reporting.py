@@ -79,6 +79,31 @@ def format_run_stats(stats) -> str:
     ]
     if stats.retries:
         fields.append(f"retries={stats.retries}")
+    if getattr(stats, "timeouts", 0):
+        fields.append(f"timeouts={stats.timeouts}")
     if stats.degraded:
         fields.append("degraded=inline")
     return "[runner] " + " ".join(fields)
+
+
+def format_fault_stats(stats) -> str:
+    """One grep-friendly line of fault-injection statistics.
+
+    *stats* is the :class:`repro.faults.FaultStats` a fault campaign
+    attaches to its result as ``fault_stats``.  Same ``key=value``
+    layout as :func:`format_run_stats`, on a ``[faults]`` prefix, so CI
+    scripts can assert on e.g. ``resumed=0`` with a plain grep.
+    """
+    fields = [f"model={stats.model or '<unknown>'}"]
+    for kind in sorted(stats.injected):
+        fields.append(f"{kind}={stats.injected[kind]}")
+    if stats.stuck_gates:
+        fields.append(f"stuck_gates={stats.stuck_gates}")
+    if stats.drifted_gates:
+        fields.append(f"drifted_gates={stats.drifted_gates}")
+    fields.append(f"shards={stats.shards_total}")
+    fields.append(f"resumed={stats.shards_resumed}")
+    fields.append(f"retried={stats.shards_retried}")
+    if stats.shards_timed_out:
+        fields.append(f"timed_out={stats.shards_timed_out}")
+    return "[faults] " + " ".join(fields)

@@ -1,0 +1,135 @@
+"""Fault campaigns: layout invariance, caching, checkpoint resume."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import DEFAULT_RATES, FaultCampaignResult, run_fault_campaign
+from repro.runners import RunConfig
+
+ARGS = dict(model="jitter", rates=(0.0, 0.15), num_samples=80)
+
+
+def small_config(**kwargs):
+    return RunConfig(ndigits=4, shard_size=40, **kwargs)
+
+
+class TestCurves:
+    def test_zero_rate_is_error_free_at_rated_clock(self):
+        result = run_fault_campaign(small_config(), **ARGS)
+        assert result.online_error[0] == 0.0
+        assert result.traditional_error[0] == 0.0
+
+    def test_positive_rate_injects(self):
+        result = run_fault_campaign(small_config(), **ARGS)
+        assert result.fault_stats.injected["jitter"] > 0
+
+    def test_error_curve_lookup(self):
+        result = run_fault_campaign(small_config(), **ARGS)
+        assert np.array_equal(result.error_curve("online"), result.online_error)
+        with pytest.raises(ValueError):
+            result.error_curve("hologram")
+
+    def test_rejects_empty_rates(self):
+        with pytest.raises(ValueError):
+            run_fault_campaign(small_config(), model="seu", rates=())
+
+    def test_default_rates_start_at_zero(self):
+        assert DEFAULT_RATES[0] == 0.0
+
+
+class TestLayoutInvariance:
+    def test_jobs_do_not_change_results(self):
+        r1 = run_fault_campaign(small_config(jobs=1), **ARGS)
+        r2 = run_fault_campaign(small_config(jobs=2), **ARGS)
+        assert np.array_equal(r1.online_error, r2.online_error)
+        assert np.array_equal(r1.traditional_error, r2.traditional_error)
+
+    def test_backends_do_not_change_results(self):
+        r1 = run_fault_campaign(small_config(backend="packed"), **ARGS)
+        r2 = run_fault_campaign(small_config(backend="wave"), **ARGS)
+        assert np.array_equal(r1.online_error, r2.online_error)
+        assert np.array_equal(r1.traditional_error, r2.traditional_error)
+
+    def test_seed_changes_results(self):
+        r1 = run_fault_campaign(small_config(), **ARGS)
+        r2 = run_fault_campaign(small_config(seed=1), **ARGS)
+        # the online curve can legitimately be all-zero at both seeds
+        # (that robustness is the point); the traditional curve is not
+        assert not np.array_equal(r1.traditional_error, r2.traditional_error)
+
+
+class TestCacheAndResume:
+    def test_round_trip_through_cache(self, tmp_path):
+        config = small_config(cache_dir=str(tmp_path))
+        r1 = run_fault_campaign(config, **ARGS)
+        assert r1.run_stats.cache == "miss"
+        r2 = run_fault_campaign(config, **ARGS)
+        assert r2.run_stats.cache == "hit"
+        assert isinstance(r2, FaultCampaignResult)
+        assert np.array_equal(r1.online_error, r2.online_error)
+        assert np.array_equal(r1.rates, r2.rates)
+
+    def test_resume_from_checkpoints_is_bit_identical(self, tmp_path):
+        golden = run_fault_campaign(small_config(), **ARGS)
+        config = small_config(cache_dir=str(tmp_path))
+        first = run_fault_campaign(config, **ARGS)
+        # drop the merged result but keep the per-shard checkpoints —
+        # the state a killed campaign leaves behind
+        dropped = 0
+        for path in tmp_path.glob("*.json"):
+            meta = json.loads(path.read_text())
+            if meta.get("kind") == "fault_campaign":
+                path.unlink()
+                (tmp_path / f"{path.stem}.npz").unlink(missing_ok=True)
+                dropped += 1
+        assert dropped == 1
+        resumed = run_fault_campaign(config, **ARGS)
+        assert resumed.fault_stats.shards_resumed == (
+            resumed.fault_stats.shards_total
+        )
+        assert resumed.run_stats.num_shards == 0  # nothing recomputed
+        for r in (first, resumed):
+            assert np.array_equal(golden.online_error, r.online_error)
+            assert np.array_equal(
+                golden.traditional_error, r.traditional_error
+            )
+
+    def test_partial_checkpoints_recompute_only_missing(self, tmp_path):
+        config = small_config(cache_dir=str(tmp_path))
+        run_fault_campaign(config, **ARGS)
+        # wipe the merged result and *one* shard checkpoint
+        victims = []
+        for path in sorted(tmp_path.glob("*.json")):
+            meta = json.loads(path.read_text())
+            if meta.get("kind") == "fault_campaign":
+                path.unlink()
+                (tmp_path / f"{path.stem}.npz").unlink(missing_ok=True)
+            elif meta.get("kind") == "_raw" and not victims:
+                victims.append(path)
+                path.unlink()
+        assert victims
+        resumed = run_fault_campaign(config, **ARGS)
+        assert resumed.run_stats.num_shards == 1  # only the victim reran
+        assert resumed.fault_stats.shards_resumed == (
+            resumed.fault_stats.shards_total - 1
+        )
+
+    def test_corrupt_checkpoint_recomputed(self, tmp_path):
+        config = small_config(cache_dir=str(tmp_path))
+        golden = run_fault_campaign(config, **ARGS)
+        for path in tmp_path.glob("*.json"):
+            meta = json.loads(path.read_text())
+            if meta.get("kind") == "fault_campaign":
+                path.unlink()
+                (tmp_path / f"{path.stem}.npz").unlink(missing_ok=True)
+        # rot one checkpoint: it must quarantine and recompute
+        victim = sorted(
+            p for p in tmp_path.glob("*.json")
+            if json.loads(p.read_text()).get("kind") == "_raw"
+        )[0]
+        victim.write_text("{rotten")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            resumed = run_fault_campaign(config, **ARGS)
+        assert np.array_equal(golden.online_error, resumed.online_error)

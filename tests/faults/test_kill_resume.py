@@ -1,0 +1,94 @@
+"""SIGKILL a live campaign mid-flight; the resumed run is bit-identical.
+
+This is the checkpoint/resume guarantee tested the hard way: a child
+process runs a fault campaign against a persistent cache and is killed
+with SIGKILL (no cleanup, no atexit) once a few shard checkpoints hit
+the disk.  The resumed in-process run must complete only the missing
+shards and produce curves bit-identical to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+from repro.faults import run_fault_campaign
+from repro.runners import RunConfig
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+CAMPAIGN = dict(model="jitter", rates=(0.0, 0.15), num_samples=600)
+CONFIG = dict(ndigits=6, shard_size=50)
+
+CHILD_SCRIPT = """
+import sys
+from repro.faults import run_fault_campaign
+from repro.runners import RunConfig
+
+config = RunConfig(ndigits=6, shard_size=50, cache_dir=sys.argv[1])
+run_fault_campaign(
+    config, model="jitter", rates=(0.0, 0.15), num_samples=600
+)
+"""
+
+
+def _checkpoints(cache_dir: Path):
+    found = []
+    for path in cache_dir.glob("*.json"):
+        try:
+            if json.loads(path.read_text()).get("kind") == "_raw":
+                found.append(path)
+        except (OSError, ValueError):
+            continue  # mid-write; not a completed checkpoint
+    return found
+
+
+def test_sigkill_mid_campaign_resumes_bit_identically(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD_SCRIPT, str(cache_dir)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if len(_checkpoints(cache_dir)) >= 3 or child.poll() is not None:
+                break
+            time.sleep(0.02)
+        alive = child.poll() is None
+        if alive:
+            child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait()
+
+    done_before_kill = len(_checkpoints(cache_dir))
+    assert done_before_kill >= 1, "child produced no checkpoints to resume"
+
+    # the golden, uninterrupted run (separate cache so nothing is shared)
+    golden = run_fault_campaign(
+        RunConfig(cache_dir=str(tmp_path / "golden"), **CONFIG), **CAMPAIGN
+    )
+
+    resumed = run_fault_campaign(
+        RunConfig(cache_dir=str(cache_dir), **CONFIG), **CAMPAIGN
+    )
+    if alive:  # genuinely killed mid-flight: some shards must resume
+        assert resumed.fault_stats.shards_resumed >= 1
+        assert resumed.run_stats.cache == "miss"
+
+    assert np.array_equal(golden.rates, resumed.rates)
+    assert np.array_equal(golden.online_error, resumed.online_error)
+    assert np.array_equal(
+        golden.traditional_error, resumed.traditional_error
+    )

@@ -1,0 +1,95 @@
+"""FaultConfig: validation, null detection, family instantiation."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_MODELS,
+    FaultConfig,
+    config_for_model,
+    fault_signature,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"clock_jitter": -1},
+            {"meta_window": -1},
+            {"drift_max": -1},
+            {"drift_rate": -0.1},
+            {"drift_rate": 1.5, "drift_max": 1},
+            {"seu_rate": 2.0},
+            {"stuck_rate": -0.5},
+            {"meta_rate": 1.01},
+            {"drift_rate": 0.5},  # needs drift_max >= 1
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+    def test_messages_name_the_value(self):
+        with pytest.raises(ValueError, match="-1"):
+            FaultConfig(clock_jitter=-1)
+        with pytest.raises(ValueError, match="seu_rate"):
+            FaultConfig(seu_rate=1.5)
+
+
+class TestNull:
+    def test_default_is_null(self):
+        assert FaultConfig().is_null()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"clock_jitter": 1},
+            {"drift_rate": 0.1, "drift_max": 2},
+            {"seu_rate": 0.01},
+            {"stuck_rate": 0.01},
+            {"meta_window": 2},
+        ],
+    )
+    def test_any_active_knob_is_not_null(self, kwargs):
+        assert not FaultConfig(**kwargs).is_null()
+
+    def test_with_replaces_and_validates(self):
+        cfg = FaultConfig().with_(seu_rate=0.25)
+        assert cfg.seu_rate == 0.25
+        with pytest.raises(ValueError):
+            FaultConfig().with_(seu_rate=-1.0)
+
+
+class TestSignature:
+    def test_distinct_configs_distinct_signatures(self):
+        a = fault_signature(FaultConfig())
+        b = fault_signature(FaultConfig(seu_rate=0.1))
+        c = fault_signature(FaultConfig(seed=1))
+        assert len({a, b, c}) == 3
+
+    def test_signature_is_stable(self):
+        assert fault_signature(FaultConfig()) == fault_signature(FaultConfig())
+
+
+class TestConfigForModel:
+    @pytest.mark.parametrize("model", FAULT_MODELS)
+    def test_zero_rate_is_null(self, model):
+        assert config_for_model(model, 0.0, rated_step=20).is_null()
+
+    @pytest.mark.parametrize("model", FAULT_MODELS)
+    def test_positive_rate_is_active(self, model):
+        assert not config_for_model(model, 0.2, rated_step=20).is_null()
+
+    def test_timing_families_scale_with_rated_step(self):
+        small = config_for_model("jitter", 0.1, rated_step=10)
+        large = config_for_model("jitter", 0.1, rated_step=100)
+        assert large.clock_jitter > small.clock_jitter
+        assert config_for_model("metastable", 0.1, 100).meta_window == 10
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="hologram"):
+            config_for_model("hologram", 0.1, rated_step=10)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            config_for_model("seu", 1.5, rated_step=10)

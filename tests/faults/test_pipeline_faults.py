@@ -1,0 +1,102 @@
+"""Hardened runner vs injected pipeline faults: crashes and hangs."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultyPipelineWorker, PipelineFaultPlan
+from repro.faults.pipeline import CRASH_EXIT_CODE
+from repro.runners import ParallelRunner
+
+
+def _square(payload):
+    return payload["shard"] ** 2
+
+
+def _make_tasks(n):
+    return [{"shard": i} for i in range(n)]
+
+
+class TestSentinels:
+    def test_fault_once_tracks_attempts_across_instances(self, tmp_path):
+        plan = PipelineFaultPlan(sentinel_dir=str(tmp_path), crash_shards=(0,))
+        worker = FaultyPipelineWorker(_square, plan)
+        # simulate "first attempt" bookkeeping without actually crashing
+        assert worker._first_attempt("probe")
+        # a retry in a *fresh process* sees the sentinel file
+        again = FaultyPipelineWorker(_square, plan)
+        assert not again._first_attempt("probe")
+
+    def test_clean_shards_pass_through(self, tmp_path):
+        plan = PipelineFaultPlan(sentinel_dir=str(tmp_path))
+        worker = FaultyPipelineWorker(_square, plan)
+        assert worker({"shard": 3}) == 9
+
+    def test_crash_exit_code_is_distinctive(self):
+        assert CRASH_EXIT_CODE not in (0, 1)
+
+
+class TestCrashRetry:
+    def test_crashed_shard_is_retried_to_completion(self, tmp_path):
+        plan = PipelineFaultPlan(
+            sentinel_dir=str(tmp_path), crash_shards=(1,)
+        )
+        worker = FaultyPipelineWorker(_square, plan)
+        runner = ParallelRunner(jobs=2, backoff=0.01)
+        results = runner.map(worker, _make_tasks(4))
+        assert results == [0, 1, 4, 9]
+        assert runner.stats.retries >= 1
+        assert runner.stats.pool_failures >= 1
+
+    def test_persistent_crasher_degrades_to_inline(self, tmp_path):
+        # shard 0 crashes its pool; with a budget of one pool loss the
+        # runner must give up on pools and finish inline (the sentinel
+        # left by the crashed attempt keeps the inline pass safe)
+        plan = PipelineFaultPlan(
+            sentinel_dir=str(tmp_path), crash_shards=(0,), fault_once=True
+        )
+        worker = FaultyPipelineWorker(_square, plan)
+        runner = ParallelRunner(jobs=2, max_pool_failures=1, backoff=0.01)
+        results = runner.map(worker, _make_tasks(3))
+        assert results == [0, 1, 4]
+        assert runner.stats.degraded
+
+
+class TestHangTimeout:
+    def test_hung_shard_times_out_and_retries(self, tmp_path):
+        plan = PipelineFaultPlan(
+            sentinel_dir=str(tmp_path), hang_shards=(0,), hang_seconds=3.0
+        )
+        worker = FaultyPipelineWorker(_square, plan)
+        runner = ParallelRunner(jobs=2, backoff=0.01, shard_timeout=0.5)
+        results = runner.map(worker, _make_tasks(3))
+        assert results == [0, 1, 4]
+        assert runner.stats.timeouts >= 1
+        assert runner.stats.retries >= 1
+
+    def test_no_timeout_without_budget(self, tmp_path):
+        plan = PipelineFaultPlan(
+            sentinel_dir=str(tmp_path), hang_shards=(0,), hang_seconds=0.3
+        )
+        worker = FaultyPipelineWorker(_square, plan)
+        runner = ParallelRunner(jobs=2, backoff=0.01)  # shard_timeout=None
+        results = runner.map(worker, _make_tasks(2))
+        assert results == [0, 1]
+        assert runner.stats.timeouts == 0
+
+    def test_shard_timeout_validated(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=2, shard_timeout=0)
+
+
+class TestMergeStillDeterministic:
+    def test_faulted_run_merges_identically(self, tmp_path):
+        """Crash + retry must not change the merged numbers."""
+        clean = ParallelRunner(jobs=1).map(_square, _make_tasks(5))
+        plan = PipelineFaultPlan(
+            sentinel_dir=str(tmp_path), crash_shards=(2,)
+        )
+        worker = FaultyPipelineWorker(_square, plan)
+        faulted = ParallelRunner(jobs=2, backoff=0.01).map(
+            worker, _make_tasks(5)
+        )
+        assert np.array_equal(clean, faulted)

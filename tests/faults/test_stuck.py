@@ -1,0 +1,86 @@
+"""Stuck-at circuit transform: identity, determinism, backend agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core.online_multiplier import build_online_multiplier
+from repro.faults import apply_stuck_faults
+from repro.netlist.compiled import make_simulator
+from repro.netlist.delay import UnitDelay
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return build_online_multiplier(4)
+
+
+class TestNullIdentity:
+    def test_zero_rate_returns_same_object(self, circuit):
+        faulted, n = apply_stuck_faults(circuit, 0.0)
+        assert faulted is circuit
+        assert n == 0
+
+    def test_rate_validated(self, circuit):
+        with pytest.raises(ValueError):
+            apply_stuck_faults(circuit, 1.5)
+
+
+class TestTransform:
+    def test_deterministic(self, circuit):
+        a, na = apply_stuck_faults(circuit, 0.1, seed=3)
+        b, nb = apply_stuck_faults(circuit, 0.1, seed=3)
+        assert na == nb > 0
+        sim = make_simulator(a, UnitDelay(), "packed")
+        rng = np.random.default_rng(0)
+        ports = {
+            name: rng.integers(0, 2, 64).astype(np.uint8)
+            for name in circuit.input_names
+        }
+        ra = sim.run(ports)
+        rb = make_simulator(b, UnitDelay(), "packed").run(ports)
+        for name in list(circuit.output_map):
+            assert np.array_equal(
+                ra.sample(ra.settle_step)[name],
+                rb.sample(rb.settle_step)[name],
+            )
+
+    def test_interface_preserved(self, circuit):
+        faulted, n = apply_stuck_faults(circuit, 0.2, seed=1)
+        assert n > 0
+        assert faulted.input_names == circuit.input_names
+        assert list(faulted.output_map) == list(circuit.output_map)
+
+    def test_function_actually_changes(self, circuit):
+        faulted, n = apply_stuck_faults(circuit, 0.2, seed=1)
+        assert n > 0
+        rng = np.random.default_rng(1)
+        ports = {
+            name: rng.integers(0, 2, 128).astype(np.uint8)
+            for name in circuit.input_names
+        }
+        clean = make_simulator(circuit, UnitDelay(), "packed").run(ports)
+        rotten = make_simulator(faulted, UnitDelay(), "packed").run(ports)
+        differs = any(
+            not np.array_equal(
+                clean.sample(clean.settle_step)[name],
+                rotten.sample(rotten.settle_step)[name],
+            )
+            for name in list(circuit.output_map)
+        )
+        assert differs
+
+    def test_backends_agree_on_faulted_netlist(self, circuit):
+        faulted, _ = apply_stuck_faults(circuit, 0.15, seed=2)
+        rng = np.random.default_rng(2)
+        ports = {
+            name: rng.integers(0, 2, 100).astype(np.uint8)
+            for name in circuit.input_names
+        }
+        packed = make_simulator(faulted, UnitDelay(), "packed").run(ports)
+        wave = make_simulator(faulted, UnitDelay(), "wave").run(ports)
+        assert packed.settle_step == wave.settle_step
+        for t in range(packed.settle_step + 1):
+            for name in list(circuit.output_map):
+                assert np.array_equal(
+                    packed.sample(t)[name], wave.sample(t)[name]
+                )

@@ -1,0 +1,64 @@
+"""DriftedDelayModel: null identity, determinism, cache signatures."""
+
+import pytest
+
+from repro.core.online_multiplier import build_online_multiplier
+from repro.faults import DriftedDelayModel
+from repro.netlist.delay import FpgaDelay, UnitDelay, delay_signature
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return build_online_multiplier(4)
+
+
+class TestNullIdentity:
+    def test_zero_rate_assigns_base_delays(self, circuit):
+        base = UnitDelay()
+        drifted = DriftedDelayModel(base, drift_rate=0.0, drift_max=0)
+        assert list(drifted.assign(circuit)) == list(base.assign(circuit))
+        assert drifted.drifted_gates(circuit) == 0
+
+
+class TestDrift:
+    def test_deterministic_across_instances(self, circuit):
+        a = DriftedDelayModel(UnitDelay(), 0.3, 2, seed=7)
+        b = DriftedDelayModel(UnitDelay(), 0.3, 2, seed=7)
+        assert list(a.assign(circuit)) == list(b.assign(circuit))
+
+    def test_seed_changes_the_drift(self, circuit):
+        a = DriftedDelayModel(UnitDelay(), 0.3, 2, seed=7)
+        b = DriftedDelayModel(UnitDelay(), 0.3, 2, seed=8)
+        assert list(a.assign(circuit)) != list(b.assign(circuit))
+
+    def test_drift_only_lengthens(self, circuit):
+        base = UnitDelay()
+        drifted = DriftedDelayModel(base, 0.5, 3, seed=1)
+        for b, d in zip(base.assign(circuit), drifted.assign(circuit)):
+            assert b <= d <= b + 3
+            if b == 0:  # free gates never drift
+                assert d == 0
+
+    def test_drifted_gates_counts(self, circuit):
+        drifted = DriftedDelayModel(UnitDelay(), 0.5, 3, seed=1)
+        n = drifted.drifted_gates(circuit)
+        assert 0 < n < circuit.num_gates
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            DriftedDelayModel(UnitDelay(), -0.1, 2)
+        with pytest.raises(ValueError):
+            DriftedDelayModel(UnitDelay(), 0.1, -1)
+
+
+class TestSignature:
+    def test_signature_renders_nested_base_model(self):
+        sig = delay_signature(DriftedDelayModel(FpgaDelay(), 0.2, 2, seed=5))
+        assert "DriftedDelayModel" in sig
+        assert "FpgaDelay" in sig  # recursion into the base model
+
+    def test_signature_distinguishes_fault_parameters(self):
+        a = delay_signature(DriftedDelayModel(UnitDelay(), 0.2, 2, seed=5))
+        b = delay_signature(DriftedDelayModel(UnitDelay(), 0.3, 2, seed=5))
+        c = delay_signature(DriftedDelayModel(UnitDelay(), 0.2, 2, seed=6))
+        assert len({a, b, c}) == 3

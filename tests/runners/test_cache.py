@@ -5,7 +5,14 @@ import json
 import numpy as np
 import pytest
 
-from repro.runners import ResultCache, RunConfig, cache_for, cache_key
+from repro.faults import corrupt_cache_entry
+from repro.runners import (
+    QUARANTINE_DIR,
+    ResultCache,
+    RunConfig,
+    cache_for,
+    cache_key,
+)
 from repro.sim.sweep import SweepResult
 
 
@@ -66,7 +73,9 @@ class TestPutGet:
         assert cache.get(key) is None
         cache.put(key, make_sweep(), {})
         assert cache.get(key) is not None
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "corrupt": 0, "entries": 1,
+        }
 
     def test_different_key_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -90,14 +99,16 @@ class TestCorruption:
         key = cache_key(x=1)
         cache.put(key, make_sweep(), {})
         (tmp_path / f"{key}.json").write_text("{not json")
-        assert cache.get(key) is None
+        with pytest.warns(RuntimeWarning, match="corrupt result-cache"):
+            assert cache.get(key) is None
 
     def test_missing_npz_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = cache_key(x=1)
         cache.put(key, make_sweep(), {})
         (tmp_path / f"{key}.npz").unlink()
-        assert cache.get(key) is None
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(key) is None
 
     def test_unknown_kind_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -107,7 +118,65 @@ class TestCorruption:
         meta = json.loads(path.read_text())
         meta["result"]["kind"] = "hologram"
         path.write_text(json.dumps(meta))
-        assert cache.get(key) is None
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(key) is None
+
+    @pytest.mark.parametrize("mode", ["garbage", "truncate", "npz"])
+    def test_rotten_bytes_quarantined_and_recomputed(self, tmp_path, mode):
+        """The satellite scenario: garbage bytes = miss, never a crash."""
+        cache = ResultCache(tmp_path)
+        key = cache_key(x=1)
+        cache.put(key, make_sweep(), {})
+        corrupt_cache_entry(tmp_path, key, mode=mode)
+        with pytest.warns(RuntimeWarning, match="quarantined|recomputing"):
+            assert cache.get(key) is None
+        assert cache.stats()["corrupt"] == 1
+        # the evidence moved aside instead of being destroyed
+        assert list((tmp_path / QUARANTINE_DIR).iterdir())
+        # the caller's recompute overwrites cleanly and hits afterwards
+        cache.put(key, make_sweep(), {})
+        assert isinstance(cache.get(key), SweepResult)
+
+    def test_format_version_mismatch_is_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(x=1)
+        cache.put(key, make_sweep(), {})
+        path = tmp_path / f"{key}.json"
+        meta = json.loads(path.read_text())
+        meta["format"] = 999
+        path.write_text(json.dumps(meta))
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(key) is None
+
+
+class TestRawPayloads:
+    def test_round_trip_exact_floats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {"sum": 0.1 + 0.2, "n": 7, "design": "online"}
+        cache.put_raw("ckpt", payload)
+        assert cache.get_raw("ckpt") == payload
+
+    def test_missing_is_plain_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get_raw("nope") is None
+        assert cache.stats()["corrupt"] == 0
+
+    def test_kind_clash_is_plain_miss_both_ways(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(x=1)
+        cache.put(key, make_sweep(), {})
+        cache.put_raw("raw", {"a": 1})
+        assert cache.get_raw(key) is None  # Result under a raw read
+        assert cache.get("raw") is None  # raw under a Result read
+        assert cache.stats()["corrupt"] == 0
+
+    def test_corrupt_raw_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_raw("raw", {"a": 1})
+        (tmp_path / "raw.json").write_text("{broken")
+        with pytest.warns(RuntimeWarning):
+            assert cache.get_raw("raw") is None
+        assert cache.stats()["corrupt"] == 1
 
 
 class TestCacheFor:

@@ -43,9 +43,13 @@ class TestValidation:
         "kwargs",
         [
             {"ndigits": 0},
+            {"ndigits": -3},
             {"delta": 0},
             {"jobs": 0},
+            {"jobs": -1},
             {"shard_size": 0},
+            {"shard_timeout": 0},
+            {"shard_timeout": -2.5},
         ],
     )
     def test_rejects_nonpositive(self, kwargs):
@@ -55,6 +59,30 @@ class TestValidation:
     def test_rejects_unknown_backend(self):
         with pytest.raises(ValueError):
             RunConfig(backend="quantum")
+
+    def test_messages_name_the_offending_value(self):
+        with pytest.raises(ValueError, match=r"ndigits.*-3"):
+            RunConfig(ndigits=-3)
+        with pytest.raises(ValueError, match=r"jobs.*0"):
+            RunConfig(jobs=0)
+        with pytest.raises(ValueError, match="quantum"):
+            RunConfig(backend="quantum")
+
+    def test_uncreatable_cache_dir_fails_eagerly(self, tmp_path):
+        # a *file* where a parent directory must go: mkdir cannot succeed
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        with pytest.raises(ValueError, match="cache_dir"):
+            RunConfig(cache_dir=str(blocker / "cache"))
+
+    def test_valid_cache_dir_is_created_eagerly(self, tmp_path):
+        target = tmp_path / "fresh" / "cache"
+        RunConfig(cache_dir=str(target))
+        assert target.is_dir()
+
+    def test_shard_timeout_accepts_positive_and_none(self):
+        assert RunConfig(shard_timeout=None).shard_timeout is None
+        assert RunConfig(shard_timeout=1.5).shard_timeout == 1.5
 
 
 class TestWith:
@@ -78,7 +106,7 @@ class TestDescribe:
 
     def test_execution_details_share_a_description(self, tmp_path):
         a = RunConfig(jobs=1, cache_dir=None)
-        b = RunConfig(jobs=8, cache_dir=str(tmp_path))
+        b = RunConfig(jobs=8, cache_dir=str(tmp_path), shard_timeout=5.0)
         assert a.describe() == b.describe()
 
     def test_statistical_identity_differs(self):
