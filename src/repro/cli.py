@@ -19,6 +19,18 @@ Installed as ``repro-overclock`` (see ``pyproject.toml``), or run as
     Fault-injection campaign: degradation curves of the online vs
     conventional multiplier under clock jitter, delay drift, SEUs,
     metastable capture or stuck-at defects.
+``probe``
+    Per-stage digit-error telemetry: observed first-erroneous-digit
+    and violation statistics vs the Algorithm-2 prediction.
+``stats``
+    Render the metrics snapshot recorded by the last traced run.
+``trace``
+    Render the span tree of a trace file written by ``--trace``.
+
+Every experiment subcommand accepts ``--trace PATH``: the run exports a
+JSONL span tree (config, shards, simulation, cache events) plus a final
+metrics snapshot to *PATH*, and records it as the "last trace" so
+``repro stats`` / ``repro trace --last`` work without arguments.
 """
 
 from __future__ import annotations
@@ -255,6 +267,69 @@ def _cmd_verilog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from repro.obs import run_stage_probe
+
+    config = _config_from_args(args)
+    result = run_stage_probe(config, num_samples=args.samples)
+    rows = [
+        [r["depth"], f"{r['observed']:.4f}", f"{r['predicted']:.4f}",
+         f"{r['abs_diff']:.4f}"]
+        for r in result.compare_to_model()
+    ]
+    print(format_table(
+        ["b", "MC P(viol)", "model P(viol)", "|diff|"],
+        rows,
+        title=(
+            f"{config.ndigits}-digit online multiplier: observed vs "
+            f"Algorithm-2 violation probability"
+        ),
+    ))
+    print(f"mean propagation-chain depth = "
+          f"{result.mean_chain_depth():.3f} stages")
+    print(format_run_stats(result.run_stats))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.render import (
+        last_trace_path,
+        latest_metrics_snapshot,
+        load_trace,
+        render_metrics,
+    )
+
+    path = args.path or last_trace_path()
+    if path is None:
+        print("no trace recorded yet; run an experiment with --trace PATH",
+              file=sys.stderr)
+        return 1
+    snapshot = latest_metrics_snapshot(load_trace(path))
+    if snapshot is None:
+        print(f"no metrics snapshot in {path}", file=sys.stderr)
+        return 1
+    print(f"metrics from {path}")
+    print(render_metrics(snapshot))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.render import last_trace_path, load_trace, render_trace
+
+    path = args.path or last_trace_path()
+    if path is None:
+        print("no trace recorded yet; run an experiment with --trace PATH",
+              file=sys.stderr)
+        return 1
+    records = load_trace(path)
+    if not records:
+        print(f"empty or unreadable trace: {path}", file=sys.stderr)
+        return 1
+    print(f"trace from {path}")
+    print(render_trace(records, show_events=not args.no_events))
+    return 0
+
+
 def _add_backend_flag(p: argparse.ArgumentParser) -> None:
     from repro.netlist.compiled import BACKENDS
 
@@ -286,6 +361,13 @@ def _add_run_flags(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="bypass the result cache even if $REPRO_CACHE_DIR is set",
     )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="export a JSONL span tree and metrics snapshot of this run "
+             "to PATH (see 'repro trace' / 'repro stats')",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -295,7 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("model", help="error model vs Monte-Carlo (Fig. 4)")
+    p = sub.add_parser(
+        "model",
+        aliases=["montecarlo"],
+        help="error model vs Monte-Carlo (Fig. 4)",
+    )
     p.add_argument("--ndigits", type=int, default=8)
     p.add_argument("--samples", type=int, default=20000)
     p.add_argument("--seed", type=int, default=2014)
@@ -351,6 +437,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_flags(p)
     p.set_defaults(func=_cmd_faults)
 
+    p = sub.add_parser(
+        "probe", help="per-stage digit-error telemetry vs Algorithm 2"
+    )
+    p.add_argument("--ndigits", type=int, default=8)
+    p.add_argument("--samples", type=int, default=20000)
+    p.add_argument("--seed", type=int, default=2014)
+    _add_backend_flag(p)
+    _add_run_flags(p)
+    p.set_defaults(func=_cmd_probe)
+
+    p = sub.add_parser(
+        "stats", help="render the metrics snapshot of a traced run"
+    )
+    p.add_argument("path", nargs="?", default=None,
+                   help="trace file (default: the last traced run)")
+    p.add_argument("--last", action="store_true",
+                   help="use the last traced run (the default when no "
+                        "path is given)")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("trace", help="render the span tree of a trace file")
+    p.add_argument("path", nargs="?", default=None,
+                   help="trace file (default: the last traced run)")
+    p.add_argument("--last", action="store_true",
+                   help="use the last traced run (the default when no "
+                        "path is given)")
+    p.add_argument("--no-events", action="store_true",
+                   help="hide point events (cache hits, pool failures)")
+    p.set_defaults(func=_cmd_trace)
+
     p = sub.add_parser("verilog", help="export an operator as Verilog")
     p.add_argument(
         "--what",
@@ -369,7 +485,26 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.func(args)
+
+    from repro.obs import Tracer, metrics, use_tracer
+    from repro.obs.render import record_last_trace
+
+    # Truncate up front: flush() appends (incremental flushes within one
+    # run must not clobber each other), so a stale file from a previous
+    # invocation would otherwise merge two runs' span ids into one tree.
+    open(trace_path, "w").close()
+    tracer = Tracer(sink=trace_path, enabled=True)
+    try:
+        with use_tracer(tracer):
+            return args.func(args)
+    finally:
+        tracer.flush(
+            extra=[{"type": "metrics", "snapshot": metrics().snapshot()}]
+        )
+        record_last_trace(trace_path)
 
 
 if __name__ == "__main__":

@@ -43,6 +43,7 @@ from repro.faults.timing import DriftedDelayModel
 from repro.netlist.compiled import circuit_fingerprint, make_simulator
 from repro.netlist.delay import DelayModel, FpgaDelay, delay_signature
 from repro.netlist.sta import static_timing
+from repro.obs.trace import current_tracer
 from repro.runners.cache import ResultCache, cache_for, cache_key
 from repro.runners.config import RunConfig
 from repro.runners.parallel import (
@@ -51,7 +52,12 @@ from repro.runners.parallel import (
     split_samples,
     spawn_seeds,
 )
-from repro.runners.results import register_result
+from repro.runners.results import (
+    attach_metrics,
+    metrics_entry,
+    register_result,
+    restore_metrics,
+)
 from repro.sim.sweep import (
     OnlineMultiplierHarness,
     TraditionalMultiplierHarness,
@@ -133,11 +139,12 @@ class FaultCampaignResult:
             "traditional_error": [float(e) for e in self.traditional_error],
             "overclock": float(self.overclock),
             "num_samples": int(self.num_samples),
+            **metrics_entry(self),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FaultCampaignResult":
-        return cls(
+        result = cls(
             model=str(data["model"]),
             rates=np.asarray(data["rates"], dtype=np.float64),
             online_error=np.asarray(data["online_error"], dtype=np.float64),
@@ -147,6 +154,7 @@ class FaultCampaignResult:
             overclock=float(data["overclock"]),
             num_samples=int(data["num_samples"]),
         )
+        return restore_metrics(result, data)
 
 
 # --------------------------------------------------------------- worker side
@@ -238,15 +246,22 @@ def _campaign_shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
         design, ndigits, clean, rng, payload["samples"]
     )
 
-    clean_result = clean.simulator.run(ports)
-    correct = clean.decode(
-        clean_result.sample(clean_result.settle_step)
-    ).astype(np.float64)
+    with current_tracer().span(
+        "campaign.simulate",
+        design=design,
+        rate=float(payload["rate"]),
+        backend=backend,
+        samples=int(payload["samples"]),
+    ):
+        clean_result = clean.simulator.run(ports)
+        correct = clean.decode(
+            clean_result.sample(clean_result.settle_step)
+        ).astype(np.float64)
 
-    faulted_result = faulted.simulator.run(ports)
-    injector = FaultInjector(fault_config, payload["fault_seq"])
-    captured, injected = injector.capture(faulted_result, capture_step)
-    values = faulted.decode(captured).astype(np.float64)
+        faulted_result = faulted.simulator.run(ports)
+        injector = FaultInjector(fault_config, payload["fault_seq"])
+        captured, injected = injector.capture(faulted_result, capture_step)
+        values = faulted.decode(captured).astype(np.float64)
 
     err = np.abs(values - correct)
     partial = {
@@ -345,6 +360,30 @@ def run_fault_campaign(
     order.  Returns a :class:`FaultCampaignResult` with ``run_stats``
     and ``fault_stats`` attached.
     """
+    with current_tracer().span(
+        "run.fault_campaign",
+        model=model,
+        ndigits=config.ndigits,
+        backend=config.backend,
+        rates=[float(r) for r in rates],
+        num_samples=int(num_samples),
+        overclock=float(overclock),
+    ):
+        return _run_fault_campaign(
+            config, model, rates, num_samples, overclock, delay_model, runner
+        )
+
+
+def _run_fault_campaign(
+    config: RunConfig,
+    model: str,
+    rates: Sequence[float],
+    num_samples: int,
+    overclock: float,
+    delay_model: Optional[DelayModel],
+    runner: Optional[ParallelRunner],
+) -> FaultCampaignResult:
+    """The campaign body; :func:`run_fault_campaign` wraps it in a span."""
     base_model = delay_model if delay_model is not None else FpgaDelay()
     rates = [float(r) for r in rates]
     if not rates:
@@ -388,9 +427,11 @@ def run_fault_campaign(
         key = cache_key(**key_components)
         hit = cache.get(key)
         if hit is not None:
-            hit.run_stats = runner.finalize_stats(experiment, cache="hit")
+            hit.run_stats = runner.finalize_stats(
+                experiment, cache="hit", backend=config.backend
+            )
             hit.fault_stats = FaultStats(model=model)
-            return hit
+            return attach_metrics(hit)
 
     sizes = split_samples(num_samples, config.shard_size)
     # one (operand, injector) seed pair per (design, shard), shared
@@ -458,6 +499,10 @@ def run_fault_campaign(
             if checkpoint is not None:
                 partials[payload["shard"]] = checkpoint
                 resumed += 1
+        if resumed:
+            current_tracer().event(
+                "campaign.resume", shards=resumed, total=len(payloads)
+            )
     missing = [p for p in payloads if p["shard"] not in partials]
     if missing:
         computed = runner.map(
@@ -476,8 +521,11 @@ def run_fault_campaign(
     if cache is not None:
         cache.put(key, result, key_components)
     result.run_stats = runner.finalize_stats(
-        experiment, cache="miss" if cache is not None else "off"
+        experiment,
+        cache="miss" if cache is not None else "off",
+        backend=config.backend,
     )
+    attach_metrics(result)
     stats = FaultStats(
         model=model,
         shards_total=len(payloads),

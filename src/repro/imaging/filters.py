@@ -55,7 +55,13 @@ from repro.numrep.signed_digit import SDNumber, sd_canonical
 from repro.runners.cache import cache_for, cache_key
 from repro.runners.config import RunConfig
 from repro.runners.parallel import ParallelRunner
-from repro.runners.results import register_result
+from repro.obs.trace import current_tracer
+from repro.runners.results import (
+    attach_metrics,
+    metrics_entry,
+    register_result,
+    restore_metrics,
+)
 
 #: quantized Gaussian kernel in units of 1/64, row-major
 GAUSSIAN_KERNEL_64THS = np.array(
@@ -560,11 +566,12 @@ class FilterStudyResult:
             "settle_step": self.settle_step.tolist(),
             "mre_percent": self.mre_percent.tolist(),
             "snr_db": self.snr_db.tolist(),
+            **metrics_entry(self),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FilterStudyResult":
-        return cls(
+        result = cls(
             images=[str(v) for v in data["images"]],
             arithmetics=[str(v) for v in data["arithmetics"]],
             factors=[float(v) for v in data["factors"]],
@@ -577,6 +584,7 @@ class FilterStudyResult:
             mre_percent=np.asarray(data["mre_percent"], dtype=np.float64),
             snr_db=np.asarray(data["snr_db"], dtype=np.float64),
         )
+        return restore_metrics(result, data)
 
 
 #: per-process datapath memo — building + compiling a 9-multiplier datapath
@@ -665,6 +673,31 @@ def run_filter_study(
             raise ValueError("arithmetics must be 'online' or 'traditional'")
     model = delay_model if delay_model is not None else FpgaDelay()
 
+    with current_tracer().span(
+        "run.filter_study",
+        kernel=kernel,
+        images=images,
+        arithmetics=arithmetics,
+        size=int(size),
+        ndigits=config.ndigits,
+        backend=config.backend,
+    ):
+        return _run_filter_study(
+            config, images, arithmetics, factors, size, kernel, model, runner
+        )
+
+
+def _run_filter_study(
+    config: RunConfig,
+    images: List[str],
+    arithmetics: List[str],
+    factors: List[float],
+    size: int,
+    kernel: str,
+    model: DelayModel,
+    runner: Optional[ParallelRunner],
+) -> FilterStudyResult:
+    """The study body; :func:`run_filter_study` wraps it in a span."""
     cache = cache_for(config)
     runner = runner or ParallelRunner.from_config(config)
     key = None
@@ -686,8 +719,10 @@ def run_filter_study(
         key = cache_key(**key_components)
         hit = cache.get(key)
         if hit is not None:
-            hit.run_stats = runner.finalize_stats("filter_study", cache="hit")
-            return hit
+            hit.run_stats = runner.finalize_stats(
+                "filter_study", cache="hit", backend=config.backend
+            )
+            return attach_metrics(hit)
 
     jobs = [
         {
@@ -736,6 +771,8 @@ def run_filter_study(
     if cache is not None:
         cache.put(key, result, key_components)
     result.run_stats = runner.finalize_stats(
-        "filter_study", cache="miss" if cache is not None else "off"
+        "filter_study",
+        cache="miss" if cache is not None else "off",
+        backend=config.backend,
     )
-    return result
+    return attach_metrics(result)

@@ -40,6 +40,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs.metrics import metrics
 from repro.netlist.delay import DelayModel, UnitDelay
 from repro.netlist.gates import Circuit, OPS
 from repro.netlist.packing import (
@@ -157,6 +158,8 @@ class PackedSimulationResult(SimulationResult):
     drop-in compatibility with the ``uint8`` result.
     """
 
+    backend = "packed"
+
     def __init__(
         self,
         packed_waveforms: Dict[str, np.ndarray],
@@ -198,9 +201,10 @@ class PackedSimulationResult(SimulationResult):
 
         Only the distinct requested rows are unpacked (a jittered capture
         touches a handful of rows around the nominal step, not the whole
-        waveform); bit-identical to the ``uint8`` base implementation.
+        waveform); bit-identical to the ``uint8`` base implementation,
+        including the one-step-per-sample :class:`ValueError`.
         """
-        rows = np.clip(np.asarray(rows, dtype=np.int64), 0, self.settle_step)
+        rows = self._validated_rows(rows)
         unique, inverse = np.unique(rows, return_inverse=True)
         unpacked = unpack_bits(self._waveforms[name][unique], self.num_samples)
         return unpacked[inverse, np.arange(rows.shape[0])]
@@ -470,12 +474,15 @@ def compile_circuit(
     if cached is not None:
         _cache.move_to_end(key)
         _cache_hits += 1
+        metrics().count("compile_cache.hits")
         return cached
     _cache_misses += 1
+    metrics().count("compile_cache.misses")
     compiled = CompiledCircuit(circuit, model, _delays=delays)
     _cache[key] = compiled
     while len(_cache) > COMPILE_CACHE_SIZE:
         _cache.popitem(last=False)
+        metrics().count("compile_cache.evictions")
     return compiled
 
 

@@ -128,6 +128,9 @@ class SimulationResult:
         Batch size.
     """
 
+    #: engine label used in error messages (overridden by subclasses)
+    backend = "wave"
+
     def __init__(
         self,
         waveforms: Dict[str, np.ndarray],
@@ -173,10 +176,27 @@ class SimulationResult:
         injection (:mod:`repro.faults`): every sample of a batch belongs
         to a different clock cycle, so each may latch at a slightly
         different instant.  Identical semantics on every backend.
+
+        Raises :class:`ValueError` when *rows* does not provide exactly
+        one step per sample — before this check, a mismatched array
+        produced backend-dependent behavior (a cryptic broadcast error
+        on the wave engine, a silently wrong-length result on the packed
+        one).
         """
-        rows = np.clip(np.asarray(rows, dtype=np.int64), 0, self.settle_step)
+        rows = self._validated_rows(rows)
         wave = self.waveform(name)
         return wave[rows, np.arange(wave.shape[1])]
+
+    def _validated_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Check one capture step per sample; clamp to the settled range."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.shape != (self.num_samples,):
+            raise ValueError(
+                f"sample_rows expects one capture step per sample "
+                f"(shape ({self.num_samples},)); got shape {rows.shape} "
+                f"on the {self.backend!r} backend"
+            )
+        return np.clip(rows, 0, self.settle_step)
 
 
 class WaveformSimulator:

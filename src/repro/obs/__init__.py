@@ -1,0 +1,61 @@
+"""Unified observability layer: tracing, metrics, digit-error telemetry.
+
+Three cooperating pieces (see DESIGN.md "Observability"):
+
+* :mod:`repro.obs.trace` — structured spans/events with contextvar
+  ambient propagation, deterministic ids, and JSONL export; workers
+  buffer spans which the pool re-parents into the parent trace.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and histograms, snapshotted into results and rendered by
+  ``repro stats``.
+* :mod:`repro.obs.probe` — the :class:`StageErrorProbe` experiment:
+  first-erroneous-digit histograms and propagation-chain depths per
+  overclocked period, cross-checked against Algorithm 2.
+
+``trace`` and ``metrics`` are dependency-free (importable from anywhere
+in the stack, including :mod:`repro.runners`); ``probe`` sits *above*
+the runner layer, so it is exposed lazily to keep this package cheap and
+cycle-free to import.
+"""
+
+from repro.obs.metrics import MetricsRegistry, deterministic_snapshot, metrics
+from repro.obs.trace import (
+    DISABLED,
+    TRACE_ENV,
+    Tracer,
+    current_tracer,
+    reset_env_default,
+    run_traced_worker,
+    set_tracer,
+    tracer_from_env,
+    use_tracer,
+    worker_trace_context,
+)
+
+__all__ = [
+    "DISABLED",
+    "TRACE_ENV",
+    "MetricsRegistry",
+    "StageProbeResult",
+    "Tracer",
+    "current_tracer",
+    "deterministic_snapshot",
+    "metrics",
+    "reset_env_default",
+    "run_stage_probe",
+    "run_traced_worker",
+    "set_tracer",
+    "tracer_from_env",
+    "use_tracer",
+    "worker_trace_context",
+]
+
+_LAZY = {"StageProbeResult", "run_stage_probe"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.obs import probe
+
+        return getattr(probe, name)
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

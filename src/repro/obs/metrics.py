@@ -1,0 +1,141 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+A single global :class:`MetricsRegistry` (reached through
+:func:`metrics`) collects cheap numeric telemetry from the runner/cache/
+simulation stack: cache hit ratios, shard retries and timeouts, compile
+cache evictions, samples-per-second per backend.  Entry points snapshot
+it into their result (``result.metrics``) and the ``repro stats``
+subcommand renders the latest snapshot.
+
+Design rules, mirroring :mod:`repro.obs.trace`:
+
+* **Zero dependencies, near-zero overhead.**  A counter bump is a dict
+  update under a lock; instrumentation sites that do nontrivial work to
+  *compute* a value guard on :attr:`MetricsRegistry.enabled` first.
+  Unlike tracing, plain counter bumps stay on even when tracing is off —
+  they are cheap enough and make ``repro stats`` useful without a trace.
+* **Deterministic content.**  Snapshots contain counts and values the
+  run computed; timing-derived metrics (samples/sec) are gauges that are
+  *excluded* from cache payloads — :meth:`snapshot` splits deterministic
+  and timing sections so callers can persist only the former.
+
+Metric names are dotted, lowest-level component last:
+``cache.hits``, ``cache.misses``, ``cache.quarantined``,
+``pool.retries``, ``pool.timeouts``, ``pool.degraded``,
+``compile_cache.hits``, ``compile_cache.misses``,
+``compile_cache.evictions``, ``samples_per_sec.<backend>``,
+``probe.samples``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+#: fixed bucket boundaries of every histogram (powers of two; values are
+#: counted in the first bucket whose upper bound is >= value)
+HISTOGRAM_BUCKETS = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+    1024, 4096, 16384, 65536, float("inf"),
+)
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges, and histograms."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._hists: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------ recording
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* (creating it at zero)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to histogram *name* (fixed power-of-two buckets)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            buckets = self._hists.get(name)
+            if buckets is None:
+                buckets = [0] * len(HISTOGRAM_BUCKETS)
+                self._hists[name] = buckets
+            for i, bound in enumerate(HISTOGRAM_BUCKETS):
+                if value <= bound:
+                    buckets[i] += 1
+                    break
+
+    # ------------------------------------------------------------ reporting
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able snapshot of everything recorded so far.
+
+        ``counters`` and ``histograms`` are deterministic functions of
+        the work performed; ``gauges`` carry timing-derived values
+        (samples/sec) and are what :func:`deterministic_snapshot` strips
+        before a snapshot may enter a cached payload.
+        """
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    name: list(buckets)
+                    for name, buckets in sorted(self._hists.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop everything recorded (tests and fresh CLI runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+    def merge_counters(self, counters: Dict[str, int]) -> None:
+        """Fold counters reported by a worker process into this registry."""
+        if not self.enabled or not counters:
+            return
+        with self._lock:
+            for name, amount in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + int(amount)
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide registry every instrumentation site records into."""
+    return _GLOBAL
+
+
+def deterministic_snapshot(
+    snapshot: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """*snapshot* (default: a fresh one) without its timing-derived parts.
+
+    This is the form allowed inside persisted payloads: gauges carry
+    wall-clock-derived rates and are dropped, counters and histograms
+    are kept.
+    """
+    snap = metrics().snapshot() if snapshot is None else snapshot
+    return {
+        "counters": dict(snap.get("counters", {})),
+        "histograms": {
+            name: list(buckets)
+            for name, buckets in snap.get("histograms", {}).items()
+        },
+    }

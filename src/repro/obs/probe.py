@@ -1,0 +1,324 @@
+"""Per-stage digit-error telemetry for the online multiplier.
+
+The paper's Section 3 story is *positional*: an overclocking violation at
+period ``T_S = b * mu`` happens because some propagation chain through
+the ``P[j]`` path is longer than ``b`` stages, and the damage lands on a
+specific output digit ``z_k``.  The Monte-Carlo harness
+(:mod:`repro.sim.montecarlo`) reduces all of that to one scalar per
+depth; this probe keeps the positional structure:
+
+* ``first_error_counts[i, k]`` — how many samples, sampled at depth
+  ``depths[i]``, have their most-significant erroneous output digit at
+  position ``k`` (column ``N`` counts error-free samples);
+* ``value_violations[i]`` — how many samples have a *value*-level error
+  at that depth (several signed-digit vectors encode one value, so digit
+  mismatches slightly over-count; the value-level count is the exact
+  quantity Algorithm 2's ``Prob(T_S)`` predicts);
+* ``chain_depth_counts[d]`` — how many samples settle exactly at depth
+  ``d``, i.e. excite a longest propagation chain of ``d`` stages — the
+  observed counterpart of the model's chain-delay statistics (Fig. 5).
+
+:meth:`StageProbeResult.compare_to_model` lines the observed violation
+fraction up against :class:`repro.core.model.OverclockingErrorModel`'s
+Algorithm-2 prediction per depth, turning the probabilistic model into
+an observable that every traced run can check.
+
+Sharding, seeding, caching and merging follow :func:`run_montecarlo`
+exactly, so the probe result is bit-identical across ``jobs`` and is
+served from the persistent result cache when one is configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.model import OverclockingErrorModel
+from repro.core.conversion import digits_to_scaled_int
+from repro.obs.metrics import metrics
+from repro.obs.trace import current_tracer
+from repro.runners.cache import cache_for, cache_key
+from repro.runners.config import RunConfig
+from repro.runners.parallel import (
+    ParallelRunner,
+    merge_int_sums,
+    seed_tag,
+    split_samples,
+    spawn_seeds,
+)
+from repro.runners.results import (
+    attach_metrics,
+    metrics_entry,
+    register_result,
+    restore_metrics,
+)
+
+
+@register_result
+@dataclass
+class StageProbeResult:
+    """Positional error telemetry of one stage-probe run.
+
+    Attributes
+    ----------
+    ndigits / delta:
+        Multiplier geometry.
+    num_samples:
+        Batch size.
+    depths:
+        The sampled depths ``b`` (stage traversals per clock period).
+    first_error_counts:
+        Shape ``(len(depths), ndigits + 1)`` — sample counts by
+        most-significant erroneous output digit; the extra last column
+        counts error-free samples.
+    value_violations:
+        Shape ``(len(depths),)`` — samples whose sampled *value*
+        differs from the settled product (the Algorithm-2 quantity).
+    chain_depth_counts:
+        Shape ``(ndigits + delta + 1,)`` — settling-depth histogram:
+        entry ``d`` counts samples whose longest excited propagation
+        chain spans ``d`` stages.
+    """
+
+    ndigits: int
+    delta: int
+    num_samples: int
+    depths: np.ndarray
+    first_error_counts: np.ndarray
+    value_violations: np.ndarray
+    chain_depth_counts: np.ndarray
+
+    kind: ClassVar[str] = "stage_probe"
+    _array_fields: ClassVar[Dict[str, str]] = {
+        "depths": "int64",
+        "first_error_counts": "int64",
+        "value_violations": "int64",
+        "chain_depth_counts": "int64",
+    }
+
+    # ------------------------------------------------------------- views
+    def first_error_histogram(self, b: int) -> np.ndarray:
+        """Fractional first-erroneous-digit histogram at depth ``b``.
+
+        Entry ``k < ndigits`` is the fraction of samples whose most
+        significant wrong digit is ``z_k``; entry ``ndigits`` is the
+        error-free fraction.
+        """
+        idx = int(np.searchsorted(self.depths, b))
+        if idx >= len(self.depths) or self.depths[idx] != b:
+            raise KeyError(f"depth {b} was not probed")
+        return self.first_error_counts[idx] / self.num_samples
+
+    def observed_violation_probability(self) -> np.ndarray:
+        """Per-depth fraction of samples with any value-level error."""
+        return self.value_violations / self.num_samples
+
+    def mean_chain_depth(self) -> float:
+        """Average observed propagation-chain depth across samples."""
+        d = np.arange(len(self.chain_depth_counts))
+        total = self.chain_depth_counts.sum()
+        if total == 0:
+            return 0.0
+        return float((d * self.chain_depth_counts).sum() / total)
+
+    def model_violation_probability(self) -> np.ndarray:
+        """Algorithm-2 ``Prob(T_S)`` at each probed depth.
+
+        Depths below the model's validity floor (``b < delta``) are
+        reported as 1.0 — nothing can have settled there.
+        """
+        model = OverclockingErrorModel(self.ndigits, self.delta)
+        out = np.empty(len(self.depths), dtype=np.float64)
+        for i, b in enumerate(self.depths):
+            out[i] = 1.0 if b < self.delta else model.violation_probability(int(b))
+        return out
+
+    def compare_to_model(self) -> List[Dict[str, float]]:
+        """Observed-vs-predicted violation probability per depth."""
+        observed = self.observed_violation_probability()
+        predicted = self.model_violation_probability()
+        return [
+            {
+                "depth": int(b),
+                "observed": float(o),
+                "predicted": float(p),
+                "abs_diff": float(abs(o - p)),
+            }
+            for b, o, p in zip(self.depths, observed, predicted)
+        ]
+
+    # ------------------------------------------------- Result protocol
+    def to_dict(self) -> Dict[str, Any]:
+        """Pure-JSON representation (see :mod:`repro.runners.results`)."""
+        return {
+            "kind": self.kind,
+            "ndigits": int(self.ndigits),
+            "delta": int(self.delta),
+            "num_samples": int(self.num_samples),
+            "depths": [int(b) for b in self.depths],
+            "first_error_counts": [
+                [int(c) for c in row] for row in self.first_error_counts
+            ],
+            "value_violations": [int(v) for v in self.value_violations],
+            "chain_depth_counts": [int(c) for c in self.chain_depth_counts],
+            **metrics_entry(self),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StageProbeResult":
+        result = cls(
+            ndigits=int(data["ndigits"]),
+            delta=int(data["delta"]),
+            num_samples=int(data["num_samples"]),
+            depths=np.asarray(data["depths"], dtype=np.int64),
+            first_error_counts=np.asarray(
+                data["first_error_counts"], dtype=np.int64
+            ),
+            value_violations=np.asarray(
+                data["value_violations"], dtype=np.int64
+            ),
+            chain_depth_counts=np.asarray(
+                data["chain_depth_counts"], dtype=np.int64
+            ),
+        )
+        return restore_metrics(result, data)
+
+
+# --------------------------------------------------------------- shard worker
+
+def _probe_shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One probe shard: positional error counts as exact integers.
+
+    Integer partials merge in shard order, so the probe result is
+    independent of ``jobs`` (same guarantee as ``_mc_shard_worker``).
+    """
+    from repro.sim.montecarlo import (
+        _settle_depths,
+        _worker_om,
+        uniform_digit_batch,
+    )
+
+    ndigits = payload["ndigits"]
+    om = _worker_om(ndigits, payload["delta"])
+    rng = np.random.default_rng(payload["seed_seq"])
+    m = payload["samples"]
+    xd = uniform_digit_batch(ndigits, m, rng)
+    yd = uniform_digit_batch(ndigits, m, rng)
+    tracer = current_tracer()
+    with tracer.span("probe.simulate", backend=payload["backend"], samples=m):
+        waves = om.wave(xd, yd, backend=payload["backend"])
+    final = waves[-1]
+    final_vals = digits_to_scaled_int(final)
+
+    first_error: List[List[int]] = []
+    value_viol: List[int] = []
+    for b in payload["depths"]:
+        b_clamped = min(int(b), waves.shape[0] - 1)
+        sampled = waves[b_clamped]
+        wrong = sampled != final  # (N, S) digit-level mismatch, MSD first
+        any_wrong = wrong.any(axis=0)
+        first = np.where(any_wrong, np.argmax(wrong, axis=0), ndigits)
+        first_error.append(
+            np.bincount(first, minlength=ndigits + 1).astype(int).tolist()
+        )
+        value_viol.append(
+            int((digits_to_scaled_int(sampled) != final_vals).sum())
+        )
+
+    depth = _settle_depths(om, xd, yd, payload["backend"])
+    chain = np.bincount(depth, minlength=om.num_stages + 1).astype(int)
+    return {
+        "first_error": first_error,
+        "value_viol": value_viol,
+        "chain": chain.tolist(),
+    }
+
+
+# ----------------------------------------------------------- unified entry
+
+def run_stage_probe(
+    config: RunConfig,
+    num_samples: int = 20000,
+    depths: Optional[List[int]] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> StageProbeResult:
+    """Sharded per-stage error probe over uniform-independent inputs.
+
+    Follows the :func:`repro.sim.montecarlo.run_montecarlo` contract:
+    deterministic across ``jobs``, cached under ``config.cache_dir``,
+    traced under the ambient tracer.
+    """
+    from repro.sim.montecarlo import default_depths
+
+    if depths is None:
+        depths = default_depths(config.ndigits, config.delta)
+    depths_arr = np.asarray(sorted(int(b) for b in depths), dtype=np.int64)
+
+    tracer = current_tracer()
+    cache = cache_for(config)
+    key_components = dict(
+        experiment="stage_probe",
+        num_samples=int(num_samples),
+        depths=[int(b) for b in depths_arr],
+        **config.describe(),
+    )
+    key = cache_key(**key_components)
+    runner = runner or ParallelRunner.from_config(config)
+    with tracer.span(
+        "run.stage_probe",
+        ndigits=config.ndigits,
+        delta=config.delta,
+        backend=config.backend,
+        num_samples=int(num_samples),
+        depths=[int(b) for b in depths_arr],
+    ):
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                hit.run_stats = runner.finalize_stats(
+                    "stage_probe", cache="hit", backend=config.backend
+                )
+                return attach_metrics(hit)
+
+        sizes = split_samples(num_samples, config.shard_size)
+        seeds = spawn_seeds(config.seed, len(sizes), seed_tag("stage_probe"))
+        payloads = [
+            {
+                "ndigits": config.ndigits,
+                "delta": config.delta,
+                "backend": config.backend,
+                "depths": [int(b) for b in depths_arr],
+                "seed_seq": ss,
+                "samples": m,
+            }
+            for ss, m in zip(seeds, sizes)
+        ]
+        parts = runner.map(_probe_shard_worker, payloads, samples=sizes)
+        first_error = np.zeros(
+            (len(depths_arr), config.ndigits + 1), dtype=np.int64
+        )
+        for part in parts:
+            first_error += np.asarray(part["first_error"], dtype=np.int64)
+        value_viol = merge_int_sums([p["value_viol"] for p in parts])
+        chain = merge_int_sums([p["chain"] for p in parts])
+        metrics().count("probe.samples", int(num_samples))
+        result = StageProbeResult(
+            ndigits=config.ndigits,
+            delta=config.delta,
+            num_samples=num_samples,
+            depths=depths_arr,
+            first_error_counts=first_error,
+            value_violations=value_viol.astype(np.int64),
+            chain_depth_counts=chain.astype(np.int64),
+        )
+        if cache is not None:
+            cache.put(key, result, key_components)
+        result.run_stats = runner.finalize_stats(
+            "stage_probe",
+            cache="miss" if cache is not None else "off",
+            backend=config.backend,
+        )
+        attach_metrics(result)
+    return result

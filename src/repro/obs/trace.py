@@ -1,0 +1,356 @@
+"""Zero-dependency structured tracing (spans, events, JSONL export).
+
+The tracing core every experiment entry point is wired through.  Design
+constraints, in order of importance:
+
+1. **Near-zero disabled overhead.**  The ambient tracer defaults to a
+   shared disabled singleton; every instrumentation site guards on the
+   cheap ``tracer.enabled`` attribute before doing *any* work, and the
+   disabled ``span()`` returns one preallocated no-op context manager.
+   The per-call cost of disabled instrumentation is one contextvar read
+   plus one attribute check (gated below 3% of the packed-backend
+   benchmark by ``benchmarks/bench_obs_overhead.py``).
+2. **No argument threading.**  The active tracer and the active span
+   live in :mod:`contextvars`, so a shard worker five frames below
+   ``run_montecarlo`` opens a child span without any plumbing — and
+   thread pools / asyncio tasks each see their own span stack.
+3. **Deterministic content.**  Span ids are sequential counters (no
+   randomness, no wall clock); worker ids are prefixed by their shard
+   index, so the exported span *tree* is a pure function of the run
+   configuration — ``jobs=1`` and ``jobs=N`` differ only in shard
+   ordering and in the timing fields.  Timing uses the monotonic clock
+   and appears *only* in trace output, never in cache keys or result
+   payloads.
+4. **Thread/process-safe export.**  Records buffer under a lock and
+   flush as JSONL, one ``write()`` call per line on an append-mode
+   handle.  Worker processes never share a sink: they buffer spans in
+   memory (:func:`worker_trace_context` / :func:`run_traced_worker`) and
+   the parent re-parents and absorbs them after the shard returns.
+
+JSONL schema (one object per line):
+
+``{"type": "span", "id", "parent", "name", "start", "end", "dur",
+"attrs"}``
+    One finished span.  ``start``/``end`` are monotonic-clock seconds
+    (comparable within one process's trace only); ``parent`` is null for
+    roots.
+``{"type": "event", "span", "name", "t", "attrs"}``
+    A point event attached to the span active at emission time.
+``{"type": "metrics", "snapshot": {...}}``
+    A :meth:`repro.obs.metrics.MetricsRegistry.snapshot`, appended by
+    the CLI when a traced command finishes (rendered by ``repro stats``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional
+
+#: environment variable that activates the ambient tracer process-wide:
+#: unset/"0" disabled, "1" enabled buffering in memory, any other value
+#: is a JSONL sink path
+TRACE_ENV = "REPRO_TRACE"
+
+#: buffered records kept when no sink is configured (memory bound)
+MAX_BUFFERED_RECORDS = 100_000
+
+
+class _NullSpan:
+    """The no-op context manager disabled ``span()`` calls return."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Structured tracer: nested spans, point events, JSONL export.
+
+    Parameters
+    ----------
+    sink:
+        JSONL output path, or None to buffer records in memory (bounded
+        by :data:`MAX_BUFFERED_RECORDS`).
+    enabled:
+        The cheap guard every instrumentation site checks first.
+        A disabled tracer's ``span()``/``event()`` are no-ops.
+    id_prefix:
+        Prefix of this tracer's span ids.  The parent tracer uses the
+        default; worker-process tracers get ``s<shard>`` so absorbed
+        worker spans can never collide with parent spans and the merged
+        tree is deterministic across execution layouts.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[os.PathLike] = None,
+        enabled: bool = True,
+        id_prefix: str = "t",
+    ) -> None:
+        self.enabled = enabled
+        self.sink = os.fspath(sink) if sink is not None else None
+        self.id_prefix = id_prefix
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, Any]] = []
+        self._next_id = 0
+        self._active: ContextVar[Optional[str]] = ContextVar(
+            f"repro_obs_active_{id_prefix}", default=None
+        )
+        self._dropped = 0
+
+    # ------------------------------------------------------------- plumbing
+    def _new_id(self) -> str:
+        with self._lock:
+            self._next_id += 1
+            return f"{self.id_prefix}{self._next_id}"
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            if self.sink is None and len(self._records) >= MAX_BUFFERED_RECORDS:
+                self._dropped += 1
+                return
+            self._records.append(record)
+
+    @property
+    def active_span(self) -> Optional[str]:
+        """Id of the innermost open span in this context, or None."""
+        return self._active.get()
+
+    # ---------------------------------------------------------------- spans
+    def span(self, name: str, **attrs: Any):
+        """Open a child span of the active span (context manager).
+
+        Attribute values should be JSON scalars; callers are expected to
+        guard with ``if tracer.enabled`` before building expensive
+        attributes, but the call itself is also safe (and free) when
+        disabled.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return self._open_span(name, attrs)
+
+    @contextmanager
+    def _open_span(self, name: str, attrs: Dict[str, Any]) -> Iterator[str]:
+        span_id = self._new_id()
+        parent = self._active.get()
+        token = self._active.set(span_id)
+        start = time.perf_counter()
+        try:
+            yield span_id
+        finally:
+            end = time.perf_counter()
+            self._active.reset(token)
+            self._append(
+                {
+                    "type": "span",
+                    "id": span_id,
+                    "parent": parent,
+                    "name": name,
+                    "start": start,
+                    "end": end,
+                    "dur": end - start,
+                    "attrs": attrs,
+                }
+            )
+
+    def add_span(
+        self,
+        name: str,
+        parent: Optional[str] = None,
+        start: float = 0.0,
+        end: float = 0.0,
+        **attrs: Any,
+    ) -> str:
+        """Append an already-finished span (e.g. measured by a worker).
+
+        Returns the new span id so callers can re-parent absorbed worker
+        spans under it.
+        """
+        if not self.enabled:
+            return ""
+        span_id = self._new_id()
+        self._append(
+            {
+                "type": "span",
+                "id": span_id,
+                "parent": parent if parent is not None else self._active.get(),
+                "name": name,
+                "start": start,
+                "end": end,
+                "dur": end - start,
+                "attrs": attrs,
+            }
+        )
+        return span_id
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event on the active span (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._append(
+            {
+                "type": "event",
+                "span": self._active.get(),
+                "name": name,
+                "t": time.perf_counter(),
+                "attrs": attrs,
+            }
+        )
+
+    def absorb(
+        self, records: List[Dict[str, Any]], parent: Optional[str] = None
+    ) -> None:
+        """Adopt records exported by a worker tracer.
+
+        Worker root spans (``parent is None``) are re-parented under
+        *parent* (or this context's active span); worker-internal parent
+        links are preserved — worker ids are prefixed per shard, so they
+        cannot collide with parent-tracer ids.
+        """
+        if not self.enabled or not records:
+            return
+        adopt_parent = parent if parent is not None else self._active.get()
+        for record in records:
+            if record.get("type") == "span" and record.get("parent") is None:
+                record = dict(record, parent=adopt_parent)
+            self._append(record)
+
+    # --------------------------------------------------------------- export
+    def export(self) -> List[Dict[str, Any]]:
+        """Snapshot (and clear) the buffered records."""
+        with self._lock:
+            records = self._records
+            self._records = []
+        return records
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """A copy of the buffered records (does not clear)."""
+        with self._lock:
+            return list(self._records)
+
+    def flush(self, extra: Optional[List[Dict[str, Any]]] = None) -> int:
+        """Write buffered records (plus *extra*) to the sink as JSONL.
+
+        One ``write()`` call per line on an append-mode handle, all
+        under the tracer lock — concurrent flushes from threads never
+        interleave partial lines.  Returns the number of lines written;
+        with no sink configured the records stay buffered.
+        """
+        if self.sink is None:
+            if extra:
+                for record in extra:
+                    self._append(record)
+            return 0
+        with self._lock:
+            records = self._records
+            self._records = []
+        lines = records + list(extra or [])
+        if not lines:
+            return 0
+        with self._lock:
+            with open(self.sink, "a") as fh:
+                for record in lines:
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(lines)
+
+
+#: the shared disabled tracer — ``current_tracer()``'s default
+DISABLED = Tracer(enabled=False, id_prefix="off")
+
+_AMBIENT: ContextVar[Optional[Tracer]] = ContextVar(
+    "repro_obs_tracer", default=None
+)
+
+#: process-wide default, initialised lazily from $REPRO_TRACE
+_ENV_DEFAULT: Optional[Tracer] = None
+
+
+def tracer_from_env(environ: Optional[Dict[str, str]] = None) -> Tracer:
+    """Build the tracer ``$REPRO_TRACE`` asks for (disabled by default)."""
+    env = os.environ if environ is None else environ
+    value = env.get(TRACE_ENV, "")
+    if not value or value == "0":
+        return DISABLED
+    if value == "1":
+        return Tracer(sink=None)
+    return Tracer(sink=value)
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer of this context (contextvar, no threading).
+
+    Resolution order: an explicitly installed tracer
+    (:func:`set_tracer` / :func:`use_tracer`), then the process-wide
+    ``$REPRO_TRACE`` default, then the disabled singleton.
+    """
+    tracer = _AMBIENT.get()
+    if tracer is not None:
+        return tracer
+    global _ENV_DEFAULT
+    if _ENV_DEFAULT is None:
+        _ENV_DEFAULT = tracer_from_env()
+    return _ENV_DEFAULT
+
+
+def set_tracer(tracer: Optional[Tracer]):
+    """Install *tracer* as the ambient tracer; returns the reset token."""
+    return _AMBIENT.set(tracer)
+
+
+@contextmanager
+def use_tracer(tracer: Optional[Tracer]) -> Iterator[Tracer]:
+    """Scoped ambient-tracer installation (context manager)."""
+    token = _AMBIENT.set(tracer)
+    try:
+        yield tracer if tracer is not None else DISABLED
+    finally:
+        _AMBIENT.reset(token)
+
+
+def reset_env_default() -> None:
+    """Re-read ``$REPRO_TRACE`` on the next :func:`current_tracer` call."""
+    global _ENV_DEFAULT
+    _ENV_DEFAULT = None
+
+
+# ------------------------------------------------------- worker-side helpers
+
+def worker_trace_context(shard_index: int) -> Optional[Dict[str, Any]]:
+    """The picklable trace context shipped to a pool worker, or None.
+
+    Workers cannot share the parent's sink (separate processes), so the
+    context carries only the deterministic id prefix; the worker buffers
+    spans and returns them for the parent to absorb.
+    """
+    if not current_tracer().enabled:
+        return None
+    return {"prefix": f"s{shard_index}."}
+
+
+def run_traced_worker(ctx: Optional[Dict[str, Any]], fn, task):
+    """Run *fn(task)* under a fresh buffering tracer described by *ctx*.
+
+    Returns ``(result, records)`` where *records* are the worker's
+    finished spans/events (empty when *ctx* is None — tracing disabled).
+    The worker tracer is installed as ambient for the duration, so the
+    worker body's ``current_tracer().span(...)`` calls need no plumbing.
+    """
+    if ctx is None:
+        return fn(task), []
+    tracer = Tracer(sink=None, enabled=True, id_prefix=ctx["prefix"])
+    with use_tracer(tracer):
+        result = fn(task)
+    return result, tracer.export()

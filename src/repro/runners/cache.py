@@ -47,6 +47,8 @@ from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
+from repro.obs.metrics import metrics
+from repro.obs.trace import current_tracer
 from repro.runners.results import jsonable, result_from_dict
 
 #: bump to invalidate every existing cache entry on a format change
@@ -108,7 +110,7 @@ class ResultCache:
         """
         json_path = self._json_path(key)
         if not json_path.exists():
-            self.misses += 1
+            self._miss(key)
             return None
         try:
             meta = json.loads(json_path.read_text())
@@ -119,7 +121,7 @@ class ResultCache:
                 )
             if meta.get("kind") == RAW_KIND:
                 # a raw checkpoint entry under a Result key — type clash
-                self.misses += 1
+                self._miss(key)
                 return None
             data = dict(meta["result"])
             array_names = meta.get("arrays", [])
@@ -130,14 +132,23 @@ class ResultCache:
             result = result_from_dict(data)
         except Exception as exc:
             self._quarantine(key, exc)
-            self.misses += 1
+            self._miss(key)
             return None
-        self.hits += 1
+        self._hit(key)
         return result
 
     def put(self, key: str, result: Any, key_components: Optional[Mapping] = None) -> None:
-        """Store *result* (a :class:`~repro.runners.results.Result`) under *key*."""
+        """Store *result* (a :class:`~repro.runners.results.Result`) under *key*.
+
+        An attached metrics snapshot (``result.metrics``, surfaced by
+        ``to_dict()``) is stripped before storage: it describes the run
+        that *computed* the entry, not the entry itself, and keeping it
+        would make cached payloads depend on execution conditions.
+        """
+        current_tracer().event("cache.put", key=key)
+        metrics().count("cache.puts")
         data = result.to_dict()
+        data.pop("metrics", None)
         array_fields = getattr(type(result), "_array_fields", {})
         arrays: Dict[str, np.ndarray] = {}
         for name, dtype in array_fields.items():
@@ -190,7 +201,7 @@ class ResultCache:
         """
         json_path = self._json_path(key)
         if not json_path.exists():
-            self.misses += 1
+            self._miss(key)
             return None
         try:
             meta = json.loads(json_path.read_text())
@@ -201,20 +212,36 @@ class ResultCache:
                 )
             if meta.get("kind") != RAW_KIND:
                 # a Result entry under a raw key — type clash, plain miss
-                self.misses += 1
+                self._miss(key)
                 return None
             payload = dict(meta["payload"])
         except Exception as exc:
             self._quarantine(key, exc)
-            self.misses += 1
+            self._miss(key)
             return None
-        self.hits += 1
+        self._hit(key)
         return payload
 
     # ------------------------------------------------------------ plumbing
+    def _hit(self, key: str) -> None:
+        self.hits += 1
+        metrics().count("cache.hits")
+        current_tracer().event("cache.hit", key=key)
+
+    def _miss(self, key: str) -> None:
+        self.misses += 1
+        metrics().count("cache.misses")
+        current_tracer().event("cache.miss", key=key)
+
     def _quarantine(self, key: str, exc: Exception) -> None:
         """Move a corrupt entry aside (evidence preserved) and warn."""
         self.corrupt += 1
+        metrics().count("cache.quarantined")
+        current_tracer().event(
+            "cache.quarantine",
+            key=key,
+            error=f"{type(exc).__name__}: {exc}",
+        )
         target_dir = self.cache_dir / QUARANTINE_DIR
         moved = []
         try:

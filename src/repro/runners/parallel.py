@@ -24,9 +24,21 @@ abandoned without waiting, since a hung worker would block a graceful
 shutdown indefinitely.  After ``max_pool_failures`` consecutive pool
 losses the runner *degrades to in-process execution* for the remaining
 shards, so a broken multiprocessing environment can slow an experiment
-down but never fail it.  Ordinary exceptions raised by the worker
+down but never fail it.  Every pool loss records *why* — the triggering
+exception or timeout — in ``RunStats.failure_reasons`` (the degrade
+decision additionally in ``RunStats.degrade_reason``) and as a
+``pool.failure`` / ``pool.degraded`` trace event, so a degraded run is
+diagnosable after the fact.  Ordinary exceptions raised by the worker
 function are not retried — they are deterministic and would fail
 in-process too — and propagate to the caller.
+
+Observability: each shard runs under a ``shard`` span.  With ``jobs >
+1`` the worker process buffers its spans (it cannot share the parent's
+sink) and ships them back with the result; the parent synthesizes the
+shard span and re-parents the worker records under it
+(:func:`repro.obs.trace.Tracer.absorb`), so the exported span tree has
+the same shape regardless of execution layout.  Worker-side metric
+counters ship back the same way and fold into the parent registry.
 
 :class:`RunStats` records per-shard timing, throughput and cache
 outcome; entry points attach it to their result as ``run_stats`` and
@@ -44,6 +56,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
+
+from repro.obs.metrics import metrics
+from repro.obs.trace import (
+    current_tracer,
+    run_traced_worker,
+    worker_trace_context,
+)
 
 #: consecutive pool losses tolerated before degrading to in-process runs
 DEFAULT_MAX_POOL_FAILURES = 2
@@ -112,6 +131,8 @@ class RunStats:
     retries: int = 0
     timeouts: int = 0
     degraded: bool = False
+    degrade_reason: Optional[str] = None
+    failure_reasons: List[str] = field(default_factory=list)
     shards: List[ShardStat] = field(default_factory=list)
 
     @property
@@ -125,10 +146,33 @@ class RunStats:
         return self.samples / self.elapsed
 
 
-def _timed_call(fn: Callable[[Any], Any], task: Any):
+def _timed_call(
+    fn: Callable[[Any], Any],
+    task: Any,
+    trace_ctx: Optional[Dict[str, Any]] = None,
+    ship_metrics: bool = False,
+):
+    """Run one shard; returns ``(result, dt, trace_records, counter_delta)``.
+
+    *trace_ctx* (from :func:`worker_trace_context`) makes the call buffer
+    its spans for the parent to absorb.  *ship_metrics* is set on pool
+    submissions only: it snapshots the worker-process counter deltas so
+    the parent can fold them into its registry — inline calls bump the
+    parent registry directly and must not ship (double counting).
+    """
+    before = metrics().snapshot()["counters"] if ship_metrics else None
     t0 = time.perf_counter()
-    result = fn(task)
-    return result, time.perf_counter() - t0
+    result, records = run_traced_worker(trace_ctx, fn, task)
+    dt = time.perf_counter() - t0
+    delta = None
+    if before is not None:
+        after = metrics().snapshot()["counters"]
+        delta = {
+            name: count - before.get(name, 0)
+            for name, count in after.items()
+            if count != before.get(name, 0)
+        }
+    return result, dt, records, delta
 
 
 class ParallelRunner:
@@ -204,8 +248,13 @@ class ParallelRunner:
         remaining = set(range(len(tasks)))
         if self.jobs > 1 and len(tasks) > 1:
             self._map_pool(fn, tasks, counts, results, remaining)
+        tracer = current_tracer()
         for i in sorted(remaining):
-            res, dt = _timed_call(fn, tasks[i])
+            if tracer.enabled:
+                with tracer.span("shard", shard=i, samples=counts[i]):
+                    res, dt, _, _ = _timed_call(fn, tasks[i])
+            else:
+                res, dt, _, _ = _timed_call(fn, tasks[i])
             results[i] = res
             self.stats.shards.append(ShardStat(i, counts[i], dt, "inline"))
         self.stats.samples = sum(counts)
@@ -221,24 +270,45 @@ class ParallelRunner:
         remaining: set,
     ) -> None:
         """Pool execution with crash/timeout retry; failures stay in *remaining*."""
+        tracer = current_tracer()
+        reason: Optional[str] = None
         while remaining and self.stats.pool_failures < self.max_pool_failures:
             pool = ProcessPoolExecutor(max_workers=self.jobs)
             try:
                 futures = {
-                    i: pool.submit(_timed_call, fn, tasks[i])
+                    i: pool.submit(
+                        _timed_call, fn, tasks[i], worker_trace_context(i), True
+                    )
                     for i in sorted(remaining)
                 }
                 for i, future in futures.items():
-                    res, dt = future.result(timeout=self.shard_timeout)
+                    res, dt, records, delta = future.result(
+                        timeout=self.shard_timeout
+                    )
                     results[i] = res
                     remaining.discard(i)
                     self.stats.shards.append(
                         ShardStat(i, counts[i], dt, "pool")
                     )
+                    if delta:
+                        metrics().merge_counters(delta)
+                    if tracer.enabled:
+                        span_id = tracer.add_span(
+                            "shard",
+                            start=0.0,
+                            end=dt,
+                            shard=i,
+                            samples=counts[i],
+                        )
+                        tracer.absorb(records, parent=span_id)
             except FutureTimeoutError:
                 self.stats.timeouts += 1
-            except BrokenProcessPool:
-                pass
+                metrics().count("pool.timeouts")
+                reason = (
+                    f"shard exceeded shard_timeout={self.shard_timeout}s"
+                )
+            except BrokenProcessPool as exc:
+                reason = f"BrokenProcessPool: {exc}"
             except BaseException:
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
@@ -250,6 +320,14 @@ class ParallelRunner:
             pool.shutdown(wait=False, cancel_futures=True)
             self.stats.pool_failures += 1
             self.stats.retries += 1
+            self.stats.failure_reasons.append(reason)
+            metrics().count("pool.retries")
+            tracer.event(
+                "pool.failure",
+                reason=reason,
+                failures=self.stats.pool_failures,
+                remaining=len(remaining),
+            )
             if self.stats.pool_failures >= self.max_pool_failures:
                 break
             time.sleep(
@@ -257,14 +335,34 @@ class ParallelRunner:
             )
         if remaining:
             self.stats.degraded = True
+            self.stats.degrade_reason = reason
+            metrics().count("pool.degraded")
+            tracer.event(
+                "pool.degraded",
+                reason=reason,
+                remaining=len(remaining),
+            )
 
     # --------------------------------------------------------------- stats
     def finalize_stats(
-        self, experiment: str, cache: str = "off"
+        self,
+        experiment: str,
+        cache: str = "off",
+        backend: Optional[str] = None,
     ) -> RunStats:
-        """Label the stats of the last :meth:`map` call and return them."""
+        """Label the stats of the last :meth:`map` call and return them.
+
+        When the run actually executed shards (``elapsed > 0``), records
+        throughput gauges — per experiment, and per *backend* when the
+        caller names one.
+        """
         self.stats.experiment = experiment
         self.stats.cache = cache
+        if self.stats.elapsed > 0 and self.stats.samples:
+            rate = self.stats.samples_per_second
+            metrics().gauge(f"samples_per_sec.{experiment}", rate)
+            if backend:
+                metrics().gauge(f"samples_per_sec.{backend}", rate)
         return self.stats
 
 

@@ -76,6 +76,47 @@ def result_from_dict(data: Mapping[str, Any]) -> Any:
     return cls.from_dict(data)
 
 
+def attach_metrics(result: Any, snapshot: Any = None) -> Any:
+    """Attach the deterministic metrics snapshot to *result*.
+
+    Entry points call this when a run finishes; the snapshot (counters
+    and histograms only — timing-derived gauges are excluded, see
+    :func:`repro.obs.metrics.deterministic_snapshot`) then rides along
+    in ``to_dict()`` via :func:`metrics_entry`.  The on-disk cache
+    strips it before storage, so persisted payloads never vary with
+    execution conditions.
+    """
+    from repro.obs.metrics import deterministic_snapshot
+
+    result.metrics = deterministic_snapshot(snapshot)
+    return result
+
+
+def metrics_entry(result: Any) -> Dict[str, Any]:
+    """The ``"metrics"`` item of a result's ``to_dict()``, possibly empty.
+
+    Returns ``{"metrics": <snapshot>}`` when a snapshot is attached and
+    ``{}`` otherwise, so result classes can splat it into their dict
+    without conditionals.
+    """
+    snapshot = getattr(result, "metrics", None)
+    if snapshot is None:
+        return {}
+    return {"metrics": jsonable(snapshot)}
+
+
+def restore_metrics(result: Any, data: Mapping[str, Any]) -> Any:
+    """Re-attach a ``"metrics"`` entry found in *data* to *result*.
+
+    The ``from_dict`` counterpart of :func:`metrics_entry`; a missing
+    entry (the usual case for cache-loaded payloads) is not an error.
+    """
+    snapshot = data.get("metrics")
+    if snapshot is not None:
+        result.metrics = dict(snapshot)
+    return result
+
+
 def jsonable(value: Any) -> Any:
     """Recursively convert numpy arrays/scalars to plain JSON values."""
     if isinstance(value, np.ndarray):

@@ -29,6 +29,7 @@ from repro.netlist.compiled import circuit_fingerprint
 from repro.netlist.delay import DelayModel, FpgaDelay, delay_signature
 from repro.netlist.sim import SimulationResult
 from repro.netlist.sta import static_timing
+from repro.obs.trace import current_tracer
 from repro.runners.cache import cache_for, cache_key
 from repro.runners.config import RunConfig
 from repro.runners.parallel import (
@@ -38,7 +39,12 @@ from repro.runners.parallel import (
     split_samples,
     spawn_seeds,
 )
-from repro.runners.results import register_result
+from repro.runners.results import (
+    attach_metrics,
+    metrics_entry,
+    register_result,
+    restore_metrics,
+)
 
 
 @register_result
@@ -86,15 +92,17 @@ class DigitErrorProfile:
             "steps": [int(t) for t in self.steps],
             "positions": list(self.positions),
             "rates": [[float(r) for r in row] for row in self.rates],
+            **metrics_entry(self),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "DigitErrorProfile":
-        return cls(
+        result = cls(
             steps=np.asarray(data["steps"], dtype=np.int64),
             positions=[str(p) for p in data["positions"]],
             rates=np.asarray(data["rates"], dtype=np.float64),
         )
+        return restore_metrics(result, data)
 
 
 def _digit_error_counts(
@@ -221,9 +229,15 @@ def _profile_shard_worker(payload: Dict[str, Any]) -> np.ndarray:
     )
     spec = _design_groups(design, ndigits)
     needed = {name for group in spec["digit_groups"] for name in group}
-    result = harness.simulator.run(ports, keep=needed)
-    steps = np.asarray(payload["steps"], dtype=np.int64)
-    return _digit_error_counts(result, spec["digit_groups"], steps)
+    with current_tracer().span(
+        "profile.simulate",
+        design=design,
+        backend=payload["backend"],
+        samples=payload["samples"],
+    ):
+        result = harness.simulator.run(ports, keep=needed)
+        steps = np.asarray(payload["steps"], dtype=np.int64)
+        return _digit_error_counts(result, spec["digit_groups"], steps)
 
 
 # ----------------------------------------------------------- unified entry
@@ -256,50 +270,62 @@ def run_error_profile(
     cache = cache_for(config)
     runner = runner or ParallelRunner.from_config(config)
     experiment = f"error_profile:{design}"
-    key = None
-    key_components = None
-    if cache is not None:
-        key_components = dict(
-            experiment="error_profile",
-            design=design,
-            num_samples=int(num_samples),
-            steps=[int(t) for t in steps_arr],
-            fingerprint=circuit_fingerprint(circuit),
-            delay=delay_signature(model),
-            delays=list(model.assign(circuit)),
-            **config.describe(),
-        )
-        key = cache_key(**key_components)
-        hit = cache.get(key)
-        if hit is not None:
-            hit.run_stats = runner.finalize_stats(experiment, cache="hit")
-            return hit
+    with current_tracer().span(
+        "run.error_profile",
+        design=design,
+        ndigits=config.ndigits,
+        backend=config.backend,
+        num_samples=int(num_samples),
+    ):
+        key = None
+        key_components = None
+        if cache is not None:
+            key_components = dict(
+                experiment="error_profile",
+                design=design,
+                num_samples=int(num_samples),
+                steps=[int(t) for t in steps_arr],
+                fingerprint=circuit_fingerprint(circuit),
+                delay=delay_signature(model),
+                delays=list(model.assign(circuit)),
+                **config.describe(),
+            )
+            key = cache_key(**key_components)
+            hit = cache.get(key)
+            if hit is not None:
+                hit.run_stats = runner.finalize_stats(
+                    experiment, cache="hit", backend=config.backend
+                )
+                return attach_metrics(hit)
 
-    sizes = split_samples(num_samples, config.shard_size)
-    seeds = spawn_seeds(
-        config.seed, len(sizes), seed_tag("error_profile"), seed_tag(design)
-    )
-    payloads = [
-        {
-            "design": design,
-            "ndigits": config.ndigits,
-            "backend": config.backend,
-            "delay_model": model,
-            "steps": [int(t) for t in steps_arr],
-            "seed_seq": ss,
-            "samples": m,
-        }
-        for ss, m in zip(seeds, sizes)
-    ]
-    parts = runner.map(_profile_shard_worker, payloads, samples=sizes)
-    counts = merge_int_sums(parts)
-    spec = _design_groups(design, config.ndigits)
-    result = DigitErrorProfile(
-        steps_arr, list(spec["labels"]), counts / float(num_samples)
-    )
-    if cache is not None:
-        cache.put(key, result, key_components)
-    result.run_stats = runner.finalize_stats(
-        experiment, cache="miss" if cache is not None else "off"
-    )
+        sizes = split_samples(num_samples, config.shard_size)
+        seeds = spawn_seeds(
+            config.seed, len(sizes), seed_tag("error_profile"), seed_tag(design)
+        )
+        payloads = [
+            {
+                "design": design,
+                "ndigits": config.ndigits,
+                "backend": config.backend,
+                "delay_model": model,
+                "steps": [int(t) for t in steps_arr],
+                "seed_seq": ss,
+                "samples": m,
+            }
+            for ss, m in zip(seeds, sizes)
+        ]
+        parts = runner.map(_profile_shard_worker, payloads, samples=sizes)
+        counts = merge_int_sums(parts)
+        spec = _design_groups(design, config.ndigits)
+        result = DigitErrorProfile(
+            steps_arr, list(spec["labels"]), counts / float(num_samples)
+        )
+        if cache is not None:
+            cache.put(key, result, key_components)
+        result.run_stats = runner.finalize_stats(
+            experiment,
+            cache="miss" if cache is not None else "off",
+            backend=config.backend,
+        )
+        attach_metrics(result)
     return result

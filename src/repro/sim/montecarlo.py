@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.conversion import digits_to_scaled_int
 from repro.core.online_multiplier import OnlineMultiplier
+from repro.obs.trace import current_tracer
 from repro.runners.cache import cache_for, cache_key
 from repro.runners.config import RunConfig
 from repro.runners.parallel import (
@@ -43,7 +44,12 @@ from repro.runners.parallel import (
     split_samples,
     spawn_seeds,
 )
-from repro.runners.results import register_result
+from repro.runners.results import (
+    attach_metrics,
+    metrics_entry,
+    register_result,
+    restore_metrics,
+)
 
 
 def uniform_digit_batch(
@@ -118,11 +124,12 @@ class MonteCarloResult:
             "violation_probability": [
                 float(p) for p in self.violation_probability
             ],
+            **metrics_entry(self),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MonteCarloResult":
-        return cls(
+        result = cls(
             ndigits=int(data["ndigits"]),
             delta=int(data["delta"]),
             num_samples=int(data["num_samples"]),
@@ -132,6 +139,7 @@ class MonteCarloResult:
                 data["violation_probability"], dtype=np.float64
             ),
         )
+        return restore_metrics(result, data)
 
 
 # --------------------------------------------------------------- shard workers
@@ -162,7 +170,10 @@ def _mc_shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     m = payload["samples"]
     xd = uniform_digit_batch(ndigits, m, rng)
     yd = uniform_digit_batch(ndigits, m, rng)
-    waves = om.wave(xd, yd, backend=payload["backend"])
+    with current_tracer().span(
+        "mc.simulate", backend=payload["backend"], samples=m
+    ):
+        waves = om.wave(xd, yd, backend=payload["backend"])
     correct = digits_to_scaled_int(waves[-1]).astype(np.float64)
     scale = float(2**ndigits)
     sum_err: List[float] = []
@@ -235,6 +246,7 @@ def run_montecarlo(
         depths = default_depths(config.ndigits, config.delta)
     depths_arr = np.asarray(sorted(int(b) for b in depths), dtype=np.int64)
 
+    tracer = current_tracer()
     cache = cache_for(config)
     key_components = dict(
         experiment="montecarlo",
@@ -244,41 +256,54 @@ def run_montecarlo(
     )
     key = cache_key(**key_components)
     runner = runner or ParallelRunner.from_config(config)
-    if cache is not None:
-        hit = cache.get(key)
-        if hit is not None:
-            hit.run_stats = runner.finalize_stats("montecarlo", cache="hit")
-            return hit
-
-    sizes = split_samples(num_samples, config.shard_size)
-    seeds = spawn_seeds(config.seed, len(sizes), seed_tag("montecarlo"))
-    payloads = [
-        {
-            "ndigits": config.ndigits,
-            "delta": config.delta,
-            "backend": config.backend,
-            "depths": [int(b) for b in depths_arr],
-            "seed_seq": ss,
-            "samples": m,
-        }
-        for ss, m in zip(seeds, sizes)
-    ]
-    parts = runner.map(_mc_shard_worker, payloads, samples=sizes)
-    sum_err = merge_float_sums([p["sum_err"] for p in parts])
-    viol = merge_int_sums([p["viol"] for p in parts])
-    result = MonteCarloResult(
+    with tracer.span(
+        "run.montecarlo",
         ndigits=config.ndigits,
         delta=config.delta,
-        num_samples=num_samples,
-        depths=depths_arr,
-        mean_abs_error=sum_err / num_samples,
-        violation_probability=viol / num_samples,
-    )
-    if cache is not None:
-        cache.put(key, result, key_components)
-    result.run_stats = runner.finalize_stats(
-        "montecarlo", cache="miss" if cache is not None else "off"
-    )
+        backend=config.backend,
+        num_samples=int(num_samples),
+        depths=[int(b) for b in depths_arr],
+    ):
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                hit.run_stats = runner.finalize_stats(
+                    "montecarlo", cache="hit", backend=config.backend
+                )
+                return attach_metrics(hit)
+
+        sizes = split_samples(num_samples, config.shard_size)
+        seeds = spawn_seeds(config.seed, len(sizes), seed_tag("montecarlo"))
+        payloads = [
+            {
+                "ndigits": config.ndigits,
+                "delta": config.delta,
+                "backend": config.backend,
+                "depths": [int(b) for b in depths_arr],
+                "seed_seq": ss,
+                "samples": m,
+            }
+            for ss, m in zip(seeds, sizes)
+        ]
+        parts = runner.map(_mc_shard_worker, payloads, samples=sizes)
+        sum_err = merge_float_sums([p["sum_err"] for p in parts])
+        viol = merge_int_sums([p["viol"] for p in parts])
+        result = MonteCarloResult(
+            ndigits=config.ndigits,
+            delta=config.delta,
+            num_samples=num_samples,
+            depths=depths_arr,
+            mean_abs_error=sum_err / num_samples,
+            violation_probability=viol / num_samples,
+        )
+        if cache is not None:
+            cache.put(key, result, key_components)
+        result.run_stats = runner.finalize_stats(
+            "montecarlo",
+            cache="miss" if cache is not None else "off",
+            backend=config.backend,
+        )
+        attach_metrics(result)
     return result
 
 
@@ -307,12 +332,19 @@ def run_settle_histogram(
         for ss, m in zip(seeds, sizes)
     ]
     runner = runner or ParallelRunner.from_config(config)
-    parts = runner.map(_settle_shard_worker, payloads, samples=sizes)
-    counts: Dict[int, int] = {}
-    for part in parts:
-        for depth, c in part.items():
-            counts[depth] = counts.get(depth, 0) + c
-    runner.finalize_stats("settle_histogram")
+    with current_tracer().span(
+        "run.settle_histogram",
+        ndigits=config.ndigits,
+        delta=config.delta,
+        backend=config.backend,
+        num_samples=int(num_samples),
+    ):
+        parts = runner.map(_settle_shard_worker, payloads, samples=sizes)
+        counts: Dict[int, int] = {}
+        for part in parts:
+            for depth, c in part.items():
+                counts[depth] = counts.get(depth, 0) + c
+        runner.finalize_stats("settle_histogram", backend=config.backend)
     return {
         depth: counts[depth] / num_samples for depth in sorted(counts)
     }

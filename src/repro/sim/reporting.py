@@ -83,6 +83,9 @@ def format_run_stats(stats) -> str:
         fields.append(f"timeouts={stats.timeouts}")
     if stats.degraded:
         fields.append("degraded=inline")
+        reason = getattr(stats, "degrade_reason", None)
+        if reason:
+            fields.append(f'degrade_reason="{reason}"')
     return "[runner] " + " ".join(fields)
 
 

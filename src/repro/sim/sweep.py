@@ -38,6 +38,7 @@ from repro.arith.array_multiplier import build_array_multiplier
 from repro.netlist.compiled import circuit_fingerprint, make_simulator
 from repro.netlist.delay import DelayModel, FpgaDelay, UnitDelay, delay_signature
 from repro.netlist.sta import static_timing
+from repro.obs.trace import current_tracer
 from repro.runners.cache import cache_for, cache_key
 from repro.runners.config import RunConfig
 from repro.runners.parallel import (
@@ -48,7 +49,12 @@ from repro.runners.parallel import (
     split_samples,
     spawn_seeds,
 )
-from repro.runners.results import register_result
+from repro.runners.results import (
+    attach_metrics,
+    metrics_entry,
+    register_result,
+    restore_metrics,
+)
 from repro.sim.montecarlo import uniform_digit_batch
 
 #: designs :func:`run_sweep` can build
@@ -148,11 +154,12 @@ class SweepResult:
             "settle_step": int(self.settle_step),
             "error_free_step": int(self.error_free_step),
             "num_samples": int(self.num_samples),
+            **metrics_entry(self),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
-        return cls(
+        result = cls(
             steps=np.asarray(data["steps"], dtype=np.int64),
             mean_abs_error=np.asarray(data["mean_abs_error"], dtype=np.float64),
             violation_probability=np.asarray(
@@ -163,6 +170,7 @@ class SweepResult:
             error_free_step=int(data["error_free_step"]),
             num_samples=int(data["num_samples"]),
         )
+        return restore_metrics(result, data)
 
 
 class _Harness:
@@ -385,7 +393,13 @@ def _sweep_shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     ports = sweep_shard_ports(
         design, ndigits, harness, rng, payload["samples"]
     )
-    return harness.run_partial(ports)
+    with current_tracer().span(
+        "sweep.simulate",
+        design=design,
+        backend=payload["backend"],
+        samples=payload["samples"],
+    ):
+        return harness.run_partial(ports)
 
 
 def _sweep_circuit(design: str, ndigits: int):
@@ -431,47 +445,59 @@ def run_sweep(
     cache = cache_for(config)
     runner = runner or ParallelRunner.from_config(config)
     experiment = f"sweep:{design}"
-    key = None
-    key_components = None
-    if cache is not None:
-        circuit = _sweep_circuit(design, config.ndigits)
-        key_components = dict(
-            experiment="sweep",
-            design=design,
-            num_samples=int(num_samples),
-            fingerprint=circuit_fingerprint(circuit),
-            delay=delay_signature(model),
-            delays=list(model.assign(circuit)),
-            **config.describe(),
-        )
-        key = cache_key(**key_components)
-        hit = cache.get(key)
-        if hit is not None:
-            hit.run_stats = runner.finalize_stats(experiment, cache="hit")
-            return hit
+    with current_tracer().span(
+        "run.sweep",
+        design=design,
+        ndigits=config.ndigits,
+        backend=config.backend,
+        num_samples=int(num_samples),
+    ):
+        key = None
+        key_components = None
+        if cache is not None:
+            circuit = _sweep_circuit(design, config.ndigits)
+            key_components = dict(
+                experiment="sweep",
+                design=design,
+                num_samples=int(num_samples),
+                fingerprint=circuit_fingerprint(circuit),
+                delay=delay_signature(model),
+                delays=list(model.assign(circuit)),
+                **config.describe(),
+            )
+            key = cache_key(**key_components)
+            hit = cache.get(key)
+            if hit is not None:
+                hit.run_stats = runner.finalize_stats(
+                    experiment, cache="hit", backend=config.backend
+                )
+                return attach_metrics(hit)
 
-    sizes = split_samples(num_samples, config.shard_size)
-    seeds = spawn_seeds(
-        config.seed, len(sizes), seed_tag("sweep"), seed_tag(design)
-    )
-    payloads = [
-        {
-            "design": design,
-            "ndigits": config.ndigits,
-            "backend": config.backend,
-            "delay_model": model,
-            "seed_seq": ss,
-            "samples": m,
-        }
-        for ss, m in zip(seeds, sizes)
-    ]
-    parts = runner.map(_sweep_shard_worker, payloads, samples=sizes)
-    result = _sweep_from_partials(parts)
-    if cache is not None:
-        cache.put(key, result, key_components)
-    result.run_stats = runner.finalize_stats(
-        experiment, cache="miss" if cache is not None else "off"
-    )
+        sizes = split_samples(num_samples, config.shard_size)
+        seeds = spawn_seeds(
+            config.seed, len(sizes), seed_tag("sweep"), seed_tag(design)
+        )
+        payloads = [
+            {
+                "design": design,
+                "ndigits": config.ndigits,
+                "backend": config.backend,
+                "delay_model": model,
+                "seed_seq": ss,
+                "samples": m,
+            }
+            for ss, m in zip(seeds, sizes)
+        ]
+        parts = runner.map(_sweep_shard_worker, payloads, samples=sizes)
+        result = _sweep_from_partials(parts)
+        if cache is not None:
+            cache.put(key, result, key_components)
+        result.run_stats = runner.finalize_stats(
+            experiment,
+            cache="miss" if cache is not None else "off",
+            backend=config.backend,
+        )
+        attach_metrics(result)
     return result
 
 

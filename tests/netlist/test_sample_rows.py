@@ -1,0 +1,88 @@
+"""``sample_rows`` validation: one capture step per sample, every backend.
+
+Before the shape check, a mismatched ``rows`` array produced
+backend-dependent behavior — a cryptic broadcast error on the wave
+engine, a silently *wrong-length* result on the packed engine (its
+``np.unique`` gather sliced to ``len(rows)`` columns).  Both backends
+must now raise the same ``ValueError``, naming themselves, and keep the
+documented clamp semantics for step values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netlist.compiled import make_simulator
+from repro.netlist.delay import UnitDelay
+from tests.netlist.test_packed_equivalence import random_circuit
+
+NUM_SAMPLES = 40
+
+
+@pytest.fixture(scope="module")
+def results():
+    circuit = random_circuit(7)
+    rng = np.random.default_rng(0)
+    ports = {
+        name: rng.integers(0, 2, NUM_SAMPLES).astype(np.uint8)
+        for name in circuit.input_names
+    }
+    return {
+        backend: make_simulator(circuit, UnitDelay(), backend).run(ports)
+        for backend in ("wave", "packed")
+    }
+
+
+@pytest.mark.parametrize("backend", ["wave", "packed"])
+class TestShapeValidation:
+    def test_short_rows_raise_with_backend_name(self, results, backend):
+        result = results[backend]
+        name = result.output_names[0]
+        with pytest.raises(ValueError, match=f"'{backend}' backend"):
+            result.sample_rows(name, np.zeros(NUM_SAMPLES - 1, np.int64))
+
+    def test_long_rows_raise(self, results, backend):
+        result = results[backend]
+        name = result.output_names[0]
+        with pytest.raises(ValueError, match="one capture step per sample"):
+            result.sample_rows(name, np.zeros(NUM_SAMPLES + 5, np.int64))
+
+    def test_2d_rows_raise(self, results, backend):
+        result = results[backend]
+        name = result.output_names[0]
+        with pytest.raises(ValueError, match=f"'{backend}' backend"):
+            result.sample_rows(name, np.zeros((2, NUM_SAMPLES), np.int64))
+
+    def test_message_states_expected_shape(self, results, backend):
+        result = results[backend]
+        name = result.output_names[0]
+        with pytest.raises(ValueError, match=rf"\({NUM_SAMPLES},\)"):
+            result.sample_rows(name, np.zeros(3, np.int64))
+
+
+class TestValidRowsUnchanged:
+    def test_backends_agree_on_valid_rows(self, results):
+        rng = np.random.default_rng(1)
+        wave, packed = results["wave"], results["packed"]
+        rows = rng.integers(0, wave.settle_step + 1, NUM_SAMPLES)
+        for name in wave.output_names:
+            assert np.array_equal(
+                wave.sample_rows(name, rows), packed.sample_rows(name, rows)
+            )
+
+    def test_step_values_still_clamp(self, results):
+        # out-of-range *steps* clamp (documented jitter semantics); only
+        # the sample-count dimension is an error
+        for result in results.values():
+            name = result.output_names[0]
+            high = np.full(NUM_SAMPLES, result.settle_step + 999, np.int64)
+            last = np.full(NUM_SAMPLES, result.settle_step, np.int64)
+            assert np.array_equal(
+                result.sample_rows(name, high),
+                result.sample_rows(name, last),
+            )
+            low = np.full(NUM_SAMPLES, -5, np.int64)
+            zero = np.zeros(NUM_SAMPLES, np.int64)
+            assert np.array_equal(
+                result.sample_rows(name, low),
+                result.sample_rows(name, zero),
+            )

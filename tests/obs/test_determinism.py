@@ -1,0 +1,95 @@
+"""Tracing must never perturb results: the observer-effect tests.
+
+Two guarantees from the observability design:
+
+* same ``RunConfig`` + seed with tracing on vs off produces
+  bit-identical results, on both simulation engines;
+* ``jobs=1`` and ``jobs=N`` produce the *same span tree* (modulo shard
+  completion order, which :func:`normalized_tree` factors out) as well
+  as bit-identical results — the trace is a function of the work, not
+  of the execution layout.
+"""
+
+import numpy as np
+
+from repro.obs import Tracer, use_tracer
+from repro.obs.render import normalized_tree
+from repro.runners.config import RunConfig
+from repro.sim.montecarlo import run_montecarlo
+from repro.sim.sweep import run_sweep
+
+
+def _config(jobs: int, backend: str = "packed") -> RunConfig:
+    # small shard_size: even tiny budgets exercise multi-shard merging
+    return RunConfig(
+        ndigits=4, jobs=jobs, cache_dir=None, shard_size=100, backend=backend
+    )
+
+
+def _traced(fn, *args, **kwargs):
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = fn(*args, **kwargs)
+    return result, tracer.export()
+
+
+class TestTracingIsInvisible:
+    def test_montecarlo_bit_identical_packed(self):
+        plain = run_montecarlo(_config(1), num_samples=350)
+        traced, records = _traced(
+            run_montecarlo, _config(1), num_samples=350
+        )
+        assert records  # tracing actually happened
+        assert np.array_equal(plain.mean_abs_error, traced.mean_abs_error)
+        assert np.array_equal(
+            plain.violation_probability, traced.violation_probability
+        )
+
+    def test_montecarlo_bit_identical_wave(self):
+        plain = run_montecarlo(_config(1, "wave"), num_samples=350)
+        traced, records = _traced(
+            run_montecarlo, _config(1, "wave"), num_samples=350
+        )
+        assert records
+        assert np.array_equal(plain.mean_abs_error, traced.mean_abs_error)
+        assert np.array_equal(
+            plain.violation_probability, traced.violation_probability
+        )
+
+    def test_wave_and_packed_agree_under_tracing(self):
+        a, _ = _traced(run_montecarlo, _config(1, "wave"), num_samples=350)
+        b, _ = _traced(run_montecarlo, _config(1, "packed"), num_samples=350)
+        assert np.array_equal(a.mean_abs_error, b.mean_abs_error)
+
+    def test_sweep_bit_identical(self):
+        plain = run_sweep(_config(1), num_samples=250)
+        traced, records = _traced(run_sweep, _config(1), num_samples=250)
+        assert records
+        assert np.array_equal(plain.mean_abs_error, traced.mean_abs_error)
+        assert plain.error_free_step == traced.error_free_step
+
+
+class TestSpanTreeAcrossJobs:
+    def test_montecarlo_same_tree_inline_vs_pool(self):
+        a, rec_a = _traced(run_montecarlo, _config(1), num_samples=350)
+        b, rec_b = _traced(run_montecarlo, _config(2), num_samples=350)
+        assert np.array_equal(a.mean_abs_error, b.mean_abs_error)
+        assert np.array_equal(
+            a.violation_probability, b.violation_probability
+        )
+        assert normalized_tree(rec_a) == normalized_tree(rec_b)
+
+    def test_tree_covers_run_shards_and_simulation(self):
+        _, records = _traced(run_montecarlo, _config(2), num_samples=350)
+        names = [r["name"] for r in records if r["type"] == "span"]
+        assert names.count("run.montecarlo") == 1
+        assert names.count("shard") == 4  # 350 samples / shard_size 100
+        assert names.count("mc.simulate") == 4
+
+    def test_attached_metrics_have_no_timing_content(self):
+        # gauges carry wall-clock rates; the snapshot a result carries
+        # (and may serialize) must contain only deterministic sections
+        result = run_montecarlo(_config(2), num_samples=350)
+        assert set(result.metrics) == {"counters", "histograms"}
+        data = result.to_dict()
+        assert data["metrics"] == result.metrics

@@ -1,0 +1,102 @@
+"""MetricsRegistry unit tests: recording, snapshots, worker merging."""
+
+from repro.obs.metrics import (
+    HISTOGRAM_BUCKETS,
+    MetricsRegistry,
+    deterministic_snapshot,
+    metrics,
+)
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.count("cache.hits")
+        reg.count("cache.hits", 2)
+        assert reg.snapshot()["counters"] == {"cache.hits": 3}
+
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("samples_per_sec.packed", 100.0)
+        reg.gauge("samples_per_sec.packed", 250.0)
+        assert reg.snapshot()["gauges"] == {"samples_per_sec.packed": 250.0}
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        for value in (1, 2, 3, 1000):
+            reg.observe("shard.samples", value)
+        buckets = reg.snapshot()["histograms"]["shard.samples"]
+        assert len(buckets) == len(HISTOGRAM_BUCKETS)
+        assert buckets[0] == 1  # value 1 -> bound 1
+        assert buckets[1] == 1  # value 2 -> bound 2
+        assert buckets[2] == 1  # value 3 -> bound 4
+        assert buckets[HISTOGRAM_BUCKETS.index(1024)] == 1
+        assert sum(buckets) == 4
+
+    def test_histogram_overflow_lands_in_inf_bucket(self):
+        reg = MetricsRegistry()
+        reg.observe("big", 10**9)
+        assert reg.snapshot()["histograms"]["big"][-1] == 1
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.count("a")
+        reg.gauge("b", 1.0)
+        reg.observe("c", 1)
+        reg.merge_counters({"a": 5})
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.gauge("b", 1.0)
+        reg.observe("c", 1)
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestMerging:
+    def test_merge_counters_folds_worker_deltas(self):
+        reg = MetricsRegistry()
+        reg.count("compile_cache.misses")
+        reg.merge_counters({"compile_cache.misses": 2, "cache.hits": 1})
+        assert reg.snapshot()["counters"] == {
+            "cache.hits": 1,
+            "compile_cache.misses": 3,
+        }
+
+    def test_merge_empty_is_noop(self):
+        reg = MetricsRegistry()
+        reg.merge_counters({})
+        assert reg.snapshot()["counters"] == {}
+
+
+class TestSnapshots:
+    def test_snapshot_is_sorted_and_detached(self):
+        reg = MetricsRegistry()
+        reg.count("z")
+        reg.count("a")
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        snap["counters"]["a"] = 999
+        assert reg.snapshot()["counters"]["a"] == 1
+
+    def test_deterministic_snapshot_strips_gauges(self):
+        reg = MetricsRegistry()
+        reg.count("cache.hits")
+        reg.gauge("samples_per_sec.wave", 123.4)
+        reg.observe("h", 1)
+        det = deterministic_snapshot(reg.snapshot())
+        assert "gauges" not in det
+        assert det["counters"] == {"cache.hits": 1}
+        assert "h" in det["histograms"]
+
+
+class TestGlobal:
+    def test_metrics_returns_shared_registry(self):
+        assert metrics() is metrics()

@@ -1,0 +1,217 @@
+"""Tracer unit tests: span records, ambient resolution, worker absorb.
+
+The tracer is the substrate every traced experiment builds on, so these
+tests pin the record schema (ids, parents, timing fields), the
+``$REPRO_TRACE`` resolution rules, and the re-parenting contract that
+merges worker-process spans into the parent tree.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    DISABLED,
+    TRACE_ENV,
+    Tracer,
+    current_tracer,
+    reset_env_default,
+    run_traced_worker,
+    tracer_from_env,
+    use_tracer,
+    worker_trace_context,
+)
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer", level=1):
+            with tracer.span("inner", level=2):
+                pass
+        records = tracer.records
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        inner, outer = records
+        assert outer["parent"] is None
+        assert inner["parent"] == outer["id"]
+        assert inner["attrs"] == {"level": 2}
+
+    def test_timing_fields(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records
+        for rec in (inner, outer):
+            assert rec["type"] == "span"
+            assert rec["end"] >= rec["start"]
+            assert rec["dur"] == pytest.approx(rec["end"] - rec["start"])
+        assert outer["start"] <= inner["start"]
+        assert outer["end"] >= inner["end"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r["name"]: r for r in tracer.records}
+        assert by_name["a"]["parent"] == by_name["root"]["id"]
+        assert by_name["b"]["parent"] == by_name["root"]["id"]
+
+    def test_span_exception_still_closes(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (rec,) = tracer.records
+        assert rec["name"] == "doomed"
+        assert rec["end"] >= rec["start"]
+
+    def test_ids_are_deterministic(self):
+        def run():
+            tracer = Tracer()
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            tracer.event("e")
+            return [(r.get("id"), r.get("parent")) for r in tracer.records]
+
+        assert run() == run()
+
+
+class TestEvents:
+    def test_event_attaches_to_active_span(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            tracer.event("cache.hit", key="abc")
+        event = [r for r in tracer.records if r["type"] == "event"][0]
+        span = [r for r in tracer.records if r["type"] == "span"][0]
+        assert event["span"] == span["id"]
+        assert event["name"] == "cache.hit"
+        assert event["attrs"] == {"key": "abc"}
+
+    def test_event_outside_span_is_root(self):
+        tracer = Tracer()
+        tracer.event("lonely")
+        (event,) = tracer.records
+        assert event["span"] is None
+
+
+class TestDisabled:
+    def test_no_records_and_null_span(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ghost"):
+            tracer.event("ghost.event")
+        tracer.add_span("ghost2", start=0.0, end=1.0)
+        tracer.absorb([{"type": "span", "id": "x", "parent": None}], "p")
+        assert tracer.records == []
+
+    def test_disabled_singleton_is_disabled(self):
+        assert not DISABLED.enabled
+
+
+class TestAbsorb:
+    def test_reparents_worker_roots_only(self):
+        worker = Tracer(id_prefix="s0.")
+        with worker.span("root"):
+            with worker.span("leaf"):
+                pass
+        parent = Tracer()
+        shard = parent.add_span("shard", start=0.0, end=1.0, shard=0)
+        parent.absorb(worker.export(), parent=shard)
+        by_name = {r["name"]: r for r in parent.records}
+        assert by_name["root"]["parent"] == shard
+        assert by_name["leaf"]["parent"] == by_name["root"]["id"]
+        assert by_name["root"]["id"].startswith("s0.")
+
+    def test_worker_ids_cannot_collide_with_parent(self):
+        parent = Tracer()
+        ctx0 = {"prefix": "s0."}
+        ctx1 = {"prefix": "s1."}
+        _, rec0 = run_traced_worker(ctx0, lambda t: t, None)
+        _, rec1 = run_traced_worker(ctx1, lambda t: t, None)
+        with parent.span("run"):
+            pass
+        ids = {r["id"] for r in rec0 + rec1 + parent.records}
+        assert len(ids) == len(rec0) + len(rec1) + len(parent.records)
+
+
+class TestWorkerHelpers:
+    def test_context_none_when_tracing_disabled(self):
+        with use_tracer(DISABLED):
+            assert worker_trace_context(0) is None
+
+    def test_context_carries_shard_prefix(self):
+        with use_tracer(Tracer()):
+            assert worker_trace_context(3) == {"prefix": "s3."}
+
+    def test_run_traced_worker_buffers_spans(self):
+        def body(task):
+            with current_tracer().span("sim", samples=task):
+                return task * 2
+
+        result, records = run_traced_worker({"prefix": "s5."}, body, 21)
+        assert result == 42
+        (rec,) = records
+        assert rec["name"] == "sim"
+        assert rec["id"].startswith("s5.")
+
+    def test_run_traced_worker_without_context(self):
+        result, records = run_traced_worker(None, lambda t: t + 1, 1)
+        assert result == 2
+        assert records == []
+
+
+class TestAmbient:
+    def test_default_is_disabled(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        reset_env_default()
+        try:
+            assert current_tracer() is DISABLED
+        finally:
+            reset_env_default()
+
+    def test_use_tracer_scopes_installation(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is not tracer
+
+    def test_env_resolution(self, tmp_path):
+        assert tracer_from_env({}) is DISABLED
+        assert tracer_from_env({TRACE_ENV: "0"}) is DISABLED
+        buffered = tracer_from_env({TRACE_ENV: "1"})
+        assert buffered.enabled and buffered.sink is None
+        sink = tmp_path / "t.jsonl"
+        to_file = tracer_from_env({TRACE_ENV: str(sink)})
+        assert to_file.enabled and to_file.sink == str(sink)
+
+
+class TestFlush:
+    def test_flush_writes_jsonl(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        tracer = Tracer(sink=sink)
+        with tracer.span("a"):
+            tracer.event("e")
+        n = tracer.flush(extra=[{"type": "metrics", "snapshot": {}}])
+        assert n == 3
+        lines = [json.loads(l) for l in sink.read_text().splitlines()]
+        assert {l["type"] for l in lines} == {"span", "event", "metrics"}
+        # flushed records leave the buffer
+        assert tracer.records == []
+
+    def test_flush_without_sink_keeps_buffering(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert tracer.flush() == 0
+        assert len(tracer.records) == 1
+
+    def test_export_clears(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert len(tracer.export()) == 1
+        assert tracer.export() == []

@@ -123,6 +123,51 @@ class TestRunnerMap:
         assert stats.retries >= 1
         assert all(s.where == "inline" for s in stats.shards)
 
+    def test_degrade_reason_names_the_failure(self):
+        # the abandonment reason must survive into the stats (and from
+        # there into result metadata / the [runner] line), not just a
+        # retry counter
+        from repro.sim.reporting import format_run_stats
+
+        runner = ParallelRunner(jobs=2, backoff=0.01)
+        tasks = [{"parent": os.getpid(), "value": v} for v in range(4)]
+        runner.map(_crash_in_child, tasks, samples=[1] * 4)
+        stats = runner.finalize_stats("crashy")
+        assert stats.degraded
+        assert stats.degrade_reason is not None
+        assert "BrokenProcessPool" in stats.degrade_reason
+        assert len(stats.failure_reasons) == stats.pool_failures
+        assert all("BrokenProcessPool" in r for r in stats.failure_reasons)
+        line = format_run_stats(stats)
+        assert "degraded=inline" in line
+        assert 'degrade_reason="' in line
+        assert "BrokenProcessPool" in line
+
+    def test_no_degrade_reason_on_clean_run(self):
+        runner = ParallelRunner(jobs=2)
+        runner.map(_double, [1, 2, 3])
+        stats = runner.finalize_stats("clean")
+        assert stats.degrade_reason is None
+        assert stats.failure_reasons == []
+
+    def test_degrade_events_and_metrics_recorded(self):
+        from repro.obs import Tracer, metrics, use_tracer
+
+        before = metrics().snapshot()["counters"].get("pool.degraded", 0)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            runner = ParallelRunner(jobs=2, backoff=0.01)
+            tasks = [{"parent": os.getpid(), "value": v} for v in range(4)]
+            runner.map(_crash_in_child, tasks, samples=[1] * 4)
+        events = [r for r in tracer.records if r["type"] == "event"]
+        names = [e["name"] for e in events]
+        assert "pool.failure" in names
+        assert "pool.degraded" in names
+        degraded = [e for e in events if e["name"] == "pool.degraded"][0]
+        assert "BrokenProcessPool" in degraded["attrs"]["reason"]
+        after = metrics().snapshot()["counters"]["pool.degraded"]
+        assert after == before + 1
+
     def test_worker_exception_propagates(self):
         runner = ParallelRunner(jobs=2)
         with pytest.raises(ValueError, match="bad task"):

@@ -70,3 +70,97 @@ class TestCommands:
         text = target.read_text()
         assert "module om4" in text
         assert "localparam" in text
+
+
+class TestObservability:
+    """The --trace flag plus the probe / stats / trace subcommands."""
+
+    def _traced_run(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STATE_DIR", str(tmp_path / "state"))
+        sink = tmp_path / "run.jsonl"
+        rc = main(
+            ["montecarlo", "--ndigits", "4", "--samples", "300",
+             "--no-cache", "--trace", str(sink)]
+        )
+        assert rc == 0
+        return sink
+
+    def test_montecarlo_is_an_alias_for_model(self, capsys):
+        assert main(
+            ["montecarlo", "--ndigits", "4", "--samples", "200"]
+        ) == 0
+        assert "model vs Monte-Carlo" in capsys.readouterr().out
+
+    def test_trace_flag_writes_span_tree(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        sink = self._traced_run(tmp_path, monkeypatch)
+        capsys.readouterr()
+        records = [
+            json.loads(line) for line in sink.read_text().splitlines()
+        ]
+        names = [r["name"] for r in records if r["type"] == "span"]
+        assert "run.montecarlo" in names
+        assert "shard" in names
+        assert "mc.simulate" in names
+        assert any(r["type"] == "metrics" for r in records)
+
+    def test_trace_subcommand_renders_last_run(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._traced_run(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["trace", "--last"]) == 0
+        out = capsys.readouterr().out
+        assert "run.montecarlo" in out
+        assert "mc.simulate" in out
+
+    def test_trace_subcommand_with_explicit_path(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        sink = self._traced_run(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["trace", str(sink)]) == 0
+        assert "run.montecarlo" in capsys.readouterr().out
+
+    def test_stats_subcommand_renders_metrics(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._traced_run(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "gauges:" in out
+        assert "samples_per_sec.montecarlo" in out
+
+    def test_trace_without_any_run_fails_cleanly(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_STATE_DIR", str(tmp_path / "empty"))
+        assert main(["trace", "--last"]) == 1
+        assert "no trace recorded" in capsys.readouterr().err
+
+    def test_retrace_overwrites_previous_file(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        self._traced_run(tmp_path, monkeypatch)
+        sink = self._traced_run(tmp_path, monkeypatch)
+        capsys.readouterr()
+        records = [
+            json.loads(line) for line in sink.read_text().splitlines()
+        ]
+        roots = [
+            r for r in records
+            if r["type"] == "span" and r["name"] == "run.montecarlo"
+        ]
+        assert len(roots) == 1  # two invocations must not merge trees
+
+    def test_probe_subcommand(self, capsys):
+        assert main(
+            ["probe", "--ndigits", "4", "--samples", "300", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm-2" in out
+        assert "mean propagation-chain depth" in out
