@@ -338,7 +338,8 @@ def _add_backend_flag(p: argparse.ArgumentParser) -> None:
         default="packed",
         choices=list(BACKENDS),
         help="simulation engine: compiled bit-packed (default), "
-             "interpreting waveform, or auto (packed with fallback)",
+             "interpreting waveform, auto (packed with fallback), or "
+             "vector (digit-level behavioral; netlist runs use packed)",
     )
 
 

@@ -34,6 +34,7 @@ from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.model.chains import stage_chain_distribution
+from repro.numrep.rounding import ceil_scaled
 
 
 class OverclockingErrorModel:
@@ -90,8 +91,14 @@ class OverclockingErrorModel:
 
     def b_of_period(self, ts_normalized: float) -> int:
         """Eq. (4): error-free propagation depth for a clock period given as
-        a fraction of the structural delay ``(N + delta) * mu``."""
-        return math.ceil(ts_normalized * self.structural_delay)
+        a fraction of the structural delay ``(N + delta) * mu``.
+
+        The product is taken exactly (:func:`repro.numrep.ceil_scaled`):
+        a period that is an exact multiple of ``mu`` must land on its own
+        depth, not one above it (``ceil(0.28 * 25)`` is 8 in binary
+        floating point).
+        """
+        return ceil_scaled(ts_normalized, self.structural_delay)
 
     def worst_case_delay(self) -> int:
         """Actual worst-case delay in stage units — chain annihilation.

@@ -202,7 +202,9 @@ class OnlineMultiplier:
             ``"packed"`` (default) runs the recurrence on bit-packed
             uint64 words (64 samples per word, :class:`PackedOps`);
             ``"wave"`` uses the original uint8-lane :class:`NumpyOps`
-            evaluation.  Both produce bit-identical results.
+            evaluation; ``"vector"`` dispatches to the digit-level
+            behavioral engine (:func:`repro.vec.om_wave_vector`).  All
+            three produce bit-identical results at every tick.
 
         Returns
         -------
@@ -212,7 +214,7 @@ class OnlineMultiplier:
         """
         from repro.netlist.compiled import resolve_backend
 
-        packed = resolve_backend(backend) != "wave"
+        resolved = resolve_backend(backend)
         n, delta = self.ndigits, self.delta
         xdigits = np.asarray(xdigits)
         ydigits = np.asarray(ydigits)
@@ -220,6 +222,16 @@ class OnlineMultiplier:
             raise ValueError(f"digit arrays must have shape ({n}, S)")
         num_samples = xdigits.shape[1]
         ticks = max_ticks if max_ticks is not None else self.num_stages
+
+        if resolved == "vector":
+            from repro.obs.metrics import metrics
+            from repro.vec import om_wave_vector
+
+            metrics().count("vec.samples", int(num_samples))
+            return om_wave_vector(
+                n, delta, xdigits, ydigits, max_ticks=ticks
+            )
+        packed = resolved != "wave"
 
         if packed:
             from repro.core.ops import PackedOps

@@ -15,9 +15,10 @@ reproducible and execution-layout independent.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
 from typing import Dict
+
+from repro.numrep.rounding import ceil_scaled
 
 #: fault-model families :func:`config_for_model` can instantiate; each
 #: maps a scalar intensity ``rate`` to one FaultConfig
@@ -157,7 +158,9 @@ def config_for_model(
     if rated_step < 1:
         raise ValueError(f"rated_step must be >= 1 quantum, got {rated_step}")
     if model == "jitter":
-        return FaultConfig(clock_jitter=math.ceil(rate * rated_step), seed=seed)
+        return FaultConfig(
+            clock_jitter=ceil_scaled(rate, rated_step), seed=seed
+        )
     if model == "drift":
         return FaultConfig(
             drift_rate=rate,
@@ -168,6 +171,6 @@ def config_for_model(
         return FaultConfig(seu_rate=rate, seed=seed)
     if model == "metastable":
         return FaultConfig(
-            meta_window=math.ceil(rate * rated_step), meta_rate=1.0, seed=seed
+            meta_window=ceil_scaled(rate, rated_step), meta_rate=1.0, seed=seed
         )
     return FaultConfig(stuck_rate=rate, seed=seed)

@@ -49,6 +49,7 @@ from repro.imaging.synthetic import benchmark_image
 from repro.netlist.compiled import make_simulator
 from repro.netlist.delay import DelayModel, FpgaDelay, delay_signature
 from repro.netlist.gates import Circuit
+from repro.numrep.rounding import floor_ratio
 from repro.netlist.sim import SimulationResult
 from repro.netlist.sta import static_timing
 from repro.numrep.signed_digit import SDNumber, sd_canonical
@@ -151,10 +152,14 @@ class FilterRun:
         return values.reshape(self.shape)
 
     def step_for_factor(self, factor: float) -> int:
-        """Clock period for frequency ``factor * f0`` (factor >= 1 overclocks)."""
+        """Clock period for frequency ``factor * f0`` (factor >= 1 overclocks).
+
+        ``floor(error_free_step / factor)`` with the quotient taken
+        exactly (:func:`repro.numrep.floor_ratio`).
+        """
         if factor <= 0:
             raise ValueError("frequency factor must be positive")
-        return int(self.error_free_step / factor)
+        return floor_ratio(int(self.error_free_step), factor)
 
     def at_factor(self, factor: float) -> np.ndarray:
         """Filter output when clocked at ``factor`` times ``f0``."""
@@ -193,7 +198,9 @@ class ConvolutionDatapath:
     backend:
         Simulation engine: ``"packed"`` (default) compiles the datapath
         to the bit-packed engine; ``"wave"`` uses the interpreting
-        waveform simulator.  Outputs are bit-identical.
+        waveform simulator; ``"vector"`` falls back to the packed engine
+        (the behavioral engine has no gate-level netlist semantics).
+        Outputs are bit-identical in every case.
     config:
         Optional :class:`~repro.runners.RunConfig`; when given, its
         ``ndigits`` and ``backend`` override the corresponding keyword

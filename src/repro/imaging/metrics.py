@@ -15,20 +15,34 @@ import numpy as np
 
 
 def mre_percent(correct: np.ndarray, actual: np.ndarray) -> float:
-    """Mean relative error in percent (Eq. (12))."""
+    """Mean relative error in percent (Eq. (12)).
+
+    Degenerate-but-legal inputs (an all-zero correct output, e.g. an
+    edge filter over a flat frame) do not raise: the relative error has
+    no reference magnitude, so the result is ``0.0`` when the outputs
+    agree exactly and ``nan`` ("no meaningful MRE") otherwise.
+    Aggregations should skip non-finite entries rather than crash —
+    ``math.isfinite``/`np.isfinite` filter them.
+    """
     correct = np.asarray(correct, dtype=np.float64)
     actual = np.asarray(actual, dtype=np.float64)
     if correct.shape != actual.shape:
         raise ValueError("shape mismatch between correct and actual outputs")
     e_out = float(np.abs(correct).mean())
-    if e_out == 0:
-        raise ValueError("mean correct output is zero; MRE undefined")
     e_err = float(np.abs(actual - correct).mean())
+    if e_out == 0:
+        return 0.0 if e_err == 0 else math.nan
     return 100.0 * e_err / e_out
 
 
 def snr_db(correct: np.ndarray, actual: np.ndarray) -> float:
-    """Signal-to-noise ratio in dB; ``inf`` when the outputs are identical."""
+    """Signal-to-noise ratio in dB; ``inf`` when the outputs are identical.
+
+    An all-zero correct output carries no signal power; rather than
+    raise, the result is ``inf`` for an exact match (no noise either)
+    and ``-inf`` when any error is present (noise with zero signal).
+    Aggregations should skip non-finite entries rather than crash.
+    """
     correct = np.asarray(correct, dtype=np.float64)
     actual = np.asarray(actual, dtype=np.float64)
     if correct.shape != actual.shape:
@@ -38,7 +52,7 @@ def snr_db(correct: np.ndarray, actual: np.ndarray) -> float:
         return math.inf
     signal_power = float((correct**2).sum())
     if signal_power == 0:
-        raise ValueError("signal power is zero; SNR undefined")
+        return -math.inf
     return 10.0 * math.log10(signal_power / noise_power)
 
 

@@ -136,12 +136,24 @@ def uniform_noise_image(size: int = 128, seed: int = 505) -> np.ndarray:
     return rng.integers(0, 256, size=(size, size), dtype=np.uint8).astype(np.uint8)
 
 
+def flat_image(size: int = 128, level: int = 0) -> np.ndarray:
+    """Constant frame (all-black by default).
+
+    Degenerate but legal: edge filters produce an all-zero correct
+    output on it, which exercises the documented ``nan``/``inf``
+    semantics of :func:`repro.imaging.metrics.mre_percent` and
+    :func:`~repro.imaging.metrics.snr_db` instead of aborting a sweep.
+    """
+    return np.full((size, size), level, dtype=np.uint8)
+
+
 BENCHMARK_IMAGES: Dict[str, Callable[..., np.ndarray]] = {
     "lena": lena_like,
     "pepper": pepper_like,
     "sailboat": sailboat_like,
     "tiffany": tiffany_like,
     "uniform": uniform_noise_image,
+    "flat": flat_image,
 }
 
 

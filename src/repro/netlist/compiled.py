@@ -58,8 +58,11 @@ from repro.netlist.sim import (
 )
 
 #: engine names accepted by :func:`make_simulator` and every ``backend=``
-#: parameter downstream
-BACKENDS = ("packed", "wave", "auto")
+#: parameter downstream.  ``"vector"`` is the digit-level behavioral
+#: engine (:mod:`repro.vec`): gate-level netlist simulations fall back to
+#: the packed engine under it (see :func:`make_simulator`), while the
+#: online-operator wave recurrences dispatch to the vectorized kernels.
+BACKENDS = ("packed", "wave", "auto", "vector")
 
 # integer opcodes (the compiled program's instruction set)
 _OP_AND = 0
@@ -519,9 +522,20 @@ def make_simulator(
     ``"wave"`` returns the interpreting :class:`WaveformSimulator`;
     ``"packed"`` (the default) and ``"auto"`` return a cached
     :class:`CompiledCircuit`, falling back to the waveform simulator
-    automatically should compilation fail.
+    automatically should compilation fail.  ``"vector"`` — the
+    digit-level behavioral engine in :mod:`repro.vec` — has no gate-level
+    netlist semantics, so netlist simulations run on the packed engine
+    instead (bit-identical results; a ``backend.vector_fallback`` trace
+    event records the substitution).
     """
     resolve_backend(backend)
+    if backend == "vector":
+        from repro.obs.trace import current_tracer
+
+        current_tracer().event(
+            "backend.vector_fallback", circuit=circuit.name, to="packed"
+        )
+        metrics().count("vec.netlist_fallbacks")
     if backend == "wave":
         return WaveformSimulator(circuit, delay_model)
     try:

@@ -23,6 +23,7 @@ from repro.numrep.fixed_point import (
     twos_complement_encode,
     twos_complement_decode,
 )
+from repro.numrep.rounding import ceil_scaled
 from repro.numrep.signed_digit import (
     SDNumber,
     sd_value,
@@ -43,6 +44,7 @@ __all__ = [
     "bits_to_int",
     "twos_complement_encode",
     "twos_complement_decode",
+    "ceil_scaled",
     "SDNumber",
     "sd_value",
     "sd_to_fraction",

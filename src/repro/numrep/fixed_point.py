@@ -72,11 +72,39 @@ class FixedPointFormat:
             and self.min_value <= value <= self.max_value
         )
 
-    def quantize(self, value: float) -> Fraction:
-        """Round *value* to the nearest representable number (ties to even),
-        saturating at the format limits."""
+    def quantize(self, value: float, mode: str = "half-away") -> Fraction:
+        """Round *value* to the nearest representable number, saturating
+        at the format limits.
+
+        ``mode`` selects the tie-breaking rule applied when *value* lies
+        exactly halfway between two representable numbers:
+
+        ``"half-away"`` (default)
+            Round half away from zero — ``0.5 * lsb -> lsb`` and
+            ``-0.5 * lsb -> -lsb`` — the rule hardware quantizers
+            (and the vector engine's reference conversions) implement
+            with the classic "add half an LSB and truncate" circuit.
+        ``"half-even"``
+            Round half to even (banker's rounding, Python's ``round``).
+            The historical behavior of this method; kept for
+            reproducing results computed before the tie rule was made
+            explicit.
+
+        Non-tie values round identically under both modes.
+        """
         scaled = Fraction(value).limit_denominator(10**12) * 2**self.frac_bits
-        nearest = round(scaled)
+        if mode == "half-away":
+            # floor(|x| + 1/2) with the sign restored: exact on Fractions
+            half = Fraction(1, 2)
+            magnitude = (abs(scaled) + half).__floor__()
+            nearest = magnitude if scaled >= 0 else -magnitude
+        elif mode == "half-even":
+            nearest = round(scaled)
+        else:
+            raise ValueError(
+                f"unknown rounding mode {mode!r}; "
+                "expected 'half-away' or 'half-even'"
+            )
         result = Fraction(nearest, 2**self.frac_bits)
         if result < self.min_value:
             return self.min_value

@@ -1,0 +1,65 @@
+"""Exact ceiling of scaled ratios — the ``b = ceil(T_S / mu)`` primitive.
+
+Every timing computation in the reproduction ultimately needs the number
+of stage traversals a clock period allows: ``b = ceil(T_S / mu)``, with
+the period usually given as a float *fraction* of some integer delay
+(``ts_normalized * (N + delta)``, ``rate * rated_step``).  Computing
+that product in binary floating point and calling :func:`math.ceil` is
+off by one whenever the mathematically exact product is an integer but
+the float product lands epsilon above it — e.g. ``0.28 * 25``:
+
+>>> import math
+>>> math.ceil(0.28 * 25)        # 7.000000000000001 in binary
+8
+>>> ceil_scaled(0.28, 25)
+7
+
+:func:`ceil_scaled` recovers the intended rational (every float that
+reads as a short decimal is the nearest double to that decimal, so
+``Fraction(value).limit_denominator(10**9)`` reconstructs it exactly)
+and takes the ceiling in integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+__all__ = ["ceil_scaled", "floor_ratio"]
+
+#: largest denominator considered when reading a float as a decimal /
+#: small rational — far above any sensible period or rate resolution,
+#: far below the 2**52 scale where float artifacts live
+_MAX_DENOMINATOR = 10**9
+
+
+def ceil_scaled(value: float, units: int) -> int:
+    """``ceil(value * units)`` with the product taken exactly.
+
+    ``value`` is reinterpreted as the small rational it was meant to be
+    (``Fraction(value).limit_denominator(10**9)``); exact
+    :class:`~fractions.Fraction` and integer inputs pass through
+    unchanged.  ``units`` must be an integer scale factor.
+    """
+    exact = (
+        Fraction(value).limit_denominator(_MAX_DENOMINATOR)
+        if isinstance(value, float)
+        else Fraction(value)
+    )
+    return math.ceil(exact * units)
+
+
+def floor_ratio(value: int, divisor: float) -> int:
+    """``floor(value / divisor)`` with the quotient taken exactly.
+
+    The floor-direction counterpart of :func:`ceil_scaled`, for the
+    overclocked-period grid ``step = floor(error_free_step / factor)``:
+    binary float division lands epsilon *below* an exact quotient just
+    as often as above it (``int(33 / 1.1)`` is 29, not 30).
+    """
+    exact = (
+        Fraction(divisor).limit_denominator(_MAX_DENOMINATOR)
+        if isinstance(divisor, float)
+        else Fraction(divisor)
+    )
+    return math.floor(Fraction(value) / exact)

@@ -72,8 +72,11 @@ class RunConfig:
     ndigits / delta:
         Operand geometry (word length ``N`` and online delay).
     backend:
-        Simulation engine: ``"packed"`` (default), ``"wave"`` or
-        ``"auto"`` — all bit-identical.
+        Simulation engine: ``"packed"`` (default), ``"wave"``, ``"auto"``
+        or ``"vector"`` — all bit-identical.  ``"vector"`` runs online-
+        operator waves on the digit-level behavioral engine
+        (:mod:`repro.vec`); gate-level netlist experiments fall back to
+        the packed engine under it.
     seed:
         Master seed; per-shard streams are spawned from it via
         :class:`numpy.random.SeedSequence`.

@@ -240,7 +240,10 @@ def run_montecarlo(
     and the per-shard exact partials merge in shard order — so the result
     depends on ``(seed, shard_size, num_samples)`` but never on ``jobs``.
     With ``config.cache_dir`` set, repeated runs are served from the
-    persistent cache.
+    persistent cache.  ``config.backend`` selects the wave engine per
+    shard — ``"vector"`` runs the digit-level behavioral engine
+    (:mod:`repro.vec`), bit-identical to ``"packed"``/``"wave"`` and far
+    faster on large batches.
     """
     if depths is None:
         depths = default_depths(config.ndigits, config.delta)

@@ -38,6 +38,7 @@ from repro.arith.array_multiplier import build_array_multiplier
 from repro.netlist.compiled import circuit_fingerprint, make_simulator
 from repro.netlist.delay import DelayModel, FpgaDelay, UnitDelay, delay_signature
 from repro.netlist.sta import static_timing
+from repro.numrep.rounding import floor_ratio
 from repro.obs.trace import current_tracer
 from repro.runners.cache import cache_for, cache_key
 from repro.runners.config import RunConfig
@@ -115,11 +116,13 @@ class SweepResult:
         """Mean |error| when clocked at ``factor * f0``.
 
         ``factor > 1`` overclocks beyond the measured error-free frequency;
-        the sampled period is ``floor(error_free_step / factor)``.
+        the sampled period is ``floor(error_free_step / factor)``, with
+        the quotient taken exactly (:func:`repro.numrep.floor_ratio` —
+        float division would drop a step on exact multiples).
         """
         if factor <= 0:
             raise ValueError("frequency factor must be positive")
-        return self.at_step(int(self.error_free_step / factor))
+        return self.at_step(floor_ratio(int(self.error_free_step), factor))
 
     def speedup_at_budget(self, budget: float) -> Optional[float]:
         """Largest relative frequency gain whose error stays within *budget*.
@@ -179,8 +182,9 @@ class _Harness:
     ``backend`` selects the simulation engine: ``"packed"`` (default)
     compiles the netlist to the bit-packed engine of
     :mod:`repro.netlist.compiled`; ``"wave"`` uses the interpreting
-    :class:`repro.netlist.sim.WaveformSimulator`.  Results are
-    bit-identical either way.
+    :class:`repro.netlist.sim.WaveformSimulator`; ``"vector"`` has no
+    gate-level semantics, so :func:`make_simulator` substitutes the
+    packed engine.  Results are bit-identical in every case.
     """
 
     def __init__(

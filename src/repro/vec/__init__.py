@@ -1,0 +1,12 @@
+"""Batched digit-level behavioral engine (``backend="vector"``).
+
+Evaluates the Algorithm-1 online-operator recurrences directly on
+signed-digit value arrays instead of boolean gate waves — bit-identical
+to the gate-level engines at every tick (see :mod:`repro.vec.engine` for
+the equivalence argument), orders of magnitude faster on large Monte
+Carlo batches.
+"""
+
+from repro.vec.engine import om_wave_vector, vector_online_add
+
+__all__ = ["om_wave_vector", "vector_online_add"]

@@ -82,3 +82,66 @@ class TestVectorized:
         assert n == 1
         assert ports["xp0"].tolist() == [1, 0, 0]
         assert ports["xn0"].tolist() == [0, 0, 1]
+
+
+class TestRoundTripProperties:
+    """Property-based round trips across the conversion layer.
+
+    The scalar (``on_the_fly_convert``), object (``SDNumber``), and
+    batched NumPy (``digits_to_scaled_int`` / ``scaled_int_to_digits``)
+    conversion paths must agree with each other and survive round trips
+    for every digit string — negative values and range boundaries
+    included.
+    """
+
+    @given(digit_list)
+    @settings(max_examples=150, deadline=None)
+    def test_on_the_fly_matches_batched(self, digits):
+        arr = np.asarray(digits, dtype=np.int8)[:, None]
+        assert on_the_fly_convert(digits) == int(digits_to_scaled_int(arr)[0])
+
+    @given(digit_list)
+    @settings(max_examples=150, deadline=None)
+    def test_twos_complement_round_trip_value(self, digits):
+        from repro.numrep.signed_digit import sd_from_twos_complement
+
+        number = SDNumber(tuple(digits))
+        width = len(digits) + 1
+        raw = sd_to_twos_complement(number, width)
+        assert 0 <= raw < 2**width
+        back = sd_from_twos_complement(raw, width, frac_bits=width - 1)
+        assert back.value() == number.value()
+
+    @given(st.integers(1, 12), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_scaled_int_round_trip_with_negatives(self, ndigits, data):
+        limit = (1 << ndigits) - 1
+        values = data.draw(
+            st.lists(st.integers(-limit, limit), min_size=1, max_size=32)
+        )
+        arr = np.asarray(values, dtype=np.int64)
+        digits = scaled_int_to_digits(arr, ndigits)
+        assert digits.dtype == np.int8
+        np.testing.assert_array_equal(digits_to_scaled_int(digits), arr)
+
+    def test_scaled_int_boundaries(self):
+        for ndigits in (1, 4, 8, 12):
+            limit = (1 << ndigits) - 1
+            arr = np.asarray([-limit, -1, 0, 1, limit], dtype=np.int64)
+            np.testing.assert_array_equal(
+                digits_to_scaled_int(scaled_int_to_digits(arr, ndigits)), arr
+            )
+
+    @given(st.integers(2, 14), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_bits_to_scaled_int_matches_decoder(self, width, data):
+        from repro.numrep.fixed_point import (
+            int_to_bits,
+            twos_complement_decode,
+        )
+
+        raw = data.draw(st.integers(0, 2**width - 1))
+        bits = np.asarray(int_to_bits(raw, width), dtype=np.uint8)[:, None]
+        assert int(bits_to_scaled_int(bits)[0]) == twos_complement_decode(
+            raw, width
+        )

@@ -93,3 +93,24 @@ class TestConfigForModel:
     def test_bad_rate_rejected(self):
         with pytest.raises(ValueError):
             config_for_model("seu", 1.5, rated_step=10)
+
+
+class TestExactCeilScaling:
+    """Regression: ``ceil(rate * rated_step)`` taken exactly.
+
+    ``0.28 * 25`` is ``7.000000000000001`` in binary float, so the
+    jitter and metastability windows historically came out one quantum
+    too wide whenever the product was an exact integer.
+    """
+
+    def test_jitter_window_exact_multiple(self):
+        assert config_for_model("jitter", 0.28, rated_step=25).clock_jitter == 7
+
+    def test_meta_window_exact_multiple(self):
+        assert config_for_model("metastable", 0.28, rated_step=25).meta_window == 7
+
+    def test_windows_round_trip_every_rate(self):
+        for step in (10, 25, 29, 40):
+            for k in range(1, step + 1):
+                cfg = config_for_model("jitter", k / step, rated_step=step)
+                assert cfg.clock_jitter == k

@@ -123,3 +123,50 @@ class TestDatapaths:
             "traditional", delay_model=UnitDelay(), coefficients_as_inputs=True
         )
         assert folded.circuit.num_gates < generic.circuit.num_gates
+
+
+class TestDegenerateFrameStudy:
+    """The study must skip, not crash, on degenerate-but-legal frames.
+
+    An edge filter over the all-black ``"flat"`` benchmark frame has an
+    all-zero correct output.  ``mre_percent``/``snr_db`` historically
+    raised ``ValueError`` there, aborting the entire sweep; they now
+    report the documented ``0.0``/``nan`` and ``inf``/``-inf`` values
+    and the study aggregates them untouched.
+    """
+
+    def test_flat_frame_edge_filter_completes(self, tmp_path):
+        import math
+
+        from repro.imaging.filters import run_filter_study
+        from repro.runners import RunConfig
+
+        config = RunConfig(ndigits=8, cache_dir=str(tmp_path))
+        study = run_filter_study(
+            config,
+            images=["flat"],
+            arithmetics=["traditional"],
+            factors=[1.05, 1.25],
+            size=10,
+            kernel="sobel-x",
+            delay_model=UnitDelay(),
+        )
+        for factor in (1.05, 1.25):
+            # the correct output is all-zero while the overclocked
+            # capture is not (folded negative coefficients hold nonzero
+            # internal nodes mid-settle), so the documented degenerate
+            # values appear: no reference magnitude, noise without signal
+            assert math.isnan(study.mre("traditional", "flat", factor))
+            assert study.snr("traditional", "flat", factor) == -math.inf
+        # non-finite / degenerate values survive the cache round-trip
+        again = run_filter_study(
+            config,
+            images=["flat"],
+            arithmetics=["traditional"],
+            factors=[1.05, 1.25],
+            size=10,
+            kernel="sobel-x",
+            delay_model=UnitDelay(),
+        )
+        assert again.run_stats.cache == "hit"
+        np.testing.assert_array_equal(again.snr_db, study.snr_db)

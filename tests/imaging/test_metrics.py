@@ -19,9 +19,13 @@ class TestMre:
         # E_err = 0.1, E_out = 1.0 -> 10 %
         assert mre_percent(correct, actual) == pytest.approx(10.0)
 
-    def test_zero_signal_rejected(self):
-        with pytest.raises(ValueError):
-            mre_percent(np.zeros(4), np.ones(4))
+    def test_all_zero_correct_with_error_is_nan(self):
+        # Historically raised ValueError, aborting a whole sweep on a
+        # degenerate-but-legal frame; now nan ("no reference magnitude").
+        assert math.isnan(mre_percent(np.zeros(4), np.ones(4)))
+
+    def test_all_zero_exact_match_is_zero(self):
+        assert mre_percent(np.zeros(4), np.zeros(4)) == 0.0
 
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):
@@ -39,9 +43,12 @@ class TestSnr:
         # signal power 200, noise power 2 -> 20 dB
         assert snr_db(correct, actual) == pytest.approx(20.0)
 
-    def test_zero_signal_rejected(self):
-        with pytest.raises(ValueError):
-            snr_db(np.zeros(3), np.ones(3))
+    def test_zero_signal_with_noise_is_negative_infinity(self):
+        # Historically raised ValueError; now -inf (noise, no signal).
+        assert snr_db(np.zeros(3), np.ones(3)) == -math.inf
+
+    def test_zero_signal_exact_match_is_infinity(self):
+        assert snr_db(np.zeros(3), np.zeros(3)) == math.inf
 
     def test_snr_orders_designs(self):
         """Small LSD errors beat rare full-scale errors at equal MRE."""

@@ -64,6 +64,16 @@ class TestExpectedError:
         assert model.b_of_period(1.0) == model.num_stages
         assert model.b_of_period(0.5) == (model.num_stages + 1) // 2
 
+    def test_b_of_period_exact_multiples(self):
+        # Regression: periods that are exact multiples of mu must land on
+        # their own depth.  ceil(0.28 * 25) == 8 in binary float, so a
+        # 22-digit multiplier (25 stages) clocked at 7/25 of the
+        # structural delay historically reported depth 8.
+        model = OverclockingErrorModel(22)  # num_stages == 25
+        assert model.b_of_period(0.28) == 7
+        for b in range(1, model.num_stages + 1):
+            assert model.b_of_period(b / model.num_stages) == b
+
 
 class TestPerDelayCurves:
     def test_rows_sorted_and_consistent(self):

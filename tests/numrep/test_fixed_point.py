@@ -52,6 +52,54 @@ class TestFixedPointFormat:
         assert fmt.quantize(-5.0) == fmt.min_value
 
 
+class TestQuantizeTieBreaking:
+    """Regression tests for the tie-breaking rule of ``quantize``.
+
+    ``quantize`` historically used Python ``round`` — banker's rounding,
+    ties to even — so ``1.5 * lsb`` and ``2.5 * lsb`` both collapsed to
+    ``2 * lsb``: a bias no hardware "add half an LSB and truncate"
+    quantizer exhibits.  The default is now round-half-away-from-zero,
+    with the old rule available as ``mode="half-even"``.
+
+    Call-site audit (the reason the default could change safely): the
+    production tree has no ``FixedPointFormat.quantize`` callers — the
+    DSP coefficient quantizers (``dsp/fir.py``, ``dsp/iir.py``,
+    ``dsp/dct.py``) use their own ``round()``-based scaling whose pinned
+    golden values are unaffected by this method.
+    """
+
+    def test_half_away_is_the_default(self):
+        fmt = FixedPointFormat(1, 4)  # lsb = 1/16
+        # exact tie points: k + 1/2 in lsb units
+        assert fmt.quantize(1.5 / 16) == Fraction(2, 16)
+        assert fmt.quantize(2.5 / 16) == Fraction(3, 16)  # round() gave 2/16
+        assert fmt.quantize(0.5 / 16) == Fraction(1, 16)  # round() gave 0
+        assert fmt.quantize(-0.5 / 16) == Fraction(-1, 16)
+        assert fmt.quantize(-2.5 / 16) == Fraction(-3, 16)
+
+    def test_half_even_reproduces_historical_behavior(self):
+        fmt = FixedPointFormat(1, 4)
+        assert fmt.quantize(2.5 / 16, mode="half-even") == Fraction(2, 16)
+        assert fmt.quantize(1.5 / 16, mode="half-even") == Fraction(2, 16)
+        assert fmt.quantize(0.5 / 16, mode="half-even") == Fraction(0)
+        assert fmt.quantize(-2.5 / 16, mode="half-even") == Fraction(-2, 16)
+
+    def test_non_ties_agree_across_modes(self):
+        fmt = FixedPointFormat(1, 6)
+        for value in (0.2, -0.37, 0.71, -0.99, 0.015625, 0.4999):
+            assert fmt.quantize(value) == fmt.quantize(value, mode="half-even")
+
+    def test_tie_at_saturation_boundary(self):
+        fmt = FixedPointFormat(1, 4)
+        # max_value + lsb/2 rounds away to 1, which saturates to max
+        assert fmt.quantize(float(fmt.max_value + fmt.lsb / 2)) == fmt.max_value
+        assert fmt.quantize(float(fmt.min_value - fmt.lsb / 2)) == fmt.min_value
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, 4).quantize(0.2, mode="stochastic")
+
+
 class TestCodec:
     def test_roundtrip_all_q1_4(self):
         fmt = FixedPointFormat(1, 4)

@@ -1,0 +1,63 @@
+"""Boundary tests for the exact timing-ratio helpers.
+
+The ``b = ceil(T_S / mu)`` computations were historically performed in
+binary floating point, which is off by one whenever the exact product or
+quotient is an integer but the float lands epsilon off it.  These tests
+pin the concrete sites that misrounded (and the helpers that fixed
+them); the end-to-end counterparts live in ``tests/model`` /
+``tests/faults`` / ``tests/sim``.
+"""
+
+import math
+from fractions import Fraction
+
+from repro.numrep.rounding import ceil_scaled, floor_ratio
+
+
+class TestCeilScaled:
+    def test_exact_multiple_regression(self):
+        # the original faulty computation: 0.28 * 25 = 7.000000000000001
+        assert math.ceil(0.28 * 25) == 8  # the bug, preserved for context
+        assert ceil_scaled(0.28, 25) == 7
+
+    def test_round_trip_every_depth(self):
+        # ceil((k/n) * n) must recover k for every depth of every grid
+        for n in range(1, 64):
+            for k in range(1, n + 1):
+                assert ceil_scaled(k / n, n) == k
+
+    def test_non_multiples_still_ceil(self):
+        assert ceil_scaled(0.55, 10) == 6
+        assert ceil_scaled(0.501, 10) == 6
+        assert ceil_scaled(0.05, 10) == 1
+
+    def test_exact_types_pass_through(self):
+        assert ceil_scaled(Fraction(7, 25), 25) == 7
+        assert ceil_scaled(1, 25) == 25
+        assert ceil_scaled(0, 25) == 0
+
+
+class TestFloorRatio:
+    def test_exact_quotient_regression(self):
+        # the original faulty computation: 33 / 1.1 = 29.999999999999996
+        assert int(33 / 1.1) == 29  # the bug, preserved for context
+        assert floor_ratio(33, 1.1) == 30
+        assert floor_ratio(55, 1.1) == 50
+
+    def test_matches_exact_rational_floor(self):
+        for cents in range(1, 40):
+            factor = 1 + cents / 100.0
+            rational = Fraction(100 + cents, 100)
+            for step in range(1, 120):
+                assert floor_ratio(step, factor) == math.floor(
+                    Fraction(step) / rational
+                )
+
+    def test_plain_floor_cases(self):
+        assert floor_ratio(30, 1.25) == 24
+        assert floor_ratio(31, 1.25) == 24
+        assert floor_ratio(29, 1.0) == 29
+
+    def test_exact_types_pass_through(self):
+        assert floor_ratio(33, Fraction(11, 10)) == 30
+        assert floor_ratio(33, 3) == 11

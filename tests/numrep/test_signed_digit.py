@@ -143,3 +143,55 @@ class TestRandom:
     def test_digits_in_set(self):
         x = sd_random(100, random.Random(2))
         assert set(x.digits) <= {-1, 0, 1}
+
+
+class TestTwosComplementRoundTrip:
+    """Property-based SD <-> two's-complement round trips.
+
+    Every raw word must survive ``sd_from_twos_complement`` followed by
+    ``sd_to_twos_complement`` bit-for-bit — including the most negative
+    word, whose magnitude has no positive counterpart — and every
+    (redundant, possibly non-canonical) signed-digit string must survive
+    the opposite direction value-for-value.
+    """
+
+    @given(st.integers(2, 14), st.data())
+    def test_raw_survives_both_directions(self, width, data):
+        from repro.core.conversion import sd_to_twos_complement
+
+        raw = data.draw(st.integers(0, 2**width - 1))
+        sd = sd_from_twos_complement(raw, width, frac_bits=width - 1)
+        assert sd_to_twos_complement(sd, width) == raw
+
+    @given(st.integers(2, 14))
+    def test_boundary_words(self, width):
+        from repro.core.conversion import sd_to_twos_complement
+
+        frac = width - 1
+        for raw in (0, 1, 2**frac - 1, 2**frac, 2**width - 1):
+            sd = sd_from_twos_complement(raw, width, frac_bits=frac)
+            assert sd_to_twos_complement(sd, width) == raw
+        most_negative = sd_from_twos_complement(2**frac, width, frac_bits=frac)
+        assert most_negative.value() == -1
+
+    @given(digits_strategy)
+    def test_redundant_digits_survive_value_for_value(self, digits):
+        from repro.core.conversion import sd_to_twos_complement
+
+        number = SDNumber(tuple(digits))  # fraction, exp_msd == -1
+        width = len(digits) + 1
+        raw = sd_to_twos_complement(number, width)
+        back = sd_from_twos_complement(raw, width, frac_bits=width - 1)
+        assert back.value() == number.value()
+
+    @given(digits_strategy)
+    def test_canonicalisation_is_invisible_in_the_encoding(self, digits):
+        from repro.core.conversion import sd_to_twos_complement
+
+        number = SDNumber(tuple(digits))
+        width = len(digits) + 2  # canonical form may carry one position up
+        canon = sd_canonical(number)
+        assert canon.value() == number.value()
+        assert sd_to_twos_complement(canon, width) == sd_to_twos_complement(
+            number, width
+        )

@@ -1,0 +1,122 @@
+"""Bit-exactness of the digit-level behavioral engine (`repro.vec`).
+
+The engine claims *bit-identical* agreement with the gate-level wave
+recurrence at every tick — overclocked capture boundaries included.
+These tests pin that claim against both bit-level engines across
+geometries, tick budgets, chunk boundaries, and the adder kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import bs_add
+from repro.core.online_multiplier import OnlineMultiplier
+from repro.core.ops import NumpyOps
+from repro.sim.montecarlo import uniform_digit_batch
+from repro.vec import om_wave_vector, vector_online_add
+from repro.vec import engine as vec_engine
+
+
+def _batch(ndigits, num_samples, seed=2014):
+    rng = np.random.default_rng(seed)
+    return (
+        uniform_digit_batch(ndigits, num_samples, rng),
+        uniform_digit_batch(ndigits, num_samples, rng),
+    )
+
+
+class TestMultiplierWave:
+    @pytest.mark.parametrize("ndigits", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("delta", [3, 4])
+    def test_matches_wave_engine_every_tick(self, ndigits, delta):
+        om = OnlineMultiplier(ndigits, delta=delta)
+        xd, yd = _batch(ndigits, 257, seed=ndigits * 10 + delta)
+        ref = om.wave(xd, yd, backend="wave")
+        res = om_wave_vector(ndigits, delta, xd, yd)
+        np.testing.assert_array_equal(res, ref)
+
+    @pytest.mark.parametrize("ndigits", [2, 8])
+    def test_matches_packed_engine_every_tick(self, ndigits):
+        om = OnlineMultiplier(ndigits)
+        xd, yd = _batch(ndigits, 300, seed=7)
+        ref = om.wave(xd, yd, backend="packed")
+        res = om_wave_vector(ndigits, om.delta, xd, yd)
+        np.testing.assert_array_equal(res, ref)
+
+    @pytest.mark.parametrize("max_ticks", [1, 2, 4, 20])
+    def test_max_ticks_truncation(self, max_ticks):
+        om = OnlineMultiplier(6)
+        xd, yd = _batch(6, 64, seed=3)
+        ref = om.wave(xd, yd, max_ticks=max_ticks, backend="wave")
+        res = om_wave_vector(6, om.delta, xd, yd, max_ticks=max_ticks)
+        assert res.shape == (max_ticks + 1, 6, 64)
+        np.testing.assert_array_equal(res, ref)
+
+    def test_tick_zero_is_reset_state(self):
+        xd, yd = _batch(4, 16)
+        res = om_wave_vector(4, 3, xd, yd)
+        assert not res[0].any()
+
+    def test_chunk_boundaries_are_invisible(self, monkeypatch):
+        # Sample blocking is a pure cache optimization: shrinking the
+        # chunk so one batch spans several partial blocks must not
+        # change a single digit.
+        xd, yd = _batch(5, 23, seed=11)
+        whole = om_wave_vector(5, 3, xd, yd)
+        monkeypatch.setattr(vec_engine, "_CHUNK", 7)
+        chunked = om_wave_vector(5, 3, xd, yd)
+        np.testing.assert_array_equal(chunked, whole)
+
+    def test_dispatch_through_om_wave(self):
+        om = OnlineMultiplier(8)
+        xd, yd = _batch(8, 200, seed=5)
+        via_backend = om.wave(xd, yd, backend="vector")
+        direct = om_wave_vector(8, om.delta, xd, yd)
+        np.testing.assert_array_equal(via_backend, direct)
+        assert via_backend.dtype == np.int8
+
+    def test_rejects_bad_geometry(self):
+        xd, yd = _batch(4, 8)
+        with pytest.raises(ValueError):
+            om_wave_vector(0, 3, xd[:0], yd[:0])
+        with pytest.raises(ValueError):
+            om_wave_vector(4, 2, xd, yd)
+        with pytest.raises(ValueError):
+            om_wave_vector(5, 3, xd, yd)  # shape mismatch with ndigits
+        with pytest.raises(ValueError):
+            om_wave_vector(4, 3, xd, yd[:, :4])
+
+
+class TestOnlineAdder:
+    @pytest.mark.parametrize("ndigits", [1, 2, 4, 8])
+    def test_matches_bs_add(self, ndigits):
+        xd, yd = _batch(ndigits, 129, seed=ndigits)
+        res = vector_online_add(xd, yd)
+        assert res.shape == (ndigits + 1, xd.shape[1])
+
+        ops = NumpyOps()
+
+        def planes(digits):
+            return {
+                k + 1: (
+                    (digits[k] == 1).astype(np.uint8),
+                    (digits[k] == -1).astype(np.uint8),
+                )
+                for k in range(ndigits)
+            }
+
+        ref = bs_add(ops, planes(xd), planes(yd))
+        for pos in range(ndigits + 1):
+            p, nn = ref.get(pos, (0, 0))
+            # NumpyOps folds structurally-constant bits to plain ints
+            value = np.asarray(p, np.int8) - np.asarray(nn, np.int8)
+            np.testing.assert_array_equal(
+                res[pos], np.broadcast_to(value, res[pos].shape)
+            )
+
+    def test_rejects_shape_mismatch(self):
+        xd, yd = _batch(4, 8)
+        with pytest.raises(ValueError):
+            vector_online_add(xd, yd[:3])
+        with pytest.raises(ValueError):
+            vector_online_add(xd[:, 0], yd[:, 0])
