@@ -10,6 +10,10 @@ Installed as ``repro-overclock`` (see ``pyproject.toml``), or run as
 ``multiplier``
     Gate-level overclocking sweep of the online multiplier against the
     conventional baseline (raw-operator version of the case study).
+``sweep``
+    Stage-delay latency-accuracy sweep of the online multiplier over a
+    normalized-period grid; ``--backend vector`` evaluates the whole
+    grid in one fused pass (:mod:`repro.vec.fused`).
 ``filter``
     The Gaussian image-filter case study on one benchmark image
     (Fig. 6 / 7, Tables 1-2 style output).
@@ -144,6 +148,41 @@ def _cmd_multiplier(args: argparse.Namespace) -> int:
     ))
     for run in runs.values():
         print(format_run_stats(run.run_stats))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.sweep import run_sweep
+
+    config = _config_from_args(args)
+    res = run_sweep(
+        config,
+        design="online",
+        num_samples=args.samples,
+        timing="stage",
+        periods=args.periods,
+    )
+    rows = []
+    for i, b in enumerate(res.steps):
+        b = int(b)
+        rows.append(
+            [b, f"{b / res.settle_step:.3f}",
+             f"{res.mean_abs_error[i]:.4e}",
+             f"{res.violation_probability[i]:.4f}"]
+        )
+    print(format_table(
+        ["b", "Ts norm.", "mean |err|", "P(viol)"],
+        rows,
+        title=(
+            f"{config.ndigits}-digit online multiplier: stage-delay "
+            f"latency-accuracy sweep"
+        ),
+    ))
+    print(
+        f"rated period {res.rated_step} ticks, measured error-free period "
+        f"{res.error_free_step} ticks"
+    )
+    print(format_run_stats(res.run_stats))
     return 0
 
 
@@ -403,6 +442,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(p)
     _add_run_flags(p)
     p.set_defaults(func=_cmd_multiplier)
+
+    p = sub.add_parser(
+        "sweep",
+        help="stage-delay latency-accuracy sweep (fused under "
+             "--backend vector)",
+    )
+    p.add_argument("--ndigits", type=int, default=8)
+    p.add_argument("--samples", type=int, default=20000)
+    p.add_argument("--seed", type=int, default=2014)
+    p.add_argument(
+        "--periods",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="P",
+        help="normalized clock periods (fractions of the structural "
+             "delay); default sweeps every chain-cut depth 0 .. N+delta",
+    )
+    _add_backend_flag(p)
+    _add_run_flags(p)
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("filter", help="Gaussian-filter case study")
     p.add_argument("--image", default="lena",

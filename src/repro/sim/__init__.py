@@ -32,9 +32,12 @@ from repro.sim.montecarlo import (
 from repro.sim.sweep import (
     OnlineMultiplierHarness,
     TraditionalMultiplierHarness,
+    SweepHarness,
     SweepResult,
     SWEEP_DESIGNS,
     run_sweep,
+    stage_steps_for_periods,
+    stage_sweep_partial,
     sweep_operator,
     max_error_free_step,
 )
@@ -58,9 +61,12 @@ __all__ = [
     "MonteCarloResult",
     "OnlineMultiplierHarness",
     "TraditionalMultiplierHarness",
+    "SweepHarness",
     "SweepResult",
     "SWEEP_DESIGNS",
     "run_sweep",
+    "stage_steps_for_periods",
+    "stage_sweep_partial",
     "sweep_operator",
     "max_error_free_step",
     "DigitErrorProfile",

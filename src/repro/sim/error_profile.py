@@ -240,6 +240,153 @@ def _profile_shard_worker(payload: Dict[str, Any]) -> np.ndarray:
         return _digit_error_counts(result, spec["digit_groups"], steps)
 
 
+# ------------------------------------------------------ stage-timing profile
+
+def _stage_profile_shard_worker(payload: Dict[str, Any]) -> np.ndarray:
+    """One stage-timing profile shard: per-(depth, digit) mismatch counts.
+
+    ``backend="vector"`` captures every requested depth plus the settled
+    reference in one fused :func:`repro.vec.fused.om_sweep_vector` pass;
+    other backends run one truncated wave per depth (the per-period
+    oracle).  Both feed the same counting helper, so the grids are
+    bit-identical.
+    """
+    from repro.netlist.compiled import resolve_backend
+    from repro.sim.montecarlo import uniform_digit_batch
+    from repro.vec.fused import stage_digit_mismatch_counts
+
+    ndigits = payload["ndigits"]
+    delta = payload["delta"]
+    steps = [int(t) for t in payload["steps"]]
+    m = payload["samples"]
+    s_tot = ndigits + delta
+    rng = np.random.default_rng(payload["seed_seq"])
+    xd = uniform_digit_batch(ndigits, m, rng)
+    yd = uniform_digit_batch(ndigits, m, rng)
+    if resolve_backend(payload["backend"]) == "vector":
+        from repro.obs.metrics import metrics
+        from repro.vec.fused import om_sweep_vector
+
+        with current_tracer().span(
+            "vec.fused_sweep",
+            ndigits=ndigits,
+            periods=len(steps),
+            depths=len(steps),
+            samples=m,
+        ):
+            metrics().count("vec.fused_periods", len(steps))
+            snaps = om_sweep_vector(
+                ndigits, delta, xd, yd, steps + [s_tot]
+            )
+    else:
+        from repro.core.online_multiplier import OnlineMultiplier
+
+        om = OnlineMultiplier(ndigits, delta)
+        with current_tracer().span(
+            "profile.simulate_stage",
+            backend=payload["backend"],
+            depths=len(steps),
+            samples=m,
+        ):
+            snaps = np.stack(
+                [
+                    om.wave(
+                        xd,
+                        yd,
+                        max_ticks=min(b, s_tot),
+                        backend=payload["backend"],
+                    )[-1]
+                    for b in steps
+                ]
+                + [om.wave(xd, yd, backend=payload["backend"])[-1]]
+            )
+    return stage_digit_mismatch_counts(snaps[:-1], snaps[-1])
+
+
+def _run_stage_error_profile(
+    config: RunConfig,
+    design: str,
+    num_samples: int,
+    steps: Optional[Sequence[int]],
+    runner: Optional[ParallelRunner],
+) -> DigitErrorProfile:
+    """The ``timing="stage"`` body of :func:`run_error_profile`."""
+    if design != "online":
+        raise ValueError(
+            "stage-timing profiles are defined for the online design only"
+        )
+    s_tot = config.ndigits + config.delta
+    if steps is None:
+        steps = range(s_tot + 1)
+    steps_arr = np.asarray(
+        sorted({min(int(t), s_tot) for t in steps}), dtype=np.int64
+    )
+    if steps_arr.size == 0:
+        raise ValueError("the profile grid must contain at least one period")
+    if steps_arr[0] < 0:
+        raise ValueError("capture depths must be >= 0")
+
+    cache = cache_for(config)
+    runner = runner or ParallelRunner.from_config(config)
+    experiment = f"error_profile_stage:{design}"
+    with current_tracer().span(
+        "run.error_profile",
+        design=design,
+        timing="stage",
+        ndigits=config.ndigits,
+        backend=config.backend,
+        num_samples=int(num_samples),
+    ):
+        key = None
+        key_components = None
+        if cache is not None:
+            key_components = dict(
+                experiment="error_profile_stage",
+                design=design,
+                num_samples=int(num_samples),
+                steps=[int(t) for t in steps_arr],
+                **config.describe(),
+            )
+            key = cache_key(**key_components)
+            hit = cache.get(key)
+            if hit is not None:
+                hit.run_stats = runner.finalize_stats(
+                    experiment, cache="hit", backend=config.backend
+                )
+                return attach_metrics(hit)
+
+        sizes = split_samples(num_samples, config.shard_size)
+        seeds = spawn_seeds(
+            config.seed, len(sizes), seed_tag("error_profile"), seed_tag(design)
+        )
+        payloads = [
+            {
+                "ndigits": config.ndigits,
+                "delta": config.delta,
+                "backend": config.backend,
+                "steps": [int(t) for t in steps_arr],
+                "seed_seq": ss,
+                "samples": m,
+            }
+            for ss, m in zip(seeds, sizes)
+        ]
+        parts = runner.map(_stage_profile_shard_worker, payloads, samples=sizes)
+        counts = merge_int_sums(parts)
+        spec = _design_groups(design, config.ndigits)
+        result = DigitErrorProfile(
+            steps_arr, list(spec["labels"]), counts / float(num_samples)
+        )
+        if cache is not None:
+            cache.put(key, result, key_components)
+        result.run_stats = runner.finalize_stats(
+            experiment,
+            cache="miss" if cache is not None else "off",
+            backend=config.backend,
+        )
+        attach_metrics(result)
+    return result
+
+
 # ----------------------------------------------------------- unified entry
 
 def run_error_profile(
@@ -249,6 +396,7 @@ def run_error_profile(
     steps: Optional[Sequence[int]] = None,
     delay_model: Optional[DelayModel] = None,
     runner: Optional[ParallelRunner] = None,
+    timing: str = "gate",
 ) -> DigitErrorProfile:
     """Sharded per-digit error-rate grid of one multiplier design.
 
@@ -257,9 +405,26 @@ def run_error_profile(
     exactly like :func:`run_sweep`'s.  *steps* defaults to every clock
     period up to the design's settle step.  Per-shard mismatch counts
     are integers, so the merged grid is independent of ``config.jobs``.
+
+    ``timing="stage"`` profiles under the analytical stage-delay model
+    instead (online design only, *steps* are chain-cut depths); with
+    ``backend="vector"`` the whole grid is captured in one fused pass.
     """
     from repro.sim.sweep import _sweep_circuit
 
+    if timing == "stage":
+        if delay_model is not None:
+            raise ValueError(
+                "stage timing uses the unit stage-delay model; delay_model "
+                "applies to timing='gate' profiles"
+            )
+        return _run_stage_error_profile(
+            config, design, num_samples, steps, runner
+        )
+    if timing != "gate":
+        raise ValueError(
+            f"unknown timing {timing!r}; expected 'gate' or 'stage'"
+        )
     model = delay_model if delay_model is not None else FpgaDelay()
     circuit = _sweep_circuit(design, config.ndigits)
     if steps is None:

@@ -18,6 +18,21 @@ deterministic seed-splitting (``jobs=1`` and ``jobs=N`` merge
 bit-identically) and serves repeated sweeps from the persistent result
 cache, keyed by the netlist's structural fingerprint and exact delay
 assignment.
+
+``run_sweep(..., timing="stage")`` is the *stage-delay* counterpart (the
+paper's analytical timing model, Fig. 4 top row): every stage costs one
+delay unit ``mu``, a clock period cuts every chain at depth
+``b = ceil(T_S / mu)``, and the sweep grid is a set of such depths
+(optionally derived from normalized periods via
+:func:`stage_steps_for_periods`).  Under ``backend="vector"`` the whole
+grid is evaluated in **one fused pass** over the operand batch
+(:func:`repro.vec.fused.om_sweep_vector` — span ``vec.fused_sweep``,
+metric ``vec.fused_periods``); every other backend runs the per-period
+reference oracle (:func:`stage_sweep_partial`, one truncated wave per
+depth).  Both paths feed their capture snapshots through the same
+statistics helper, so the resulting :class:`SweepResult` is
+bit-identical across backends — the fused kernel changes the cost of a
+sweep, never a digit of it (``tests/vec/test_fused_conformance.py``).
 """
 
 from __future__ import annotations
@@ -38,7 +53,7 @@ from repro.arith.array_multiplier import build_array_multiplier
 from repro.netlist.compiled import circuit_fingerprint, make_simulator
 from repro.netlist.delay import DelayModel, FpgaDelay, UnitDelay, delay_signature
 from repro.netlist.sta import static_timing
-from repro.numrep.rounding import floor_ratio
+from repro.numrep.rounding import ceil_scaled, floor_ratio
 from repro.obs.trace import current_tracer
 from repro.runners.cache import cache_for, cache_key
 from repro.runners.config import RunConfig
@@ -101,6 +116,8 @@ class SweepResult:
         optimistically small error.
         """
         steps = self.steps
+        if len(steps) == 0:
+            raise ValueError("empty sweep: no steps to query")
         s = float(np.clip(step, steps[0], steps[-1]))
         idx = int(np.searchsorted(steps, s, side="left"))
         if idx == 0:
@@ -130,9 +147,13 @@ class SweepResult:
         Scans periods at or below ``error_free_step``; returns
         ``f/f0 - 1`` for the fastest clock whose mean |error| does not
         exceed *budget*, or None when even one quantum of overclock busts
-        the budget resolution.
+        the budget resolution — including an empty sweep, a negative
+        budget, or ``error_free_step == 0`` (no positive period to
+        normalize against).
         """
         best: Optional[float] = None
+        if budget < 0 or self.error_free_step <= 0:
+            return None
         for step, err in zip(self.steps, self.mean_abs_error):
             if step > self.error_free_step:
                 break
@@ -176,7 +197,7 @@ class SweepResult:
         return restore_metrics(result, data)
 
 
-class _Harness:
+class SweepHarness:
     """Shared machinery: build once, sweep many batches.
 
     ``backend`` selects the simulation engine: ``"packed"`` (default)
@@ -233,8 +254,19 @@ class _Harness:
         )
 
 
-def _sweep_from_partials(parts: List[Dict[str, Any]]) -> SweepResult:
-    """Merge shard partials (in shard order) into one :class:`SweepResult`."""
+def _sweep_from_partials(
+    parts: List[Dict[str, Any]],
+    steps: Optional[np.ndarray] = None,
+) -> SweepResult:
+    """Merge shard partials (in shard order) into one :class:`SweepResult`.
+
+    *steps* is the swept period grid the partials were evaluated on; the
+    default is the dense grid ``0 .. settle_step`` of the gate-level
+    harnesses.  On a sparse grid the measured error-free period is the
+    smallest swept step above the last violating one — or the settle
+    step when even the largest swept step violates (the settled state is
+    error-free by construction).
+    """
     settle = parts[0]["settle_step"]
     rated = parts[0]["rated_step"]
     for p in parts[1:]:
@@ -248,10 +280,20 @@ def _sweep_from_partials(parts: List[Dict[str, Any]]) -> SweepResult:
     viol = merge_int_sums([p["viol"] for p in parts])
     mean_err = sum_err / num_samples
     p_viol = viol / num_samples
+    steps_arr = (
+        np.arange(settle + 1)
+        if steps is None
+        else np.asarray(steps, dtype=np.int64)
+    )
     violating = np.nonzero(mean_err > 0)[0]
-    error_free = int(violating[-1] + 1) if violating.size else 0
+    if violating.size == 0:
+        error_free = int(steps_arr[0])
+    elif violating[-1] + 1 < len(steps_arr):
+        error_free = int(steps_arr[violating[-1] + 1])
+    else:
+        error_free = int(settle)
     return SweepResult(
-        steps=np.arange(settle + 1),
+        steps=steps_arr,
         mean_abs_error=mean_err,
         violation_probability=p_viol,
         rated_step=rated,
@@ -261,7 +303,11 @@ def _sweep_from_partials(parts: List[Dict[str, Any]]) -> SweepResult:
     )
 
 
-class OnlineMultiplierHarness(_Harness):
+#: historical private name, kept for downstream callers of the PR-4 API
+_Harness = SweepHarness
+
+
+class OnlineMultiplierHarness(SweepHarness):
     """Gate-level online multiplier under overclocking."""
 
     def __init__(
@@ -301,7 +347,7 @@ class OnlineMultiplierHarness(_Harness):
         return self.run(self.encode(xdigits, ydigits))
 
 
-class TraditionalMultiplierHarness(_Harness):
+class TraditionalMultiplierHarness(SweepHarness):
     """Gate-level two's-complement array multiplier under overclocking."""
 
     def __init__(
@@ -340,8 +386,22 @@ class TraditionalMultiplierHarness(_Harness):
 
 # --------------------------------------------------------------- shard workers
 
-#: per-process harness memo, keyed by (design, ndigits, backend, delay sig)
-_HARNESS_CACHE: Dict[Any, _Harness] = {}
+#: per-process harness memo, keyed by (design, ndigits, backend, delay sig,
+#: exact per-gate delay assignment)
+_HARNESS_CACHE: Dict[Any, SweepHarness] = {}
+
+#: per-process circuit memo for computing delay assignments in the memo key
+_CIRCUIT_CACHE: Dict[Any, Any] = {}
+
+
+def _worker_circuit(design: str, ndigits: int):
+    """Per-process netlist memo (one build per (design, ndigits))."""
+    key = (design, ndigits)
+    circuit = _CIRCUIT_CACHE.get(key)
+    if circuit is None:
+        circuit = _sweep_circuit(design, ndigits)
+        _CIRCUIT_CACHE[key] = circuit
+    return circuit
 
 
 def worker_harness(
@@ -349,9 +409,26 @@ def worker_harness(
     ndigits: int,
     backend: str,
     delay_model: DelayModel,
-) -> _Harness:
-    """Per-process harness memo (one netlist compile per worker process)."""
-    key = (design, ndigits, backend, delay_signature(delay_model))
+) -> SweepHarness:
+    """Per-process harness memo (one netlist compile per worker process).
+
+    The memo key includes the model's **exact per-gate delay assignment**,
+    not just its :func:`delay_signature`: the signature renders instance
+    attributes with ``repr``, which elides the middle of large numpy
+    arrays, so two models differing only inside an elided region would
+    alias one memo entry and silently reuse the wrong compiled timing.
+    Computing the assignment costs one :meth:`DelayModel.assign` pass per
+    shard (microseconds against a multi-second compile), with the circuit
+    itself memoized per process.
+    """
+    circuit = _worker_circuit(design, ndigits)
+    key = (
+        design,
+        ndigits,
+        backend,
+        delay_signature(delay_model),
+        tuple(int(d) for d in delay_model.assign(circuit)),
+    )
     harness = _HARNESS_CACHE.get(key)
     if harness is None:
         if design == "online":
@@ -371,7 +448,7 @@ def worker_harness(
 def sweep_shard_ports(
     design: str,
     ndigits: int,
-    harness: _Harness,
+    harness: SweepHarness,
     rng: np.random.Generator,
     m: int,
 ) -> Dict[str, np.ndarray]:
@@ -416,6 +493,202 @@ def _sweep_circuit(design: str, ndigits: int):
     )
 
 
+# ------------------------------------------------------- stage-timing sweeps
+
+def stage_steps_for_periods(periods, num_stages: int) -> List[int]:
+    """Map normalized clock periods to chain-cut depths ``b``.
+
+    A period is a fraction of the structural delay ``num_stages * mu``;
+    the register then captures the wave after ``b = ceil(p * num_stages)``
+    ticks (:func:`repro.numrep.ceil_scaled` — the exact-rational ceiling,
+    so ``p = 7/25`` lands on 7, not 8).  Depths clamp to ``num_stages``:
+    beyond the settle depth the wave no longer changes.  Several periods
+    may share one depth — that is precisely the redundancy the fused
+    kernel exploits.
+    """
+    steps: List[int] = []
+    for p in periods:
+        if p <= 0:
+            raise ValueError(f"normalized periods must be positive, got {p}")
+        steps.append(min(ceil_scaled(p, num_stages), num_stages))
+    return steps
+
+
+def stage_sweep_partial(
+    ndigits: int,
+    delta: int,
+    xdigits: np.ndarray,
+    ydigits: np.ndarray,
+    steps,
+    backend: str = "packed",
+) -> Dict[str, Any]:
+    """Per-period reference oracle of the stage-timing sweep.
+
+    The unfused spelling: one truncated
+    :meth:`~repro.core.OnlineMultiplier.wave` evaluation per requested
+    depth (the whole stage pipeline re-runs for every period), plus one
+    settled evaluation for ground truth.  Snapshots go through the same
+    :func:`repro.vec.fused.stage_error_partials` helper as the fused
+    kernel, so the partials — and hence the merged
+    :class:`SweepResult` — are bit-identical to
+    :func:`repro.vec.fused.fused_sweep_partial` on the same operands.
+    """
+    from repro.vec.fused import stage_error_partials
+
+    om = OnlineMultiplier(ndigits, delta)
+    s_tot = om.num_stages
+    snaps = np.stack(
+        [
+            om.wave(
+                xdigits,
+                ydigits,
+                max_ticks=min(int(b), s_tot),
+                backend=backend,
+            )[-1]
+            for b in steps
+        ]
+    )
+    settled = om.wave(xdigits, ydigits, backend=backend)[-1]
+    partial = stage_error_partials(snaps, settled, ndigits)
+    partial["settle_step"] = s_tot
+    partial["rated_step"] = s_tot
+    return partial
+
+
+def _stage_sweep_shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One stage-timing shard: draw operands, evaluate the depth grid.
+
+    ``backend="vector"`` takes the fused fast path — the whole grid in a
+    single stage-by-stage pass; every other backend runs the per-period
+    oracle.  Identical partials either way.
+    """
+    from repro.netlist.compiled import resolve_backend
+
+    ndigits = payload["ndigits"]
+    delta = payload["delta"]
+    steps = payload["steps"]
+    m = payload["samples"]
+    rng = np.random.default_rng(payload["seed_seq"])
+    xd = uniform_digit_batch(ndigits, m, rng)
+    yd = uniform_digit_batch(ndigits, m, rng)
+    if resolve_backend(payload["backend"]) == "vector":
+        from repro.obs.metrics import metrics
+        from repro.vec.fused import fused_sweep_partial
+
+        with current_tracer().span(
+            "vec.fused_sweep",
+            ndigits=ndigits,
+            periods=int(payload["requested_periods"]),
+            depths=len(steps),
+            samples=m,
+        ):
+            metrics().count(
+                "vec.fused_periods", int(payload["requested_periods"])
+            )
+            return fused_sweep_partial(ndigits, delta, xd, yd, steps)
+    with current_tracer().span(
+        "sweep.simulate_stage",
+        backend=payload["backend"],
+        depths=len(steps),
+        samples=m,
+    ):
+        return stage_sweep_partial(
+            ndigits, delta, xd, yd, steps, backend=payload["backend"]
+        )
+
+
+def _run_stage_sweep(
+    config: RunConfig,
+    design: str,
+    num_samples: int,
+    runner: Optional[ParallelRunner],
+    periods,
+    steps,
+) -> SweepResult:
+    """The ``timing="stage"`` body of :func:`run_sweep`."""
+    if design != "online":
+        raise ValueError(
+            "stage-timing sweeps are defined for the online design only "
+            "(the stage-delay model has no meaning for the array multiplier "
+            "netlist)"
+        )
+    if steps is not None and periods is not None:
+        raise ValueError("pass either steps or periods, not both")
+    s_tot = config.ndigits + config.delta
+    if steps is not None:
+        requested = [int(b) for b in steps]
+        if any(b < 0 for b in requested):
+            raise ValueError("capture depths must be >= 0")
+    elif periods is not None:
+        requested = stage_steps_for_periods(periods, s_tot)
+    else:
+        requested = list(range(s_tot + 1))
+    if not requested:
+        raise ValueError("the sweep grid must contain at least one period")
+    grid = sorted({min(b, s_tot) for b in requested})
+
+    cache = cache_for(config)
+    runner = runner or ParallelRunner.from_config(config)
+    experiment = f"sweep_stage:{design}"
+    with current_tracer().span(
+        "run.sweep",
+        design=design,
+        timing="stage",
+        ndigits=config.ndigits,
+        backend=config.backend,
+        num_samples=int(num_samples),
+        periods=len(requested),
+        depths=len(grid),
+    ):
+        key = None
+        key_components = None
+        if cache is not None:
+            key_components = dict(
+                experiment="sweep_stage",
+                design=design,
+                num_samples=int(num_samples),
+                steps=[int(b) for b in grid],
+                **config.describe(),
+            )
+            key = cache_key(**key_components)
+            hit = cache.get(key)
+            if hit is not None:
+                hit.run_stats = runner.finalize_stats(
+                    experiment, cache="hit", backend=config.backend
+                )
+                return attach_metrics(hit)
+
+        sizes = split_samples(num_samples, config.shard_size)
+        seeds = spawn_seeds(
+            config.seed, len(sizes), seed_tag("sweep"), seed_tag(design)
+        )
+        payloads = [
+            {
+                "ndigits": config.ndigits,
+                "delta": config.delta,
+                "backend": config.backend,
+                "steps": [int(b) for b in grid],
+                "requested_periods": len(requested),
+                "seed_seq": ss,
+                "samples": m,
+            }
+            for ss, m in zip(seeds, sizes)
+        ]
+        parts = runner.map(_stage_sweep_shard_worker, payloads, samples=sizes)
+        result = _sweep_from_partials(
+            parts, steps=np.asarray(grid, dtype=np.int64)
+        )
+        if cache is not None:
+            cache.put(key, result, key_components)
+        result.run_stats = runner.finalize_stats(
+            experiment,
+            cache="miss" if cache is not None else "off",
+            backend=config.backend,
+        )
+        attach_metrics(result)
+    return result
+
+
 # ----------------------------------------------------------- unified entry
 
 def run_sweep(
@@ -424,8 +697,11 @@ def run_sweep(
     num_samples: int = 3000,
     delay_model: Optional[DelayModel] = None,
     runner: Optional[ParallelRunner] = None,
+    timing: str = "gate",
+    periods=None,
+    steps=None,
 ) -> SweepResult:
-    """Sharded gate-level overclocking sweep of one multiplier design.
+    """Sharded overclocking sweep of one multiplier design.
 
     Parameters
     ----------
@@ -436,15 +712,46 @@ def run_sweep(
     design:
         ``"online"`` or ``"traditional"``.
     delay_model:
-        Gate delays; defaults to the FPGA-like jittered model.
+        Gate delays; defaults to the FPGA-like jittered model
+        (``timing="gate"`` only).
+    timing:
+        ``"gate"`` (default) simulates the netlist under *delay_model*;
+        ``"stage"`` uses the paper's analytical stage-delay model —
+        online design only, each stage costs one unit ``mu``, and
+        ``backend="vector"`` evaluates the whole period grid in one
+        fused pass (:mod:`repro.vec.fused`).
+    periods, steps:
+        The ``timing="stage"`` sweep grid — either normalized periods
+        (fractions of the structural delay, mapped through
+        :func:`stage_steps_for_periods`) or explicit chain-cut depths.
+        Default: every depth ``0 .. N + delta``.
 
     The operand batch shards exactly like :func:`run_montecarlo` —
     results depend on ``(seed, shard_size, num_samples)`` but never on
-    ``config.jobs``.  The cache key includes the netlist's structural
-    fingerprint and the exact per-gate delay assignment, so any change
-    to the operator generator or the delay model invalidates stale
-    entries automatically.
+    ``config.jobs``.  The gate-level cache key includes the netlist's
+    structural fingerprint and the exact per-gate delay assignment, so
+    any change to the operator generator or the delay model invalidates
+    stale entries automatically; stage-timing sweeps are keyed under a
+    distinct ``sweep_stage`` experiment with their depth grid.
     """
+    if timing == "stage":
+        if delay_model is not None:
+            raise ValueError(
+                "stage timing uses the unit stage-delay model; delay_model "
+                "applies to timing='gate' sweeps"
+            )
+        return _run_stage_sweep(
+            config, design, num_samples, runner, periods, steps
+        )
+    if timing != "gate":
+        raise ValueError(
+            f"unknown timing {timing!r}; expected 'gate' or 'stage'"
+        )
+    if periods is not None or steps is not None:
+        raise ValueError(
+            "periods/steps grids apply to timing='stage' sweeps only; the "
+            "gate-level sweep always covers every period up to settling"
+        )
     model = delay_model if delay_model is not None else FpgaDelay()
     cache = cache_for(config)
     runner = runner or ParallelRunner.from_config(config)
@@ -505,8 +812,8 @@ def run_sweep(
     return result
 
 
-def sweep_operator(harness: _Harness, port_values: Dict[str, np.ndarray]) -> SweepResult:
-    """Free-function spelling of :meth:`_Harness.run` (public API)."""
+def sweep_operator(harness: SweepHarness, port_values: Dict[str, np.ndarray]) -> SweepResult:
+    """Free-function spelling of :meth:`SweepHarness.run` (public API)."""
     return harness.run(port_values)
 
 

@@ -5,8 +5,25 @@ signed-digit value arrays instead of boolean gate waves — bit-identical
 to the gate-level engines at every tick (see :mod:`repro.vec.engine` for
 the equivalence argument), orders of magnitude faster on large Monte
 Carlo batches.
+
+:mod:`repro.vec.fused` adds the one-pass multi-period sweep kernel:
+capture snapshots for a whole grid of clock periods from a single
+stage-by-stage pass, bit-identical to evaluating each period separately.
 """
 
 from repro.vec.engine import om_wave_vector, vector_online_add
+from repro.vec.fused import (
+    fused_sweep_partial,
+    om_sweep_vector,
+    stage_digit_mismatch_counts,
+    stage_error_partials,
+)
 
-__all__ = ["om_wave_vector", "vector_online_add"]
+__all__ = [
+    "om_wave_vector",
+    "vector_online_add",
+    "om_sweep_vector",
+    "fused_sweep_partial",
+    "stage_error_partials",
+    "stage_digit_mismatch_counts",
+]

@@ -331,6 +331,7 @@ def _wave_chunk(
     yv: np.ndarray,
     out: np.ndarray,
     ws: _Workspace,
+    emit_rows: Optional[np.ndarray] = None,
 ) -> None:
     """Run the full tick loop for one block of samples, writing ``out``.
 
@@ -338,6 +339,14 @@ def _wave_chunk(
     from the previous tick, so every read (adder-tail scratch, selection
     estimates) lands in scratch *before* any state row is rewritten, and
     the late-stage pass-through copies rows in descending order.
+
+    ``emit_rows`` maps tick ``t`` to the output row that should capture
+    the tick-``t`` digit state, with ``-1`` meaning "no capture at this
+    tick" — the fused multi-period kernel (:mod:`repro.vec.fused`) emits
+    snapshots only at the requested chain-cut depths while the state
+    still advances through every tick.  ``None`` is the identity map
+    (``out[t]`` captures tick ``t``), which is the full-wave behavior of
+    :func:`om_wave_vector`.
     """
     s_tot = n + delta
     npos = n + delta + 1  # dense position axis 0 .. N + delta
@@ -378,9 +387,11 @@ def _wave_chunk(
         return z, r
 
     for t in range(1, ticks + 1):
+        row = t if emit_rows is None else int(emit_rows[t])
         lo_idx = t - 1  # stages below this are settled
         if lo_idx >= s_tot:
-            out[t] = z_state
+            if row >= 0:
+                out[row] = z_state
             continue
 
         if t == 1:
@@ -408,7 +419,8 @@ def _wave_chunk(
                 if n > delta:
                     z_state[: n - delta] = z[delta - 1 :]
             state[0] = state0
-            out[1] = z_state
+            if row >= 0:
+                out[row] = z_state
             continue
 
         act_lo = max(1, lo_idx)  # stage 0 is the constant stage
@@ -464,4 +476,5 @@ def _wave_chunk(
         state[act_lo:s_tot, 0] = r
         e_lo = max(act_lo, delta)
         z_state[e_lo - delta : n] = z[e_lo - act_lo :]
-        out[t] = z_state
+        if row >= 0:
+            out[row] = z_state

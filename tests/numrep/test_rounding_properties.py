@@ -1,0 +1,81 @@
+"""Property tests: the exact-rounding primitives vs Fraction ground truth.
+
+``ceil_scaled`` / ``floor_ratio`` exist because binary floating point
+lands epsilon on the wrong side of exact products and quotients
+(``math.ceil(0.28 * 25) == 8``).  These properties lock in the contract
+over random numerators/denominators/scales: whenever the float argument
+*reads* as a small rational ``num/den``, the result equals the exact
+integer ceiling/floor computed on :class:`fractions.Fraction`.
+
+The strategy bounds guarantee recovery is well-posed: for ``|num| <= 1e6``
+and ``den <= 1e4``, the double nearest ``num/den`` is strictly closer to
+``num/den`` than to any other rational with denominator up to the
+``limit_denominator(10**9)`` search bound, so the reconstruction in
+:mod:`repro.numrep.rounding` is exact, not merely likely.
+"""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given, strategies as st
+
+from repro.numrep.rounding import ceil_scaled, floor_ratio
+
+numerators = st.integers(-(10**6), 10**6)
+denominators = st.integers(1, 10**4)
+scales = st.integers(0, 10**4)
+
+
+class TestCeilScaled:
+    @given(num=numerators, den=denominators, units=scales)
+    def test_matches_fraction_ground_truth(self, num, den, units):
+        value = num / den  # the float reading of the rational
+        expect = math.ceil(Fraction(num, den) * units)
+        assert ceil_scaled(value, units) == expect
+
+    @given(num=numerators, den=denominators, units=scales)
+    def test_exact_fraction_passthrough(self, num, den, units):
+        frac = Fraction(num, den)
+        assert ceil_scaled(frac, units) == math.ceil(frac * units)
+
+    @given(num=numerators, units=scales)
+    def test_integer_inputs_are_exact_products(self, num, units):
+        assert ceil_scaled(num, units) == num * units
+
+    def test_regression_epsilon_above_integer(self):
+        # 0.28 * 25 == 7.000000000000001 in binary; the exact product is 7
+        assert math.ceil(0.28 * 25) == 8
+        assert ceil_scaled(0.28, 25) == 7
+
+
+class TestFloorRatio:
+    @given(value=numerators, num=st.integers(1, 10**4), den=denominators)
+    def test_matches_fraction_ground_truth(self, value, num, den):
+        divisor = num / den
+        expect = math.floor(Fraction(value) / Fraction(num, den))
+        assert floor_ratio(value, divisor) == expect
+
+    @given(value=numerators, num=st.integers(1, 10**4), den=denominators)
+    def test_exact_fraction_passthrough(self, value, num, den):
+        frac = Fraction(num, den)
+        assert floor_ratio(value, frac) == math.floor(Fraction(value) / frac)
+
+    @given(value=numerators, divisor=st.integers(1, 10**6))
+    def test_integer_divisor_is_floor_division(self, value, divisor):
+        assert floor_ratio(value, divisor) == value // divisor
+
+    def test_regression_epsilon_below_quotient(self):
+        # 33 / 1.1 == 29.999... in binary; the exact quotient is 30
+        assert int(33 / 1.1) == 29
+        assert floor_ratio(33, 1.1) == 30
+
+
+class TestRoundTrip:
+    @given(num=st.integers(1, 10**4), den=denominators)
+    def test_ceil_floor_bracket_the_rational(self, num, den):
+        """floor(q) <= q <= ceil(q) with equality iff q is an integer."""
+        lo = floor_ratio(num, den)
+        hi = ceil_scaled(num / den, 1)
+        q = Fraction(num, den)
+        assert lo <= q <= hi
+        assert (lo == hi) == (q.denominator == 1)

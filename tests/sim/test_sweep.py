@@ -3,13 +3,19 @@
 import numpy as np
 import pytest
 
-from repro.netlist.delay import UnitDelay
+from repro.netlist.delay import (
+    FREE_OPS,
+    DelayModel,
+    UnitDelay,
+    delay_signature,
+)
 from repro.sim.montecarlo import uniform_digit_batch
 from repro.sim.sweep import (
     OnlineMultiplierHarness,
     SweepResult,
     TraditionalMultiplierHarness,
     max_error_free_step,
+    worker_harness,
 )
 
 
@@ -137,6 +143,130 @@ class TestAtStep:
 
     def test_clips_above_grid(self, result):
         assert result.at_step(99.0) == 0.0
+
+
+def _result(steps, errs, viols, *, error_free=None, settle=None):
+    steps = np.asarray(steps, dtype=np.int64)
+    settle = int(steps[-1]) if settle is None and len(steps) else (settle or 0)
+    return SweepResult(
+        steps=steps,
+        mean_abs_error=np.asarray(errs, dtype=np.float64),
+        violation_probability=np.asarray(viols, dtype=np.float64),
+        rated_step=settle,
+        settle_step=settle,
+        error_free_step=settle if error_free is None else error_free,
+        num_samples=100,
+    )
+
+
+class TestSweepResultEdgeCases:
+    """The query-method edge matrix: empty, single-point, exact hits,
+    and out-of-range budgets — including ``speedup_at_budget``'s
+    ``Optional`` contract."""
+
+    @pytest.fixture()
+    def empty(self):
+        return _result([], [], [], error_free=0, settle=0)
+
+    @pytest.fixture()
+    def single(self):
+        return _result([4], [0.25], [0.5], error_free=4, settle=8)
+
+    def test_empty_sweep_at_step_raises(self, empty):
+        with pytest.raises(ValueError, match="empty sweep"):
+            empty.at_step(3.0)
+
+    def test_empty_sweep_at_normalized_frequency_raises(self, empty):
+        with pytest.raises(ValueError):
+            empty.at_normalized_frequency(1.1)
+
+    def test_empty_sweep_speedup_is_none(self, empty):
+        assert empty.speedup_at_budget(1.0) is None
+
+    def test_single_point_answers_every_query(self, single):
+        for query in (-1.0, 0.0, 4.0, 99.0):
+            assert single.at_step(query) == 0.25
+
+    def test_single_point_speedup(self, single):
+        # the only step is the error-free step itself: zero gain
+        assert single.speedup_at_budget(0.3) == pytest.approx(0.0)
+        # budget below the single point's error: nothing qualifies
+        assert single.speedup_at_budget(0.1) is None
+
+    def test_exact_step_hit_is_exact(self):
+        res = _result([2, 5, 9], [0.3, 0.1, 0.0], [0.9, 0.4, 0.0],
+                      error_free=9)
+        for step, err in zip(res.steps, res.mean_abs_error):
+            assert res.at_step(float(step)) == err
+
+    def test_budget_below_range_is_none(self):
+        # a sparse grid that omits the error-free step itself: every
+        # swept step busts the budget, so nothing qualifies
+        res = _result([1, 2, 3], [0.4, 0.3, 0.2],
+                      [1.0, 0.9, 0.5], error_free=4, settle=4)
+        assert res.speedup_at_budget(0.05) is None
+
+    def test_budget_between_grid_errors_picks_qualifying_step(self):
+        res = _result([1, 2, 3, 4], [0.4, 0.3, 0.2, 0.0],
+                      [1.0, 0.9, 0.5, 0.0], error_free=4)
+        # only steps 3 and 4 fit a 0.25 budget; fastest is step 3
+        assert res.speedup_at_budget(0.25) == pytest.approx(4 / 3 - 1)
+
+    def test_negative_budget_is_none(self):
+        res = _result([1, 2], [0.1, 0.0], [0.5, 0.0], error_free=2)
+        assert res.speedup_at_budget(-1.0) is None
+
+    def test_budget_above_range_gives_max_gain(self):
+        res = _result([1, 2, 3, 4], [0.4, 0.3, 0.2, 0.0],
+                      [1.0, 0.9, 0.5, 0.0], error_free=4)
+        # everything qualifies: the fastest clock is step 1 -> 4x (gain 3)
+        assert res.speedup_at_budget(10.0) == pytest.approx(3.0)
+
+    def test_zero_error_free_step_is_none(self):
+        res = _result([0, 1], [0.0, 0.1], [0.0, 0.5], error_free=0)
+        assert res.speedup_at_budget(1.0) is None
+
+
+class _HiddenTableDelay(DelayModel):
+    """A delay model whose identity hides inside a large numpy array.
+
+    ``repr`` of arrays beyond numpy's summarization threshold (1000
+    elements) elides the middle, so two instances differing only there
+    used to collide in ``worker_harness``'s memo via
+    :func:`delay_signature`.
+    """
+
+    def __init__(self, table):
+        self.table = np.asarray(table, dtype=np.int64)
+
+    def assign(self, circuit):
+        return [
+            0 if g.op in FREE_OPS else int(self.table[i % self.table.size])
+            for i, g in enumerate(circuit.gates)
+        ]
+
+
+class TestWorkerHarnessMemo:
+    def test_signature_aliases_but_memo_does_not(self):
+        base = np.ones(1001, dtype=np.int64)
+        slow = base.copy()
+        slow[10:40] = 50  # hidden inside the elided repr region
+        model_a = _HiddenTableDelay(base)
+        model_b = _HiddenTableDelay(slow)
+        # the repr-based signature cannot tell them apart ...
+        assert delay_signature(model_a) == delay_signature(model_b)
+        # ... but the memo must: the compiled timings differ
+        h_a = worker_harness("online", 3, "packed", model_a)
+        h_b = worker_harness("online", 3, "packed", model_b)
+        assert h_a is not h_b
+        assert h_a.rated_step != h_b.rated_step
+
+    def test_equal_models_still_share_one_entry(self):
+        model_a = _HiddenTableDelay(np.ones(1001, dtype=np.int64))
+        model_b = _HiddenTableDelay(np.ones(1001, dtype=np.int64))
+        assert worker_harness("online", 3, "packed", model_a) is (
+            worker_harness("online", 3, "packed", model_b)
+        )
 
 
 class TestComparison:

@@ -11,11 +11,9 @@ vector engine:
 * **Statistical agreement on overclocked periods** across *different*
   seeds: violation rates, ``E|eps|`` (the Monte-Carlo MRE analog), and
   first-erroneous-digit histograms drawn from independent sample streams
-  must agree within sampling noise.  Tolerances are set at roughly 3x
-  the empirically observed spread at 5000 samples (binomial std at
-  ``p ~ 0.5`` is ~0.007): violation-probability differences < 0.03,
-  ``E|eps|`` differences < 0.02, total-variation distance between
-  normalized first-error histograms < 0.06 per depth.
+  must agree within sampling noise.  The tolerances are the suite-wide
+  constants of ``tests/vec/conftest.py`` (``VIOLATION_TOL``,
+  ``MAE_TOL``, ``TV_TOL``), shared with the fused-sweep suite.
 
 Determinism (``jobs=1 == jobs=N``) and result-cache round-trips under
 ``backend="vector"`` ride along, since both are part of the backend
@@ -29,6 +27,11 @@ from repro.core.online_multiplier import OnlineMultiplier
 from repro.obs.probe import run_stage_probe
 from repro.runners import RunConfig
 from repro.sim.montecarlo import run_montecarlo, uniform_digit_batch
+
+from tests.vec.conftest import (
+    assert_histograms_close,
+    assert_sweep_statistics_close,
+)
 
 NDIGITS = 8
 SAMPLES = 5000
@@ -85,10 +88,7 @@ class TestStatisticalAgreement:
     def test_overclocked_statistics_across_seeds(self):
         a = run_montecarlo(_config("vector", seed=2014), SAMPLES)
         b = run_montecarlo(_config("packed", seed=99), SAMPLES)
-        assert np.max(
-            np.abs(a.violation_probability - b.violation_probability)
-        ) < 0.03
-        assert np.max(np.abs(a.mean_abs_error - b.mean_abs_error)) < 0.02
+        assert_sweep_statistics_close(a, b)
 
     def test_first_error_histograms(self):
         same = run_stage_probe(_config("vector"), SAMPLES)
@@ -105,10 +105,9 @@ class TestStatisticalAgreement:
         )
         # independent seed: distributions agree within sampling noise
         other = run_stage_probe(_config("packed", seed=99), SAMPLES)
-        p = same.first_error_counts / SAMPLES
-        q = other.first_error_counts / SAMPLES
-        tv = 0.5 * np.abs(p - q).sum(axis=1)
-        assert np.max(tv) < 0.06
+        assert_histograms_close(
+            same.first_error_counts, other.first_error_counts, SAMPLES
+        )
 
 
 class TestRunnerContract:
