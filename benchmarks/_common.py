@@ -52,10 +52,11 @@ _datapath_cache: Dict[str, GaussianFilterDatapath] = {}
 
 
 def filter_datapath(arithmetic: str) -> GaussianFilterDatapath:
-    """Session-cached Gaussian filter datapath."""
+    """Session-cached Gaussian filter datapath (spec-driven spelling)."""
     if arithmetic not in _datapath_cache:
-        _datapath_cache[arithmetic] = GaussianFilterDatapath(
-            arithmetic, delay_model=FpgaDelay()
+        spec = "online-mult" if arithmetic == "online" else "array-mult"
+        _datapath_cache[arithmetic] = GaussianFilterDatapath.from_spec(
+            spec, delay_model=FpgaDelay()
         )
     return _datapath_cache[arithmetic]
 

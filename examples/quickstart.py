@@ -41,12 +41,16 @@ def overclocking_demo() -> None:
     rng = np.random.default_rng(0)
     samples = 3000
 
-    online = OnlineMultiplierHarness(N, FpgaDelay())
+    online = OnlineMultiplierHarness.from_spec(
+        "online-mult", ndigits=N, delay_model=FpgaDelay()
+    )
     xd = uniform_digit_batch(N, samples, rng)
     yd = uniform_digit_batch(N, samples, rng)
     online_run = online.sweep(xd, yd)
 
-    trad = TraditionalMultiplierHarness(N + 1, FpgaDelay())
+    trad = TraditionalMultiplierHarness.from_spec(
+        "array-mult", ndigits=N, delay_model=FpgaDelay()
+    )
     xs = rng.integers(-(2**N - 1), 2**N, samples)
     ys = rng.integers(-(2**N - 1), 2**N, samples)
     trad_run = trad.sweep(xs, ys)

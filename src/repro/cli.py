@@ -14,6 +14,11 @@ Installed as ``repro-overclock`` (see ``pyproject.toml``), or run as
     Stage-delay latency-accuracy sweep of the online multiplier over a
     normalized-period grid; ``--backend vector`` evaluates the whole
     grid in one fused pass (:mod:`repro.vec.fused`).
+``synth``
+    Latency-accuracy auto-synthesis of a demo datapath: search
+    per-operator implementation (online / traditional), word length and
+    clock period against an accuracy target and print the verified
+    Pareto front (:func:`repro.synth.run_synthesis`).
 ``filter``
     The Gaussian image-filter case study on one benchmark image
     (Fig. 6 / 7, Tables 1-2 style output).
@@ -183,6 +188,67 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{res.error_free_step} ticks"
     )
     print(format_run_stats(res.run_stats))
+    return 0
+
+
+#: demo datapaths the ``synth`` subcommand can search (name -> builder)
+def _demo_datapath(name: str, ndigits: int):
+    from fractions import Fraction
+
+    from repro.core.synthesis import Datapath
+
+    dp = Datapath(ndigits=ndigits)
+    if name == "prodsum":
+        x, y = dp.input("x"), dp.input("y")
+        w, v = dp.input("w"), dp.input("v")
+        p, q = x * y, w * v
+        dp.output("prod", p * q)
+        dp.output("sum", p + q)
+    elif name == "mac":
+        x, y = dp.input("x"), dp.input("y")
+        dp.output("mac", x * y + dp.const(Fraction(1, 4)) * x)
+    elif name == "dot3":
+        taps = [dp.input(f"x{i}") for i in range(3)]
+        coeffs = [Fraction(3, 16), Fraction(1, 2), Fraction(3, 16)]
+        acc = None
+        for tap, coeff in zip(taps, coeffs):
+            term = dp.const(coeff) * tap
+            acc = term if acc is None else acc + term
+        dp.output("dot", acc)
+    else:  # pragma: no cover - argparse restricts the choices
+        raise ValueError(f"unknown demo datapath {name!r}")
+    return dp
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.synth import AccuracyTarget, run_synthesis
+
+    config = _config_from_args(args)
+    datapath = _demo_datapath(args.datapath, config.ndigits)
+    if args.target_snr is not None:
+        target = AccuracyTarget("snr", args.target_snr)
+    else:
+        target = AccuracyTarget("mre", args.target_mre)
+    kwargs = {}
+    if args.wordlengths is not None:
+        kwargs["wordlengths"] = args.wordlengths
+    if args.periods is not None:
+        kwargs["periods"] = args.periods
+    report = run_synthesis(
+        config, datapath, target, num_samples=args.samples, **kwargs
+    )
+    print(report.summary())
+    point = report.chosen_point
+    if point is not None:
+        assign = ", ".join(
+            f"{k}={v}" for k, v in sorted(point["assignment"].items())
+        )
+        print(
+            f"chosen: n={point['ndigits']} b={point['b']} "
+            f"({point['latency_gates']:.1f} gate delays, "
+            f"{point['area_luts']} LUTs) [{assign}]"
+        )
+    print(format_run_stats(report.run_stats))
     return 0
 
 
@@ -463,6 +529,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(p)
     _add_run_flags(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "synth",
+        help="latency-accuracy auto-synthesis of a demo datapath "
+             "(Pareto front + chosen assignment)",
+    )
+    p.add_argument(
+        "--datapath",
+        default="prodsum",
+        choices=["prodsum", "mac", "dot3"],
+        help="demo dataflow graph: product-of-products + sum (4 ops, "
+             "mixed-optimal), multiply-accumulate (3 ops), or a 3-tap "
+             "dot product (5 ops)",
+    )
+    p.add_argument("--ndigits", type=int, default=6)
+    p.add_argument(
+        "--wordlengths",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="word lengths to search (default: just --ndigits)",
+    )
+    p.add_argument("--target-mre", type=float, default=5.0,
+                   help="accuracy bound: mean relative error in percent "
+                        "(the 6-digit quantization floor is ~1.2%%)")
+    p.add_argument("--target-snr", type=float, default=None,
+                   help="accuracy bound: SNR in dB (overrides --target-mre)")
+    p.add_argument(
+        "--periods",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="P",
+        help="clock periods as fractions of the online settle depth "
+             "(default: the repro.synth.DEFAULT_PERIODS grid)",
+    )
+    p.add_argument("--samples", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=2014)
+    _add_backend_flag(p)
+    _add_run_flags(p)
+    p.set_defaults(func=_cmd_synth)
 
     p = sub.add_parser("filter", help="Gaussian-filter case study")
     p.add_argument("--image", default="lena",

@@ -19,6 +19,30 @@ the paper's Tables 1-3.  :func:`explore_latency_accuracy` automates the
 paper's two design questions: best accuracy at a given frequency, and
 fastest frequency within a given error budget.
 
+Spec-driven lowering
+--------------------
+Every operator node lowers through a registered
+:class:`repro.synth.OperatorSpec` — the historical
+``_synthesize_online``/``_synthesize_traditional`` twins collapsed into
+one :meth:`Datapath.synthesize` walk that dispatches on the node's
+resolved spec.  A bare style string (``"online"``/``"traditional"``)
+resolves every node to that style's default spec; the ``assignment=``
+mapping overrides the style **per node label or per output name**, which
+is how an auto-synthesized mixed design
+(:func:`repro.synth.run_synthesis`) is replayed by hand:
+
+>>> dp.synthesize("online", assignment={"mul1": "traditional"})
+
+Values crossing a style boundary pass through an explicit domain bridge:
+a two's-complement word is already a valid signed-digit vector (each bit
+a positive digit, the sign bit a negative one), and a borrow-save vector
+converts back by resolving ``P - N`` through one subtractor.  The one
+structural restriction is that an **online multiplier's operands must be
+produced in the online domain** (its operands must be exact ``ndigits``
+fractions; a bridged conventional product carries integer headroom and
+double-width fractions), which :meth:`Datapath.synthesize` rejects with
+a clear error.
+
 Structural rules
 ----------------
 * every operand (input or constant) is a fraction in ``(-1, 1)`` with
@@ -36,15 +60,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.arith.adder_tree import adder_tree
-from repro.arith.array_multiplier import array_multiplier
 from repro.arith.ripple_carry import twos_complement_negate
-from repro.core.kernels import BSVec, bs_add, bs_negate
-from repro.core.online_multiplier import OnlineMultiplier
+from repro.core.kernels import BSVec, bs_negate
+from repro.core.online_multiplier import ONLINE_DELTA
 from repro.core.ops import NetOps
 from repro.netlist.area import AreaReport, estimate_area
 from repro.netlist.delay import DelayModel, FpgaDelay
@@ -52,6 +74,9 @@ from repro.netlist.gates import Circuit
 from repro.netlist.sim import SimulationResult, WaveformSimulator
 from repro.netlist.sta import static_timing
 from repro.numrep.signed_digit import SDNumber, sd_canonical
+
+#: node kinds that take an operator implementation (and hence a label)
+_OP_KINDS = ("add", "mul")
 
 
 # --------------------------------------------------------------------- nodes
@@ -61,6 +86,7 @@ class _Node:
     name: str = ""
     value: Fraction = Fraction(0)
     args: Tuple["_Node", ...] = ()
+    label: str = ""
 
     def is_fraction_shaped(self) -> bool:
         """True when the node's value provably stays in ``(-1, 1)`` with
@@ -77,6 +103,11 @@ class Expr:
         self._dp = datapath
         self._node = node
 
+    @property
+    def label(self) -> str:
+        """The node's stable label (``mul0``, ``add1``, ... for operators)."""
+        return self._node.label
+
     def _lift(self, other: Union["Expr", float, int, Fraction]) -> "Expr":
         if isinstance(other, Expr):
             if other._dp is not self._dp:
@@ -86,7 +117,9 @@ class Expr:
 
     def __add__(self, other):
         other = self._lift(other)
-        return Expr(self._dp, _Node("add", args=(self._node, other._node)))
+        return Expr(
+            self._dp, self._dp._make_node("add", (self._node, other._node))
+        )
 
     __radd__ = __add__
 
@@ -99,12 +132,14 @@ class Expr:
 
     def __mul__(self, other):
         other = self._lift(other)
-        return Expr(self._dp, _Node("mul", args=(self._node, other._node)))
+        return Expr(
+            self._dp, self._dp._make_node("mul", (self._node, other._node))
+        )
 
     __rmul__ = __mul__
 
     def __neg__(self):
-        return Expr(self._dp, _Node("neg", args=(self._node,)))
+        return Expr(self._dp, self._dp._make_node("neg", (self._node,)))
 
 
 class Datapath:
@@ -116,13 +151,31 @@ class Datapath:
         self.ndigits = ndigits
         self._inputs: List[str] = []
         self._outputs: Dict[str, _Node] = {}
+        self._op_counts: Dict[str, int] = {}
+
+    def _make_node(
+        self,
+        kind: str,
+        args: Tuple[_Node, ...],
+        name: str = "",
+        value: Fraction = Fraction(0),
+        label: Optional[str] = None,
+    ) -> _Node:
+        if label is None:
+            if kind in _OP_KINDS or kind == "neg":
+                index = self._op_counts.get(kind, 0)
+                self._op_counts[kind] = index + 1
+                label = f"{kind}{index}"
+            else:
+                label = name
+        return _Node(kind, name=name, value=value, args=args, label=label)
 
     def input(self, name: str) -> Expr:
         """Declare a named operand input (fraction in ``(-1, 1)``)."""
         if name in self._inputs:
             raise ValueError(f"duplicate input {name!r}")
         self._inputs.append(name)
-        return Expr(self, _Node("input", name=name))
+        return Expr(self, self._make_node("input", (), name=name))
 
     def const(self, value: Union[float, int, Fraction]) -> Expr:
         """Embed a constant; must be representable in ``ndigits`` digits."""
@@ -134,7 +187,7 @@ class Datapath:
             )
         if not -1 < frac < 1:
             raise ValueError(f"constant {value} outside (-1, 1)")
-        return Expr(self, _Node("const", value=frac))
+        return Expr(self, self._make_node("const", (), value=frac))
 
     def output(self, name: str, expr: Expr) -> None:
         """Mark an expression as a datapath output."""
@@ -152,51 +205,310 @@ class Datapath:
     def output_names(self) -> List[str]:
         return list(self._outputs)
 
+    # ------------------------------------------------------------ graph API
+    def _topo_nodes(self) -> List[_Node]:
+        """Every node reachable from an output, operands before users."""
+        order: List[_Node] = []
+        seen: Dict[int, bool] = {}
+
+        def visit(node: _Node) -> None:
+            if id(node) in seen:
+                return
+            seen[id(node)] = True
+            for arg in node.args:
+                visit(arg)
+            order.append(node)
+
+        for node in self._outputs.values():
+            visit(node)
+        return order
+
+    def operator_labels(self) -> List[Tuple[str, str]]:
+        """``(label, kind)`` of every reachable operator node, topo order."""
+        return [
+            (node.label, node.kind)
+            for node in self._topo_nodes()
+            if node.kind in _OP_KINDS
+        ]
+
+    def multiplier_labels(self) -> List[str]:
+        """Labels of the reachable multiplier nodes, topo order."""
+        return [lbl for lbl, kind in self.operator_labels() if kind == "mul"]
+
+    def to_graph(self) -> Dict[str, Any]:
+        """Canonical JSON-able description of the dataflow graph.
+
+        The serialized form round-trips through :meth:`from_graph`
+        (labels included) and doubles as cache-key material for
+        :func:`repro.synth.run_synthesis` — two datapaths with the same
+        graph signature are the same experiment.
+        """
+        nodes = self._topo_nodes()
+        index = {id(node): i for i, node in enumerate(nodes)}
+        return {
+            "ndigits": self.ndigits,
+            "inputs": list(self._inputs),
+            "nodes": [
+                {
+                    "kind": node.kind,
+                    "name": node.name,
+                    "value": str(node.value),
+                    "args": [index[id(a)] for a in node.args],
+                    "label": node.label,
+                }
+                for node in nodes
+            ],
+            "outputs": {
+                name: index[id(node)] for name, node in self._outputs.items()
+            },
+        }
+
+    @classmethod
+    def from_graph(
+        cls, graph: Mapping[str, Any], ndigits: Optional[int] = None
+    ) -> "Datapath":
+        """Rebuild a datapath from :meth:`to_graph` output.
+
+        *ndigits* overrides the serialized word length (the synthesizer's
+        wordlength search); constants are re-validated against it.
+        """
+        dp = cls(int(ndigits if ndigits is not None else graph["ndigits"]))
+        built: List[_Node] = []
+        for entry in graph["nodes"]:
+            kind = entry["kind"]
+            args = tuple(built[i] for i in entry["args"])
+            if kind == "input":
+                node = dp.input(entry["name"])._node
+            elif kind == "const":
+                # route through const() for range/precision validation
+                node_expr = dp.const(Fraction(entry["value"]))
+                node = node_expr._node
+            else:
+                node = dp._make_node(
+                    kind, args, label=entry.get("label") or None
+                )
+            built.append(node)
+        for name, idx in graph["outputs"].items():
+            dp._outputs[name] = built[idx]
+        # inputs declared but unused by any node entry still need ports
+        for name in graph["inputs"]:
+            if name not in dp._inputs:
+                dp._inputs.append(name)
+        return dp
+
+    def with_ndigits(self, ndigits: int) -> "Datapath":
+        """A copy of this graph at a different word length.
+
+        Raises ValueError when an embedded constant is not representable
+        at the new precision — the wordlength search skips such points.
+        """
+        return Datapath.from_graph(self.to_graph(), ndigits=ndigits)
+
     # ------------------------------------------------------------ synthesis
     def synthesize(
         self,
         arithmetic: str,
         delay_model: Optional[DelayModel] = None,
         name: Optional[str] = None,
+        assignment: Optional[Mapping[str, str]] = None,
     ) -> "SynthesizedDatapath":
-        """Emit the gate-level circuit for one arithmetic style."""
+        """Emit the gate-level circuit for one arithmetic assignment.
+
+        *arithmetic* is the global style (``"online"`` or
+        ``"traditional"``); *assignment* optionally overrides it per
+        node.  Keys are operator labels (see :meth:`operator_labels`) or
+        output names (the output's root operator); values are style
+        strings or registered :class:`~repro.synth.OperatorSpec` names.
+        Unknown keys raise ValueError naming the valid ones.
+        """
         if arithmetic not in ("online", "traditional"):
             raise ValueError("arithmetic must be 'online' or 'traditional'")
         if not self._outputs:
             raise ValueError("datapath has no outputs")
-        circuit_name = name or f"datapath_{arithmetic}{self.ndigits}"
-        if arithmetic == "online":
-            circuit, out_layout = self._synthesize_online(circuit_name)
+        specs = self._resolve_assignment(arithmetic, assignment)
+        styles = {spec.style for spec in specs.values()}
+        if not styles:
+            effective = arithmetic
+        elif styles == {"online"}:
+            effective = "online"
+        elif styles == {"traditional"}:
+            effective = "traditional"
         else:
-            circuit, out_layout = self._synthesize_traditional(circuit_name)
+            effective = "mixed"
+        # inputs/consts are style-neutral; they materialise in the online
+        # domain whenever any operator consumes signed digits (an online
+        # multiplier cannot accept a bridged two's-complement word, while
+        # the reverse bridge is always available)
+        input_domain = "online" if (
+            "online" in styles or (not styles and arithmetic == "online")
+        ) else "traditional"
+        circuit_name = name or f"datapath_{effective}{self.ndigits}"
+        circuit, out_layout, out_domains = self._lower(
+            circuit_name, specs, input_domain
+        )
         return SynthesizedDatapath(
             datapath=self,
-            arithmetic=arithmetic,
+            arithmetic=effective,
             circuit=circuit,
             out_layout=out_layout,
             delay_model=delay_model if delay_model is not None else FpgaDelay(),
+            input_domain=input_domain,
+            out_domains=out_domains,
+            assignment={
+                node.label: spec.name
+                for node in self._topo_nodes()
+                if node.kind in _OP_KINDS
+                for spec in (specs[id(node)],)
+            },
         )
 
-    def _synthesize_online(self, name: str):
+    def _resolve_assignment(
+        self, arithmetic: str, assignment: Optional[Mapping[str, str]]
+    ) -> Dict[int, Any]:
+        """Map every reachable operator node id to its OperatorSpec."""
+        from repro.synth.spec import default_spec_name, operator_spec
+
+        op_nodes = [n for n in self._topo_nodes() if n.kind in _OP_KINDS]
+        by_label = {n.label: n for n in op_nodes}
+
+        def spec_for(node: _Node, value: str):
+            if value in ("online", "traditional"):
+                value = default_spec_name(node.kind, value)
+            spec = operator_spec(value)
+            if spec.kind != node.kind:
+                raise ValueError(
+                    f"operator spec {spec.name!r} implements {spec.kind!r} "
+                    f"nodes, but {node.label!r} is a {node.kind!r} node"
+                )
+            return spec
+
+        chosen: Dict[int, Any] = {
+            id(n): spec_for(n, arithmetic) for n in op_nodes
+        }
+        if assignment:
+            for key, value in assignment.items():
+                if key in by_label:
+                    node = by_label[key]
+                elif key in self._outputs:
+                    node = self._outputs[key]
+                    if node.kind not in _OP_KINDS:
+                        raise ValueError(
+                            f"output {key!r} has no operator at its root "
+                            f"(its node kind is {node.kind!r}); assign a "
+                            "node label instead"
+                        )
+                else:
+                    valid = sorted(by_label) + sorted(self._outputs)
+                    raise ValueError(
+                        f"unknown assignment key {key!r}; valid keys are "
+                        f"operator labels and output names: {valid}"
+                    )
+                chosen[id(node)] = spec_for(node, value)
+        return chosen
+
+    # ------------------------------------------------------ unified lowering
+    def _lower(
+        self,
+        name: str,
+        specs: Dict[int, Any],
+        input_domain: str,
+    ):
+        """One spec-driven walk emitting the circuit for any assignment.
+
+        Each node materialises in its spec's domain; values crossing a
+        style boundary pass through an explicit bridge (two's-complement
+        word -> signed-digit vector for free, borrow-save vector ->
+        two's complement via one ``P - N`` subtractor, and traditional
+        word -> online multiplier operand by truncating to ``n``
+        fractional bits — wiring only, at most one ULP of rounding; see
+        ``truncated_operand``).
+        """
+        from repro.arith.adder_tree import adder_tree
+
         n = self.ndigits
         c = Circuit(name)
         ops = NetOps(c)
-        om = OnlineMultiplier(n)
-        input_vecs: Dict[str, BSVec] = {}
-        for in_name in self._inputs:
-            input_vecs[in_name] = {
-                k + 1: (c.input(f"{in_name}_p{k}"), c.input(f"{in_name}_n{k}"))
-                for k in range(n)
-            }
-        cache: Dict[int, BSVec] = {}
+        width0 = n + 1  # Q1.n
 
-        def emit(node: _Node) -> BSVec:
+        online_vals: Dict[int, BSVec] = {}
+        trad_vals: Dict[int, Tuple[List[int], int]] = {}
+
+        input_vecs: Dict[str, BSVec] = {}
+        input_bits: Dict[str, List[int]] = {}
+        if input_domain == "online":
+            for in_name in self._inputs:
+                input_vecs[in_name] = {
+                    k + 1: (c.input(f"{in_name}_p{k}"), c.input(f"{in_name}_n{k}"))
+                    for k in range(n)
+                }
+        else:
+            for in_name in self._inputs:
+                input_bits[in_name] = [
+                    c.input(f"{in_name}_b{i}") for i in range(width0)
+                ]
+
+        def const_bits(value: Fraction, frac_bits: int, width: int) -> List[int]:
+            scaled = int(value * 2**frac_bits)
+            raw = scaled & (2**width - 1)
+            zero, one = c.const0(), c.const1()
+            return [one if (raw >> i) & 1 else zero for i in range(width)]
+
+        def align(a, fa, b, fb):
+            """Pad LSBs so both vectors share a fraction length."""
+            f = max(fa, fb)
+            zero = c.const0()
+            if fa < f:
+                a = [zero] * (f - fa) + list(a)
+            if fb < f:
+                b = [zero] * (f - fb) + list(b)
+            return a, b, f
+
+        # ------------------------------------------------- domain bridges
+        def vec_from_bits(bits: List[int], frac: int) -> BSVec:
+            """Two's complement -> borrow-save: bit i is a positive digit
+            at position ``frac - i``; the sign bit is a negative digit."""
+            zero = c.const0()
+            vec: BSVec = {}
+            for i, net in enumerate(bits):
+                pos = frac - i
+                if i == len(bits) - 1:
+                    vec[pos] = (zero, net)
+                else:
+                    vec[pos] = (net, zero)
+            return vec
+
+        def bits_from_vec(vec: BSVec) -> Tuple[List[int], int]:
+            """Borrow-save -> two's complement: resolve ``P - N``."""
+            if not vec:
+                return [c.const0()], 0
+            frac = max(vec)
+            pmin = min(vec)
+            w0 = frac - pmin + 1
+            zero = c.const0()
+            p_word = [zero] * w0
+            n_word = [zero] * w0
+            for pos, (p, nn) in vec.items():
+                p_word[frac - pos] = p
+                n_word[frac - pos] = nn
+            # two guard bits: P - N is signed and needs sign headroom
+            w = w0 + 2
+            p_ext = p_word + [zero, zero]
+            n_ext = n_word + [zero, zero]
+            diff = adder_tree(c, [p_ext, twos_complement_negate(c, n_ext)], w)
+            return diff, frac
+
+        # ------------------------------------------------ per-domain emits
+        def emit_online(node: _Node) -> BSVec:
             key = id(node)
-            if key in cache:
-                return cache[key]
-            if node.kind == "input":
-                vec = input_vecs[node.name]
-            elif node.kind == "const":
+            if key in online_vals:
+                return online_vals[key]
+            kind = node.kind
+            if kind == "input":
+                if input_domain == "online":
+                    vec = input_vecs[node.name]
+                else:
+                    vec = vec_from_bits(*emit_trad(node))
+            elif kind == "const":
                 plain = _const_digits(node.value, n)
                 sd = sd_canonical(SDNumber.from_iterable(plain, exp_msd=-1))
                 # the minimal-weight recoding may need a digit at position
@@ -216,21 +528,27 @@ class Datapath:
                     )
                     for pos, d in digits_by_pos.items()
                 }
-            elif node.kind == "neg":
-                vec = bs_negate(emit(node.args[0]))
-            elif node.kind == "add":
-                vec = bs_add(ops, emit(node.args[0]), emit(node.args[1]))
-            elif node.kind == "mul":
-                zs = om.run(
-                    ops,
-                    as_operand(node.args[0]),
-                    as_operand(node.args[1]),
-                    strict=False,
-                )
-                vec = {k + 1: bit_pair for k, bit_pair in enumerate(zs)}
+            elif kind == "neg":
+                vec = bs_negate(emit_online(node.args[0]))
+            elif kind in _OP_KINDS:
+                spec = specs[id(node)]
+                if spec.style != "online":
+                    vec = vec_from_bits(*emit_trad(node))
+                elif kind == "add":
+                    vec = spec.lower(
+                        ops, emit_online(node.args[0]), emit_online(node.args[1])
+                    )
+                else:  # online mul
+                    vec = spec.lower(
+                        ops,
+                        n,
+                        ONLINE_DELTA,
+                        as_operand(node.args[0]),
+                        as_operand(node.args[1]),
+                    )
             else:  # pragma: no cover - defensive
-                raise AssertionError(node.kind)
-            cache[key] = vec
+                raise AssertionError(kind)
+            online_vals[key] = vec
             return vec
 
         def as_operand(node: _Node) -> List[Tuple[object, object]]:
@@ -240,90 +558,104 @@ class Datapath:
                     "constants, products or negations thereof); renormalise "
                     "sums before multiplying"
                 )
-            vec = emit(node)
+            if out_domain(node) == "traditional":
+                return truncated_operand(node)
+            vec = emit_online(node)
             zero = ops.const(0)
             return [vec.get(k + 1, (zero, zero)) for k in range(n)]
 
-        out_layout: Dict[str, List[int]] = {}
-        for out_name, node in self._outputs.items():
-            vec = emit(node)
-            if not vec:
-                # constant-zero output: keep one digit so the port exists
-                vec = {1: (ops.const(0), ops.const(0))}
-            positions = sorted(vec)
-            out_layout[out_name] = positions
-            for idx, pos in enumerate(positions):
-                p, nn = vec[pos]
-                c.output(f"{out_name}_p{idx}", p)
-                c.output(f"{out_name}_n{idx}", nn)
-        return c, out_layout
+        def truncated_operand(node: _Node) -> List[Tuple[object, object]]:
+            """Traditional word -> online multiplier operand, wiring only.
 
-    def _synthesize_traditional(self, name: str):
-        n = self.ndigits
-        width0 = n + 1  # Q1.n
-        c = Circuit(name)
-        input_bits: Dict[str, List[int]] = {}
-        for in_name in self._inputs:
-            input_bits[in_name] = [
-                c.input(f"{in_name}_b{i}") for i in range(width0)
-            ]
-        cache: Dict[int, Tuple[List[int], int]] = {}
-
-        def const_bits(value: Fraction, frac_bits: int, width: int) -> List[int]:
-            scaled = int(value * 2**frac_bits)
-            raw = scaled & (2**width - 1)
-            zero, one = c.const0(), c.const1()
-            return [one if (raw >> i) & 1 else zero for i in range(width)]
-
-        def align(a, fa, b, fb):
-            """Pad LSBs so both vectors share a fraction length."""
-            f = max(fa, fb)
+            The word is truncated to ``n`` fractional bits (dropping
+            LSBs) and re-read as signed digits ``d_k = b_{n-k} - s``
+            (``s`` the sign bit): positions ``1..n`` with rails
+            ``(bit, sign)``, representing ``trunc(v) + s * 2**-n`` — at
+            most one ULP from the exact value, with no gates on the
+            path.  Valid because a fraction-shaped value is in
+            ``(-1, 1)`` with magnitude at most ``1 - 2**(1-n)``, so the
+            bits above index ``n`` are sign copies and the shifted word
+            never hits the unrepresentable ``-1``.
+            """
+            bits, frac = emit_trad(node)
             zero = c.const0()
-            if fa < f:
-                a = [zero] * (f - fa) + list(a)
-            if fb < f:
-                b = [zero] * (f - fb) + list(b)
-            return a, b, f
+            if frac < n:  # pragma: no cover - trad fracs are always >= n
+                bits = [zero] * (n - frac) + list(bits)
+                frac = n
+            word = _sign_extend_bits(c, bits, frac + 1)[frac - n : frac + 1]
+            sign = word[n]
+            return [(word[n - 1 - k], sign) for k in range(n)]
 
-        def emit(node: _Node) -> Tuple[List[int], int]:
+        def emit_trad(node: _Node) -> Tuple[List[int], int]:
             """Returns ``(bits LSB-first, frac_bits)`` in two's complement."""
             key = id(node)
-            if key in cache:
-                return cache[key]
-            if node.kind == "input":
-                result = (input_bits[node.name], n)
-            elif node.kind == "const":
+            if key in trad_vals:
+                return trad_vals[key]
+            kind = node.kind
+            if kind == "input":
+                if input_domain == "traditional":
+                    result = (input_bits[node.name], n)
+                else:
+                    result = bits_from_vec(emit_online(node))
+            elif kind == "const":
                 result = (const_bits(node.value, n, width0), n)
-            elif node.kind == "neg":
-                bits, f = emit(node.args[0])
+            elif kind == "neg":
+                bits, f = emit_trad(node.args[0])
                 # guard bit so -min does not overflow
                 sign = bits[-1]
                 result = (twos_complement_negate(c, list(bits) + [sign]), f)
-            elif node.kind == "add":
-                a, fa = emit(node.args[0])
-                b, fb = emit(node.args[1])
-                a, b, f = align(a, fa, b, fb)
-                out_width = max(len(a), len(b)) + 1
-                result = (adder_tree(c, [a, b], out_width), f)
-            elif node.kind == "mul":
-                a, fa = emit(node.args[0])
-                b, fb = emit(node.args[1])
-                w = max(len(a), len(b))
-                a = _sign_extend_bits(c, a, w)
-                b = _sign_extend_bits(c, b, w)
-                result = (array_multiplier(c, a, b), fa + fb)
+            elif kind in _OP_KINDS:
+                spec = specs[id(node)]
+                if spec.style != "traditional":
+                    result = bits_from_vec(emit_online(node))
+                elif kind == "add":
+                    a, fa = emit_trad(node.args[0])
+                    b, fb = emit_trad(node.args[1])
+                    a, b, f = align(a, fa, b, fb)
+                    out_width = max(len(a), len(b)) + 1
+                    result = (spec.lower(c, [a, b], out_width), f)
+                else:  # traditional mul
+                    a, fa = emit_trad(node.args[0])
+                    b, fb = emit_trad(node.args[1])
+                    w = max(len(a), len(b))
+                    a = _sign_extend_bits(c, a, w)
+                    b = _sign_extend_bits(c, b, w)
+                    result = (spec.lower(c, a, b), fa + fb)
             else:  # pragma: no cover - defensive
-                raise AssertionError(node.kind)
-            cache[key] = result
+                raise AssertionError(kind)
+            trad_vals[key] = result
             return result
 
-        out_layout: Dict[str, Tuple[int, int]] = {}
+        def out_domain(node: _Node) -> str:
+            if node.kind in _OP_KINDS:
+                return specs[id(node)].style
+            if node.kind == "neg":
+                return out_domain(node.args[0])
+            return input_domain
+
+        # ------------------------------------------------------- outputs
+        out_layout: Dict[str, Any] = {}
+        out_domains: Dict[str, str] = {}
         for out_name, node in self._outputs.items():
-            bits, f = emit(node)
-            out_layout[out_name] = (len(bits), f)
-            for i, net in enumerate(bits):
-                c.output(f"{out_name}_b{i}", net)
-        return c, out_layout
+            domain = out_domain(node)
+            out_domains[out_name] = domain
+            if domain == "online":
+                vec = emit_online(node)
+                if not vec:
+                    # constant-zero output: keep one digit so the port exists
+                    vec = {1: (ops.const(0), ops.const(0))}
+                positions = sorted(vec)
+                out_layout[out_name] = positions
+                for idx, pos in enumerate(positions):
+                    p, nn = vec[pos]
+                    c.output(f"{out_name}_p{idx}", p)
+                    c.output(f"{out_name}_n{idx}", nn)
+            else:
+                bits, f = emit_trad(node)
+                out_layout[out_name] = (len(bits), f)
+                for i, net in enumerate(bits):
+                    c.output(f"{out_name}_b{i}", net)
+        return c, out_layout, out_domains
 
 
 def _sign_extend_bits(c: Circuit, bits: Sequence[int], width: int) -> List[int]:
@@ -377,7 +709,15 @@ class DatapathRun:
 
 
 class SynthesizedDatapath:
-    """A gate-level realisation of a :class:`Datapath` in one arithmetic."""
+    """A gate-level realisation of a :class:`Datapath` in one assignment.
+
+    ``arithmetic`` is ``"online"``, ``"traditional"``, or ``"mixed"``
+    (per-node assignment spanning both styles).  ``input_domain`` names
+    the encoding of the input ports — signed-digit pairs or
+    two's-complement bits — and ``out_domains`` maps each output to the
+    domain its ports use; for pure styles both collapse to the
+    historical single-style behavior.
+    """
 
     def __init__(
         self,
@@ -386,12 +726,22 @@ class SynthesizedDatapath:
         circuit: Circuit,
         out_layout,
         delay_model: DelayModel,
+        input_domain: Optional[str] = None,
+        out_domains: Optional[Dict[str, str]] = None,
+        assignment: Optional[Dict[str, str]] = None,
     ) -> None:
         self.datapath = datapath
         self.arithmetic = arithmetic
         self.circuit = circuit
         self.out_layout = out_layout
         self.delay_model = delay_model
+        self.input_domain = input_domain or (
+            "online" if arithmetic == "online" else "traditional"
+        )
+        self.out_domains = out_domains or {
+            name: self.input_domain for name in datapath.output_names
+        }
+        self.assignment = dict(assignment or {})
         self.simulator = WaveformSimulator(circuit, delay_model)
         self.rated_step = static_timing(circuit, delay_model).critical_delay
 
@@ -415,7 +765,7 @@ class SynthesizedDatapath:
             scaled = np.round(values * 2**n).astype(np.int64)
             if np.any(np.abs(scaled) >= 2**n):
                 raise ValueError(f"input {name!r} outside (-1, 1)")
-            if self.arithmetic == "online":
+            if self.input_domain == "online":
                 sign = np.sign(scaled).astype(np.int8)
                 mag = np.abs(scaled)
                 for k in range(n):
@@ -432,22 +782,20 @@ class SynthesizedDatapath:
     # ------------------------------------------------------------- decoding
     def _decode(self, sample: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         out: Dict[str, np.ndarray] = {}
-        if self.arithmetic == "online":
-            for name, positions in self.out_layout.items():
-                total = np.zeros(
-                    next(iter(sample.values())).shape[0], dtype=np.float64
-                )
+        num = next(iter(sample.values())).shape[0]
+        for name in self.out_layout:
+            if self.out_domains[name] == "online":
+                positions = self.out_layout[name]
+                total = np.zeros(num, dtype=np.float64)
                 for idx, pos in enumerate(positions):
                     digit = sample[f"{name}_p{idx}"].astype(
                         np.float64
                     ) - sample[f"{name}_n{idx}"].astype(np.float64)
                     total += digit * 2.0 ** (-pos)
                 out[name] = total
-        else:
-            for name, (width, frac) in self.out_layout.items():
-                raw = np.zeros(
-                    next(iter(sample.values())).shape[0], dtype=np.int64
-                )
+            else:
+                width, frac = self.out_layout[name]
+                raw = np.zeros(num, dtype=np.int64)
                 for i in range(width):
                     raw |= sample[f"{name}_b{i}"].astype(np.int64) << i
                 sign = raw >= (1 << (width - 1))
@@ -491,43 +839,119 @@ class DesignChoice:
     alternatives: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
+@dataclass
+class MeasuredDesign:
+    """One synthesized variant with its measured overclocking curve.
+
+    The shared currency of :func:`choose_design`,
+    :func:`explore_latency_accuracy` and the :mod:`repro.synth` search:
+    synthesize once, apply the operand batch, and keep the decoded
+    sweep plus the mean |output| that normalizes relative errors.
+    """
+
+    label: str
+    synthesized: SynthesizedDatapath
+    run: DatapathRun
+    mean_abs_out: float
+
+    def mre_percent(self, step: int) -> float:
+        err = self.run.mean_abs_error(step)
+        return 100.0 * err / self.mean_abs_out if self.mean_abs_out else 0.0
+
+
+def measure_design(
+    datapath: Datapath,
+    inputs: Dict[str, np.ndarray],
+    arithmetic: str,
+    assignment: Optional[Mapping[str, str]] = None,
+    delay_model: Optional[DelayModel] = None,
+    label: Optional[str] = None,
+) -> MeasuredDesign:
+    """Synthesize one (style, assignment) variant and measure its curve."""
+    synth = datapath.synthesize(
+        arithmetic,
+        delay_model if delay_model is not None else FpgaDelay(),
+        assignment=assignment,
+    )
+    run = synth.apply(inputs)
+    mean_out = float(np.mean([np.abs(v).mean() for v in run.correct.values()]))
+    return MeasuredDesign(
+        label=label or synth.arithmetic,
+        synthesized=synth,
+        run=run,
+        mean_abs_out=mean_out,
+    )
+
+
+def _measured_variants(
+    datapath: Datapath,
+    inputs: Dict[str, np.ndarray],
+    delay_model_factory,
+    assignments: Optional[Mapping[str, Mapping[str, str]]] = None,
+):
+    """The two pure styles plus any extra named assignments, measured."""
+    variants: List[MeasuredDesign] = []
+    for arithmetic in ("traditional", "online"):
+        variants.append(
+            measure_design(
+                datapath,
+                inputs,
+                arithmetic,
+                delay_model=delay_model_factory(),
+                label=arithmetic,
+            )
+        )
+    for label, assignment in (assignments or {}).items():
+        variants.append(
+            measure_design(
+                datapath,
+                inputs,
+                "online",
+                assignment=assignment,
+                delay_model=delay_model_factory(),
+                label=label,
+            )
+        )
+    return variants
+
+
 def choose_design(
     datapath: Datapath,
     inputs: Dict[str, np.ndarray],
     mre_budget_percent: float,
     delay_model_factory=FpgaDelay,
+    assignments: Optional[Mapping[str, Mapping[str, str]]] = None,
 ) -> DesignChoice:
     """Pick the fastest (arithmetic, clock) pair within an error budget.
 
     This is the paper's design methodology as a function: synthesize the
-    datapath both ways, measure each design's overclocking curve on the
-    given operand distribution, and return the combination with the
-    highest absolute clock frequency whose mean relative error stays
-    within the budget.  Ties break toward the smaller design.
+    datapath both ways (plus any extra named *assignments*, e.g. the
+    mixed per-node choice of :func:`repro.synth.run_synthesis`), measure
+    each design's overclocking curve on the given operand distribution,
+    and return the combination with the highest absolute clock frequency
+    whose mean relative error stays within the budget.  Ties break
+    toward the smaller design.
     """
     if mre_budget_percent < 0:
         raise ValueError("the error budget cannot be negative")
     candidates: Dict[str, Dict[str, float]] = {}
     best = None
-    for arithmetic in ("traditional", "online"):
-        synth = datapath.synthesize(arithmetic, delay_model_factory())
-        run = synth.apply(inputs)
-        mean_out = float(
-            np.mean([np.abs(v).mean() for v in run.correct.values()])
-        )
+    for design in _measured_variants(
+        datapath, inputs, delay_model_factory, assignments
+    ):
+        run = design.run
         best_step = None
         achieved = 0.0
         for step in range(run.error_free_step, 0, -1):
-            err = run.mean_abs_error(step)
-            mre = 100.0 * err / mean_out if mean_out else 0.0
+            mre = design.mre_percent(step)
             if mre <= mre_budget_percent:
                 best_step, achieved = step, mre
             else:
                 break
         if best_step is None:
             continue
-        area = estimate_area(synth.circuit)
-        candidates[arithmetic] = {
+        area = estimate_area(design.synthesized.circuit)
+        candidates[design.label] = {
             "clock_step": float(best_step),
             "mre_percent": achieved,
             "luts": float(area.luts),
@@ -537,7 +961,7 @@ def choose_design(
             best = (
                 key,
                 DesignChoice(
-                    arithmetic=arithmetic,
+                    arithmetic=design.label,
                     clock_step=best_step,
                     achieved_mre_percent=achieved,
                     frequency_gain_vs_safest=run.error_free_step / best_step
@@ -560,21 +984,24 @@ def explore_latency_accuracy(
     budgets_percent: Sequence[float] = (0.01, 0.1, 1.0, 10.0),
     frequency_factors: Sequence[float] = (1.05, 1.10, 1.15, 1.20, 1.25),
     delay_model_factory=FpgaDelay,
+    assignments: Optional[Mapping[str, Mapping[str, str]]] = None,
 ) -> Dict[str, object]:
     """The paper's two design questions, answered for both syntheses.
 
-    Returns a dict with, per arithmetic: area, rated/error-free periods,
-    MRE at each normalized overclock factor, and the achievable frequency
-    speedup within each MRE budget.
+    Returns a dict with, per arithmetic (plus any extra named
+    *assignments*): area, rated/error-free periods, MRE at each
+    normalized overclock factor, and the achievable frequency speedup
+    within each MRE budget (None when a budget is never met — see
+    :meth:`repro.sim.sweep.SweepResult.speedup_at_budget` for the same
+    contract).
     """
     report: Dict[str, object] = {"factors": list(frequency_factors),
                                  "budgets_percent": list(budgets_percent)}
-    for arithmetic in ("traditional", "online"):
-        synth = datapath.synthesize(arithmetic, delay_model_factory())
-        run = synth.apply(inputs)
-        mean_out = float(
-            np.mean([np.abs(v).mean() for v in run.correct.values()])
-        )
+    for design in _measured_variants(
+        datapath, inputs, delay_model_factory, assignments
+    ):
+        run = design.run
+        mean_out = design.mean_abs_out
         mre_by_factor = []
         for f in frequency_factors:
             err = run.mean_abs_error(run.step_for_factor(f))
@@ -589,8 +1016,8 @@ def explore_latency_accuracy(
                 else:
                     break
             speedups.append(best)
-        report[arithmetic] = {
-            "area": estimate_area(synth.circuit),
+        report[design.label] = {
+            "area": estimate_area(design.synthesized.circuit),
             "rated_step": run.rated_step,
             "error_free_step": run.error_free_step,
             "mre_percent_by_factor": mre_by_factor,

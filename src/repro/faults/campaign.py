@@ -198,9 +198,13 @@ def campaign_harness(
             fault_config.seed,
         )
     if design == "online":
-        harness = OnlineMultiplierHarness(ndigits, model, backend)
+        harness = OnlineMultiplierHarness.from_spec(
+            "online-mult", ndigits=ndigits, delay_model=model, backend=backend
+        )
     elif design == "traditional":
-        harness = TraditionalMultiplierHarness(ndigits + 1, model, backend)
+        harness = TraditionalMultiplierHarness.from_spec(
+            "array-mult", ndigits=ndigits, delay_model=model, backend=backend
+        )
     else:
         raise ValueError(
             f"unknown design {design!r}; expected one of {CAMPAIGN_DESIGNS}"

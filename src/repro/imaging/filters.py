@@ -33,6 +33,7 @@ MRE/SNR metrics and for writing the Fig. 7 images.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -170,8 +171,43 @@ class FilterRun:
         return np.clip(np.round(self.decode(step)), 0, 255).astype(np.uint8)
 
 
+#: the multiplier spec each filter arithmetic style builds around
+_STYLE_SPECS = {"online": "online-mult", "traditional": "array-mult"}
+
+
+def _filter_spec(spec):
+    """Resolve a multiplier spec (name or OperatorSpec) for a datapath."""
+    from repro.synth.spec import OperatorSpec, operator_spec
+
+    resolved = operator_spec(spec) if isinstance(spec, str) else spec
+    if not isinstance(resolved, OperatorSpec):
+        raise TypeError(
+            f"spec must be a registry name or an OperatorSpec, "
+            f"got {type(resolved).__name__}"
+        )
+    if resolved.kind != "mul":
+        raise ValueError(
+            f"operator spec {resolved.name!r} is a {resolved.kind!r} "
+            f"implementation; the filter datapaths are built around "
+            f"multiplier specs"
+        )
+    return resolved
+
+
+def _style_spec(arithmetic: str):
+    """The default multiplier spec of one arithmetic style (validated)."""
+    if arithmetic not in _STYLE_SPECS:
+        raise ValueError("arithmetic must be 'online' or 'traditional'")
+    return _filter_spec(_STYLE_SPECS[arithmetic])
+
+
 class ConvolutionDatapath:
     """A complete 3x3 convolution datapath in one arithmetic style.
+
+    Construct via :meth:`from_spec` (the uniform spec-driven spelling,
+    matching the sweep harnesses); the positional
+    ``ConvolutionDatapath(arithmetic, ...)`` signature is kept as a
+    deprecated shim.
 
     Parameters
     ----------
@@ -218,10 +254,22 @@ class ConvolutionDatapath:
         coefficients_as_inputs: bool = False,
         backend: str = "packed",
         config: Optional[RunConfig] = None,
+        *,
+        _spec=None,
     ) -> None:
         if config is not None:
             ndigits = config.ndigits
             backend = config.backend
+        if _spec is None:
+            warnings.warn(
+                "ConvolutionDatapath(arithmetic, ...) is deprecated; use "
+                "ConvolutionDatapath.from_spec('online-mult' | "
+                "'array-mult', ...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            _spec = _style_spec(arithmetic)
+        self.spec = _spec
         if arithmetic not in ("online", "traditional"):
             raise ValueError("arithmetic must be 'online' or 'traditional'")
         if ndigits < 8:
@@ -257,6 +305,21 @@ class ConvolutionDatapath:
         self.rated_step = static_timing(
             self.circuit, self.delay_model
         ).critical_delay
+
+    @classmethod
+    def from_spec(cls, spec, **fmt) -> "ConvolutionDatapath":
+        """Build around a registered multiplier :class:`OperatorSpec`.
+
+        *spec* is a registry name or an ``OperatorSpec`` with
+        ``kind="mul"``; its style picks the arithmetic (``"online-mult"``
+        -> online datapath, ``"array-mult"`` -> traditional).  *fmt*
+        forwards the remaining keyword arguments of the constructor
+        (``kernel``, ``kernel_frac_bits``, ``ndigits``, ``delay_model``,
+        ``coefficients_as_inputs``, ``backend``, ``config``).
+        """
+        resolved = _filter_spec(spec)
+        arithmetic = "online" if resolved.style == "online" else "traditional"
+        return cls(arithmetic, _spec=resolved, **fmt)
 
     def _coeff_scaled(self, tap: int) -> int:
         """Coefficient numerator scaled by ``2**ndigits`` (may be signed)."""
@@ -453,6 +516,8 @@ class GaussianFilterDatapath(ConvolutionDatapath):
         delay_model: Optional[DelayModel] = None,
         coefficients_as_inputs: bool = False,
         backend: str = "packed",
+        *,
+        _spec=None,
     ) -> None:
         super().__init__(
             arithmetic,
@@ -462,6 +527,7 @@ class GaussianFilterDatapath(ConvolutionDatapath):
             delay_model=delay_model,
             coefficients_as_inputs=coefficients_as_inputs,
             backend=backend,
+            _spec=_spec if _spec is not None else _style_spec(arithmetic),
         )
 
 
@@ -481,6 +547,8 @@ class SobelFilterDatapath(ConvolutionDatapath):
         delay_model: Optional[DelayModel] = None,
         vertical: bool = False,
         backend: str = "packed",
+        *,
+        _spec=None,
     ) -> None:
         kernel = SOBEL_Y_KERNEL_8THS if vertical else SOBEL_X_KERNEL_8THS
         super().__init__(
@@ -490,6 +558,7 @@ class SobelFilterDatapath(ConvolutionDatapath):
             ndigits=ndigits,
             delay_model=delay_model,
             backend=backend,
+            _spec=_spec if _spec is not None else _style_spec(arithmetic),
         )
 
 
@@ -610,8 +679,8 @@ def _worker_datapath(
     datapath = _DATAPATH_CACHE.get(key)
     if datapath is None:
         kern, frac_bits = KERNEL_PRESETS[kernel]
-        datapath = ConvolutionDatapath(
-            arithmetic,
+        datapath = ConvolutionDatapath.from_spec(
+            _STYLE_SPECS[arithmetic],
             kernel=kern,
             kernel_frac_bits=frac_bits,
             ndigits=ndigits,

@@ -37,6 +37,7 @@ sweep, never a digit of it (``tests/vec/test_fused_conformance.py``).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict, List, Mapping, Optional
 
@@ -141,7 +142,9 @@ class SweepResult:
             raise ValueError("frequency factor must be positive")
         return self.at_step(floor_ratio(int(self.error_free_step), factor))
 
-    def speedup_at_budget(self, budget: float) -> Optional[float]:
+    def speedup_at_budget(
+        self, budget: float, strict: bool = False
+    ) -> Optional[float]:
         """Largest relative frequency gain whose error stays within *budget*.
 
         Scans periods at or below ``error_free_step``; returns
@@ -150,18 +153,28 @@ class SweepResult:
         the budget resolution — including an empty sweep, a negative
         budget, or ``error_free_step == 0`` (no positive period to
         normalize against).
+
+        ``strict=True`` turns the never-met None into a ValueError, for
+        callers that feed the gain straight into arithmetic (the
+        ``DesignChoice``-era idiom assumed a float and crashed later
+        with a TypeError far from the cause).
         """
         best: Optional[float] = None
-        if budget < 0 or self.error_free_step <= 0:
-            return None
-        for step, err in zip(self.steps, self.mean_abs_error):
-            if step > self.error_free_step:
-                break
-            if step <= 0:
-                continue
-            if err <= budget:
-                gain = self.error_free_step / step - 1.0
-                best = max(best, gain) if best is not None else gain
+        if budget >= 0 and self.error_free_step > 0:
+            for step, err in zip(self.steps, self.mean_abs_error):
+                if step > self.error_free_step:
+                    break
+                if step <= 0:
+                    continue
+                if err <= budget:
+                    gain = self.error_free_step / step - 1.0
+                    best = max(best, gain) if best is not None else gain
+        if best is None and strict:
+            raise ValueError(
+                f"no swept period meets the error budget {budget!r} "
+                f"(error-free step {self.error_free_step}); pass "
+                f"strict=False to receive None instead"
+            )
         return best
 
     # ------------------------------------------------- Result protocol
@@ -307,18 +320,79 @@ def _sweep_from_partials(
 _Harness = SweepHarness
 
 
+def _harness_spec(spec, kind: str, style: Optional[str] = None):
+    """Resolve *spec* (registry name or OperatorSpec) for a harness.
+
+    Imported lazily: :mod:`repro.synth` depends on :mod:`repro.sim` for
+    nothing at import time, but keeping the edge out of module scope
+    makes the layering obvious and cheap.
+    """
+    from repro.synth.spec import OperatorSpec, operator_spec
+
+    resolved = operator_spec(spec) if isinstance(spec, str) else spec
+    if not isinstance(resolved, OperatorSpec):
+        raise TypeError(
+            f"spec must be a registry name or an OperatorSpec, "
+            f"got {type(resolved).__name__}"
+        )
+    if resolved.kind != kind:
+        raise ValueError(
+            f"operator spec {resolved.name!r} is a {resolved.kind!r} "
+            f"implementation; this harness sweeps {kind!r} operators"
+        )
+    if style is not None and resolved.style != style:
+        raise ValueError(
+            f"operator spec {resolved.name!r} has style {resolved.style!r}; "
+            f"this harness requires style {style!r}"
+        )
+    return resolved
+
+
 class OnlineMultiplierHarness(SweepHarness):
-    """Gate-level online multiplier under overclocking."""
+    """Gate-level online multiplier under overclocking.
+
+    Construct via :meth:`from_spec` (the uniform spec-driven spelling);
+    the positional ``OnlineMultiplierHarness(ndigits, ...)`` signature
+    is kept as a deprecated shim.
+    """
 
     def __init__(
         self,
         ndigits: int,
         delay_model: Optional[DelayModel] = None,
         backend: str = "packed",
+        *,
+        _spec=None,
     ) -> None:
+        if _spec is None:
+            warnings.warn(
+                "OnlineMultiplierHarness(ndigits, ...) is deprecated; use "
+                "OnlineMultiplierHarness.from_spec('online-mult', "
+                "ndigits=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            _spec = _harness_spec("online-mult", kind="mul", style="online")
+        self.spec = _spec
         self.ndigits = ndigits
-        om = OnlineMultiplier(ndigits)
-        super().__init__(om.build_circuit(), delay_model, backend)
+        super().__init__(_spec.build(ndigits), delay_model, backend)
+
+    @classmethod
+    def from_spec(cls, spec="online-mult", **fmt) -> "OnlineMultiplierHarness":
+        """Build from a registered online-multiplier :class:`OperatorSpec`.
+
+        *spec* is a registry name or an ``OperatorSpec`` with
+        ``kind="mul"``, ``style="online"``; *fmt* takes ``ndigits``
+        (default 8), ``delay_model`` and ``backend``.
+        """
+        resolved = _harness_spec(spec, kind="mul", style="online")
+        return cls(
+            fmt.pop("ndigits", 8),
+            fmt.pop("delay_model", None),
+            fmt.pop("backend", "packed"),
+            _spec=resolved,
+            **fmt,
+        )
 
     def encode(self, xdigits: np.ndarray, ydigits: np.ndarray) -> Dict[str, np.ndarray]:
         """Port values from digit batches of shape ``(N, S)``."""
@@ -348,16 +422,63 @@ class OnlineMultiplierHarness(SweepHarness):
 
 
 class TraditionalMultiplierHarness(SweepHarness):
-    """Gate-level two's-complement array multiplier under overclocking."""
+    """Gate-level two's-complement array multiplier under overclocking.
+
+    Construct via :meth:`from_spec` (the uniform spec-driven spelling);
+    the positional ``TraditionalMultiplierHarness(width, ...)`` signature
+    is kept as a deprecated shim.
+    """
 
     def __init__(
         self,
         width: int,
         delay_model: Optional[DelayModel] = None,
         backend: str = "packed",
+        *,
+        _spec=None,
     ) -> None:
+        if _spec is None:
+            warnings.warn(
+                "TraditionalMultiplierHarness(width, ...) is deprecated; "
+                "use TraditionalMultiplierHarness.from_spec('array-mult', "
+                "width=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            _spec = _harness_spec(
+                "array-mult", kind="mul", style="traditional"
+            )
+        self.spec = _spec
         self.width = width
-        super().__init__(build_array_multiplier(width), delay_model, backend)
+        super().__init__(
+            _spec.build(width - 1, width=width), delay_model, backend
+        )
+
+    @classmethod
+    def from_spec(
+        cls, spec="array-mult", **fmt
+    ) -> "TraditionalMultiplierHarness":
+        """Build from a registered conventional-multiplier spec.
+
+        *spec* is a registry name or an ``OperatorSpec`` with
+        ``kind="mul"``, ``style="traditional"``; *fmt* takes ``width``
+        or ``ndigits`` (``width = ndigits + 1``, the paper's
+        range-parity pairing), plus ``delay_model`` and ``backend``.
+        """
+        resolved = _harness_spec(spec, kind="mul", style="traditional")
+        width = fmt.pop("width", None)
+        ndigits = fmt.pop("ndigits", None)
+        if width is None:
+            width = 9 if ndigits is None else int(ndigits) + 1
+        elif ndigits is not None:
+            raise ValueError("pass either width or ndigits, not both")
+        return cls(
+            int(width),
+            fmt.pop("delay_model", None),
+            fmt.pop("backend", "packed"),
+            _spec=resolved,
+            **fmt,
+        )
 
     def encode(self, x_scaled: np.ndarray, y_scaled: np.ndarray) -> Dict[str, np.ndarray]:
         """Port values from integers scaled by ``2**(width-1)`` (Q1 format)."""
@@ -432,10 +553,18 @@ def worker_harness(
     harness = _HARNESS_CACHE.get(key)
     if harness is None:
         if design == "online":
-            harness = OnlineMultiplierHarness(ndigits, delay_model, backend)
+            harness = OnlineMultiplierHarness.from_spec(
+                "online-mult",
+                ndigits=ndigits,
+                delay_model=delay_model,
+                backend=backend,
+            )
         elif design == "traditional":
-            harness = TraditionalMultiplierHarness(
-                ndigits + 1, delay_model, backend
+            harness = TraditionalMultiplierHarness.from_spec(
+                "array-mult",
+                ndigits=ndigits,
+                delay_model=delay_model,
+                backend=backend,
             )
         else:
             raise ValueError(

@@ -1,0 +1,64 @@
+"""Latency-accuracy datapath synthesis (:func:`run_synthesis`).
+
+The auto-synthesizer of the paper's titular trade-off: search
+per-operator implementation (online vs. exact-traditional), word length
+and clock period for a :class:`~repro.core.synthesis.Datapath`, coarse-
+ranked by the Section-3 analytical error model and verified on the fused
+vector engine.  The enabling abstraction is :class:`OperatorSpec` — a
+composable operator description (netlist builder, lowering, analytical
+error model, area/delay and encode/decode hooks) with a registry that
+the online, ripple-carry, prefix-adder and array-multiplier
+implementations all register into.
+"""
+
+from repro.synth.model import (
+    MODEL_TOLERANCE_FACTOR,
+    PredictedDesign,
+    PredictedModule,
+    model_tolerance_floor,
+    predict_design,
+    within_model_tolerance,
+)
+from repro.synth.report import SynthesisReport
+from repro.synth.search import (
+    DEFAULT_PERIODS,
+    REF_FRAC,
+    AccuracyTarget,
+    enumerate_assignments,
+    run_synthesis,
+    steps_for_periods,
+)
+from repro.synth.spec import (
+    OperatorSpec,
+    default_spec_name,
+    operator_spec,
+    register_operator,
+    registered_operators,
+    spec_area,
+    spec_stages,
+    stage_quantum,
+)
+
+__all__ = [
+    "AccuracyTarget",
+    "DEFAULT_PERIODS",
+    "MODEL_TOLERANCE_FACTOR",
+    "OperatorSpec",
+    "PredictedDesign",
+    "PredictedModule",
+    "REF_FRAC",
+    "SynthesisReport",
+    "default_spec_name",
+    "enumerate_assignments",
+    "model_tolerance_floor",
+    "operator_spec",
+    "predict_design",
+    "register_operator",
+    "registered_operators",
+    "run_synthesis",
+    "spec_area",
+    "spec_stages",
+    "stage_quantum",
+    "steps_for_periods",
+    "within_model_tolerance",
+]

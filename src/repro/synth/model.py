@@ -1,0 +1,280 @@
+"""Analytical latency/area/error prediction for whole datapaths.
+
+The coarse-ranking half of the auto-synthesizer: given a dataflow graph,
+a per-operator implementation assignment, a word length ``n`` and a
+capture depth ``b`` (clock period in stage-delay units ``mu``), predict
+
+* **feasibility** — a conventional operator sampled before its rated
+  depth has no graceful degradation (the violated bit is the MSB), so
+  such candidates are infeasible-by-construction and are pruned without
+  simulation;
+* **expected |output error|** — input quantization, online-multiplier
+  truncation and the Section-3 expected overclocking error
+  (:class:`repro.core.model.expectation.OverclockingErrorModel`)
+  propagated through the graph by first-order error analysis
+  (``err(a+b) = err_a + err_b``; ``err(a*b) = E|b| err_a + E|a| err_b +
+  err_op`` with ``E|.|`` the expected operand magnitude);
+* **latency** — the datapath is operator-pipelined (one capture register
+  per operator), so a candidate's latency is ``pipeline_depth * b``
+  stage units, reported in unit-gate delays via
+  :func:`repro.synth.spec.stage_quantum`;
+* **area** — the sum of the per-operator netlist estimates.
+
+The predictions are *ranking* quality, not measurement quality: the
+documented acceptance band against the fused-vector measurement is
+:data:`MODEL_TOLERANCE_FACTOR` multiplicatively once the measured error
+clears the :func:`model_tolerance_floor` (below the truncation floor the
+analytical terms dominate and only the absolute band applies).  The
+band is deliberately wide — the per-operator model itself is only
+accurate to a small factor (``tests/integration/test_model_vs_montecarlo``
+pins 0.2x-5x), and graph propagation compounds it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.synth.spec import (
+    INPUT_QUANTIZATION_FACTOR,
+    OperatorSpec,
+    operator_spec,
+    stage_quantum,
+)
+
+__all__ = [
+    "BRIDGE_ERROR_FACTOR",
+    "MODEL_TOLERANCE_FACTOR",
+    "model_tolerance_floor",
+    "within_model_tolerance",
+    "PredictedModule",
+    "PredictedDesign",
+    "predict_design",
+]
+
+#: Expected |rounding error| of the truncating traditional -> online
+#: multiplier-operand bridge, in units of one ULP ``2**-ndigits`` (the
+#: bridge is within one ULP of exact; the truncation offset is roughly
+#: uniform over a ULP).
+BRIDGE_ERROR_FACTOR = 0.5
+
+#: Documented multiplicative tolerance between the analytically predicted
+#: and the vector-measured mean |error| of a verified candidate: the
+#: prediction must lie within ``factor`` times the measurement (both
+#: ways) once the measurement clears the absolute floor.
+MODEL_TOLERANCE_FACTOR = 16.0
+
+
+def model_tolerance_floor(ndigits: int) -> float:
+    """Absolute agreement floor: one output ULP, ``2**-ndigits``.
+
+    Below one ULP the measured error is dominated by quantization
+    granularity and the multiplicative band is meaningless; predictions
+    and measurements within one ULP of each other always agree.
+    """
+    return 2.0**-ndigits
+
+
+def within_model_tolerance(
+    predicted: float, measured: float, ndigits: int
+) -> bool:
+    """The documented prediction-vs-measurement acceptance band."""
+    floor = model_tolerance_floor(ndigits)
+    if abs(predicted - measured) <= floor:
+        return True
+    if measured <= 0 or predicted <= 0:
+        return False
+    ratio = predicted / measured
+    return 1.0 / MODEL_TOLERANCE_FACTOR <= ratio <= MODEL_TOLERANCE_FACTOR
+
+
+@dataclass(frozen=True)
+class PredictedModule:
+    """Per-operator row of the analytical prediction."""
+
+    label: str
+    kind: str
+    spec: str
+    width: Optional[int]  # two's-complement operand width (traditional)
+    stages: int  # rated propagation depth in stage units
+    area_luts: int
+    expected_error: float  # operator-local expected |error| at depth b
+
+
+@dataclass(frozen=True)
+class PredictedDesign:
+    """Analytical prediction for one (assignment, n, b) candidate."""
+
+    feasible: bool
+    abs_error: float  # expected mean |output error| (mean over outputs)
+    mean_abs_out: float  # expected mean |output| (MRE denominator proxy)
+    latency_stages: int  # pipeline_depth * b
+    latency_gates: float  # latency_stages * mu, in unit-gate delays
+    pipeline_depth: int
+    area_luts: int
+    modules: Tuple[PredictedModule, ...] = ()
+
+    @property
+    def mre_percent(self) -> float:
+        if not self.feasible:
+            return math.inf
+        if self.mean_abs_out <= 0:
+            return 0.0 if self.abs_error <= 0 else math.inf
+        return 100.0 * self.abs_error / self.mean_abs_out
+
+    @property
+    def snr_db(self) -> float:
+        if not self.feasible or self.abs_error <= 0:
+            return math.inf
+        if self.mean_abs_out <= 0:
+            return -math.inf
+        return 20.0 * math.log10(self.mean_abs_out / self.abs_error)
+
+
+def _trad_shape(
+    node: Mapping[str, Any],
+    shapes: List[Tuple[int, int]],
+    ndigits: int,
+) -> Tuple[int, int]:
+    """Mirror of the traditional lowering's ``(width, frac)`` recursion.
+
+    Used to size conventional operators (their rated depth and area grow
+    with operand width — a product-of-products multiplier is twice as
+    wide as a first-level one).  Online-produced operands are modelled
+    at the first-level width; the bridge guard bits are a second-order
+    timing detail the measurement absorbs.
+    """
+    kind = node["kind"]
+    if kind in ("input", "const"):
+        return (ndigits + 1, ndigits)
+    if kind == "neg":
+        w, f = shapes[node["args"][0]]
+        return (w + 1, f)
+    a_w, a_f = shapes[node["args"][0]]
+    b_w, b_f = shapes[node["args"][1]]
+    if kind == "add":
+        f = max(a_f, b_f)
+        a_wid = a_w + (f - a_f)
+        b_wid = b_w + (f - b_f)
+        return (max(a_wid, b_wid) + 1, f)
+    if kind == "mul":
+        w = max(a_w, b_w)
+        return (2 * w, a_f + b_f)
+    raise AssertionError(kind)  # pragma: no cover - defensive
+
+
+def _trad_source(
+    nodes: Sequence[Mapping[str, Any]],
+    idx: int,
+    assignment: Mapping[str, str],
+) -> bool:
+    """Whether node *idx* (through negations) is a traditional-style op."""
+    node = nodes[idx]
+    while node["kind"] == "neg":
+        node = nodes[node["args"][0]]
+    if node["kind"] not in ("add", "mul"):
+        return False
+    return operator_spec(assignment[node["label"]]).style == "traditional"
+
+
+def predict_design(
+    graph: Mapping[str, Any],
+    assignment: Mapping[str, str],
+    ndigits: int,
+    delta: int,
+    b: int,
+    kappa: float = 1.0,
+) -> PredictedDesign:
+    """Analytical prediction for one candidate design point.
+
+    *graph* is :meth:`repro.core.synthesis.Datapath.to_graph` output;
+    *assignment* maps every operator label to a registered spec name;
+    *b* is the capture depth in stage units (the clock period).
+    """
+    nodes = graph["nodes"]
+    shapes: List[Tuple[int, int]] = []
+    mags: List[float] = []  # E|value| per node
+    errs: List[float] = []  # expected |error| per node
+    depths: List[int] = []  # operator-pipeline depth per node
+    modules: List[PredictedModule] = []
+    feasible = True
+
+    for node in nodes:
+        kind = node["kind"]
+        shapes.append(_trad_shape(node, shapes, ndigits))
+        if kind == "input":
+            mags.append(0.5)  # uniform (-1, 1)
+            errs.append(INPUT_QUANTIZATION_FACTOR * 2.0**-ndigits)
+            depths.append(0)
+        elif kind == "const":
+            mags.append(abs(float(Fraction(node["value"]))))
+            errs.append(0.0)
+            depths.append(0)
+        elif kind == "neg":
+            (i,) = node["args"]
+            mags.append(mags[i])
+            errs.append(errs[i])
+            depths.append(depths[i])
+        else:
+            ia, ib = node["args"]
+            spec = operator_spec(assignment[node["label"]])
+            width = (
+                max(shapes[ia][0], shapes[ib][0])
+                if spec.style == "traditional"
+                else None
+            )
+            if spec.style == "traditional" and kind == "add":
+                # adders size on the aligned/extended operand width
+                width = shapes[-1][0] - 1
+            op_err = spec.error_at(ndigits, delta, int(b), width=width, kappa=kappa)
+            if math.isinf(op_err):
+                feasible = False
+            modules.append(
+                PredictedModule(
+                    label=node["label"],
+                    kind=kind,
+                    spec=spec.name,
+                    width=width,
+                    stages=spec.stages(ndigits, delta, width=width),
+                    area_luts=spec.area(ndigits, delta, width=width).luts,
+                    expected_error=op_err,
+                )
+            )
+            if kind == "add":
+                mags.append(mags[ia] + mags[ib])
+                errs.append(errs[ia] + errs[ib] + op_err)
+            else:  # mul
+                err_a, err_b = errs[ia], errs[ib]
+                if spec.style == "online":
+                    # traditional operands pass the truncating bridge
+                    bridge = BRIDGE_ERROR_FACTOR * 2.0**-ndigits
+                    if _trad_source(nodes, ia, assignment):
+                        err_a = err_a + bridge
+                    if _trad_source(nodes, ib, assignment):
+                        err_b = err_b + bridge
+                mags.append(mags[ia] * mags[ib])
+                errs.append(
+                    mags[ib] * err_a + mags[ia] * err_b + op_err
+                )
+            depths.append(max(depths[ia], depths[ib]) + 1)
+
+    out_indices = list(graph["outputs"].values())
+    if out_indices:
+        abs_error = sum(errs[i] for i in out_indices) / len(out_indices)
+        mean_out = sum(mags[i] for i in out_indices) / len(out_indices)
+        pipeline = max(max(depths[i] for i in out_indices), 1)
+    else:  # pragma: no cover - synthesize() rejects output-less graphs
+        abs_error, mean_out, pipeline = 0.0, 0.0, 1
+    mu = float(stage_quantum(ndigits, delta))
+    return PredictedDesign(
+        feasible=feasible,
+        abs_error=float(abs_error) if feasible else math.inf,
+        mean_abs_out=float(mean_out),
+        latency_stages=pipeline * int(b),
+        latency_gates=pipeline * int(b) * mu,
+        pipeline_depth=pipeline,
+        area_luts=sum(m.area_luts for m in modules),
+        modules=tuple(modules),
+    )

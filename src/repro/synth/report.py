@@ -1,0 +1,238 @@
+""":class:`SynthesisReport` — the serializable output of the synthesizer.
+
+One report captures everything :func:`repro.synth.search.run_synthesis`
+decided: the candidate grid totals (how many design points existed, how
+many the analytical model pruned, how many were verified on the vector
+engine), the verified points themselves (discrete metadata in ``points``,
+float measurements in parallel numpy arrays so the JSON+npz cache stores
+them compactly), the latency-accuracy Pareto front, and the chosen
+assignment.
+
+The class implements the :mod:`repro.runners.results` protocol
+(``kind = "synthesis"``), so reports round-trip bit-exactly through the
+on-disk :class:`~repro.runners.cache.ResultCache` — including non-finite
+values: an error-free candidate measures ``snr_db = inf``, and both
+Python's JSON encoder and npz storage preserve ``inf``/``nan`` exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.runners.results import (
+    jsonable,
+    metrics_entry,
+    register_result,
+    restore_metrics,
+)
+
+__all__ = ["SynthesisReport"]
+
+_POINT_ARRAYS = {
+    "predicted_abs_error": "float64",
+    "measured_abs_error": "float64",
+    "measured_snr_db": "float64",
+    "latency_gates": "float64",
+}
+
+
+@register_result
+class SynthesisReport:
+    """Latency-accuracy synthesis outcome for one datapath.
+
+    Parameters
+    ----------
+    graph:
+        The :meth:`repro.core.synthesis.Datapath.to_graph` dict the
+        search ran on (kept in the report so a chosen assignment can be
+        replayed without the original ``Datapath`` object).
+    target_metric / target_value:
+        The accuracy bound: ``"mre"`` (percent, upper bound) or
+        ``"snr"`` (dB, lower bound).
+    points:
+        One dict per *verified* candidate, in deterministic search
+        order: ``{"assignment": {label: spec}, "ndigits": n, "b": depth,
+        "period": float, "latency_stages": int, "pipeline_depth": int,
+        "area_luts": int, "meets_target": bool, "on_front": bool,
+        "within_tolerance": bool, "predicted_mre_percent": float,
+        "measured_mre_percent": float}``.
+    predicted_abs_error / measured_abs_error / measured_snr_db /
+    latency_gates:
+        Float arrays parallel to ``points`` (npz-stored in the cache).
+    candidates_total / candidates_pruned / candidates_verified:
+        Grid accounting: ``total = pruned + verified``.
+    chosen:
+        Index into ``points`` of the selected design (minimum latency
+        among target-meeting points; area breaks ties), or ``-1``.
+    modules:
+        Per-module prediction rows for the chosen design.
+    """
+
+    kind: ClassVar[str] = "synthesis"
+    _array_fields: ClassVar[Dict[str, str]] = dict(_POINT_ARRAYS)
+
+    def __init__(
+        self,
+        graph: Mapping[str, Any],
+        target_metric: str,
+        target_value: float,
+        points: Sequence[Mapping[str, Any]],
+        predicted_abs_error: Sequence[float],
+        measured_abs_error: Sequence[float],
+        measured_snr_db: Sequence[float],
+        latency_gates: Sequence[float],
+        candidates_total: int,
+        candidates_pruned: int,
+        candidates_verified: int,
+        chosen: int = -1,
+        modules: Sequence[Mapping[str, Any]] = (),
+        delta: int = 3,
+        num_samples: int = 0,
+        seed: int = 0,
+        ref_frac: int = 0,
+    ) -> None:
+        self.graph = dict(graph)
+        self.target_metric = str(target_metric)
+        self.target_value = float(target_value)
+        self.points = [dict(p) for p in points]
+        self.predicted_abs_error = np.asarray(predicted_abs_error, dtype=np.float64)
+        self.measured_abs_error = np.asarray(measured_abs_error, dtype=np.float64)
+        self.measured_snr_db = np.asarray(measured_snr_db, dtype=np.float64)
+        self.latency_gates = np.asarray(latency_gates, dtype=np.float64)
+        self.candidates_total = int(candidates_total)
+        self.candidates_pruned = int(candidates_pruned)
+        self.candidates_verified = int(candidates_verified)
+        self.chosen = int(chosen)
+        self.modules = [dict(m) for m in modules]
+        self.delta = int(delta)
+        self.num_samples = int(num_samples)
+        self.seed = int(seed)
+        self.ref_frac = int(ref_frac)
+        self.run_stats = None  # attached by run_synthesis, not serialized
+        for name in _POINT_ARRAYS:
+            if len(getattr(self, name)) != len(self.points):
+                raise ValueError(
+                    f"{name} must parallel points "
+                    f"({len(getattr(self, name))} != {len(self.points)})"
+                )
+
+    # ------------------------------------------------------------- views
+    def design_points(self) -> List[Dict[str, Any]]:
+        """Points with their array measurements folded back in."""
+        rows = []
+        for i, point in enumerate(self.points):
+            row = dict(point)
+            for name in _POINT_ARRAYS:
+                row[name] = float(getattr(self, name)[i])
+            rows.append(row)
+        return rows
+
+    def pareto_front(self) -> List[Dict[str, Any]]:
+        """The non-dominated (latency, measured error) points."""
+        return [p for p in self.design_points() if p["on_front"]]
+
+    @property
+    def chosen_point(self) -> Optional[Dict[str, Any]]:
+        if self.chosen < 0:
+            return None
+        return self.design_points()[self.chosen]
+
+    @property
+    def chosen_assignment(self) -> Optional[Dict[str, str]]:
+        point = self.chosen_point
+        return None if point is None else dict(point["assignment"])
+
+    def meets_target(self, i: int) -> bool:
+        """Whether verified point *i* satisfies the accuracy bound."""
+        if self.target_metric == "snr":
+            return float(self.measured_snr_db[i]) >= self.target_value
+        mre = self.points[i]["measured_mre_percent"]
+        return float(mre) <= self.target_value
+
+    # ----------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "graph": jsonable(self.graph),
+            "target_metric": self.target_metric,
+            "target_value": self.target_value,
+            "points": jsonable(self.points),
+            "predicted_abs_error": jsonable(self.predicted_abs_error),
+            "measured_abs_error": jsonable(self.measured_abs_error),
+            "measured_snr_db": jsonable(self.measured_snr_db),
+            "latency_gates": jsonable(self.latency_gates),
+            "candidates_total": self.candidates_total,
+            "candidates_pruned": self.candidates_pruned,
+            "candidates_verified": self.candidates_verified,
+            "chosen": self.chosen,
+            "modules": jsonable(self.modules),
+            "delta": self.delta,
+            "num_samples": self.num_samples,
+            "seed": self.seed,
+            "ref_frac": self.ref_frac,
+            **metrics_entry(self),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SynthesisReport":
+        report = cls(
+            graph=data["graph"],
+            target_metric=data["target_metric"],
+            target_value=data["target_value"],
+            points=data["points"],
+            predicted_abs_error=np.asarray(
+                data["predicted_abs_error"], dtype=np.float64
+            ),
+            measured_abs_error=np.asarray(
+                data["measured_abs_error"], dtype=np.float64
+            ),
+            measured_snr_db=np.asarray(
+                data["measured_snr_db"], dtype=np.float64
+            ),
+            latency_gates=np.asarray(data["latency_gates"], dtype=np.float64),
+            candidates_total=data["candidates_total"],
+            candidates_pruned=data["candidates_pruned"],
+            candidates_verified=data["candidates_verified"],
+            chosen=data.get("chosen", -1),
+            modules=data.get("modules", ()),
+            delta=data.get("delta", 3),
+            num_samples=data.get("num_samples", 0),
+            seed=data.get("seed", 0),
+            ref_frac=data.get("ref_frac", 0),
+        )
+        return restore_metrics(report, data)
+
+    # ----------------------------------------------------------- display
+    def summary(self) -> str:
+        """Human-readable multi-line summary for the CLI."""
+        bound = "<=" if self.target_metric == "mre" else ">="
+        unit = "%" if self.target_metric == "mre" else " dB"
+        lines = [
+            f"synthesis: {len(self.points)} verified / "
+            f"{self.candidates_pruned} pruned / "
+            f"{self.candidates_total} candidates "
+            f"(target {self.target_metric} {bound} "
+            f"{self.target_value:g}{unit})",
+        ]
+        for i, row in enumerate(self.design_points()):
+            if not row["on_front"]:
+                continue
+            marks = "*" if i == self.chosen else " "
+            assign = ",".join(
+                f"{k}={v}" for k, v in sorted(row["assignment"].items())
+            )
+            mre = row["measured_mre_percent"]
+            pred = row["predicted_mre_percent"]
+            lines.append(
+                f" {marks} n={row['ndigits']} b={row['b']} "
+                f"latency={row['latency_gates']:.1f}g "
+                f"area={row['area_luts']} "
+                f"mre={mre:.4f}% (pred {pred:.4f}%) "
+                f"[{assign}]"
+            )
+        if self.chosen < 0:
+            lines.append("  no candidate meets the target")
+        return "\n".join(lines)

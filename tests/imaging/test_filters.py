@@ -27,6 +27,53 @@ def runs(small_image):
     return out
 
 
+class TestFromSpec:
+    """Spec-driven construction and the deprecated positional shim."""
+
+    def test_from_spec_picks_arithmetic_from_style(self):
+        import warnings
+
+        from repro.imaging.filters import ConvolutionDatapath
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            online = ConvolutionDatapath.from_spec(
+                "online-mult", ndigits=8, delay_model=UnitDelay()
+            )
+            trad = ConvolutionDatapath.from_spec(
+                "array-mult", ndigits=8, delay_model=UnitDelay()
+            )
+        assert online.arithmetic == "online"
+        assert trad.arithmetic == "traditional"
+        assert online.spec.name == "online-mult"
+
+    def test_from_spec_rejects_adder_specs(self):
+        from repro.imaging.filters import ConvolutionDatapath
+
+        with pytest.raises(ValueError):
+            ConvolutionDatapath.from_spec("online-add", ndigits=8)
+
+    def test_positional_constructor_warns(self):
+        from repro.imaging.filters import ConvolutionDatapath
+
+        with pytest.warns(DeprecationWarning, match="from_spec"):
+            ConvolutionDatapath("online", ndigits=8, delay_model=UnitDelay())
+
+    def test_preset_subclasses_stay_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            dp = GaussianFilterDatapath("online", delay_model=UnitDelay())
+        assert dp.spec.name == "online-mult"
+
+    def test_unknown_arithmetic_rejected(self):
+        from repro.imaging.filters import ConvolutionDatapath
+
+        with pytest.raises(ValueError, match="arithmetic"):
+            ConvolutionDatapath("ternary", ndigits=8)
+
+
 class TestKernelAndReference:
     def test_kernel_normalised(self):
         assert GAUSSIAN_KERNEL_64THS.sum() == 64

@@ -22,7 +22,9 @@ from repro.sim.sweep import (
 @pytest.fixture(scope="module")
 def online_sweep():
     rng = np.random.default_rng(7)
-    harness = OnlineMultiplierHarness(6, UnitDelay())
+    harness = OnlineMultiplierHarness.from_spec(
+        "online-mult", ndigits=6, delay_model=UnitDelay()
+    )
     xd = uniform_digit_batch(6, 800, rng)
     yd = uniform_digit_batch(6, 800, rng)
     return harness, harness.sweep(xd, yd)
@@ -31,7 +33,9 @@ def online_sweep():
 @pytest.fixture(scope="module")
 def trad_sweep():
     rng = np.random.default_rng(8)
-    harness = TraditionalMultiplierHarness(7, UnitDelay())
+    harness = TraditionalMultiplierHarness.from_spec(
+        "array-mult", width=7, delay_model=UnitDelay()
+    )
     xs = rng.integers(-63, 64, 800)
     ys = rng.integers(-63, 64, 800)
     return harness, harness.sweep(xs, ys)
@@ -100,7 +104,9 @@ class TestTraditionalHarness:
         assert res.mean_abs_error[mid] > 0.01
 
     def test_operand_overflow_rejected(self):
-        harness = TraditionalMultiplierHarness(4, UnitDelay())
+        harness = TraditionalMultiplierHarness.from_spec(
+            "array-mult", width=4, delay_model=UnitDelay()
+        )
         with pytest.raises(ValueError):
             harness.encode(np.array([100]), np.array([0]))
 
@@ -225,6 +231,100 @@ class TestSweepResultEdgeCases:
     def test_zero_error_free_step_is_none(self):
         res = _result([0, 1], [0.0, 0.1], [0.0, 0.5], error_free=0)
         assert res.speedup_at_budget(1.0) is None
+
+
+class TestSpeedupStrictMode:
+    """Regression: a budget the sweep never meets used to return ``None``
+    silently; ``strict=True`` turns that into an actionable error."""
+
+    def test_strict_raises_when_budget_never_met(self):
+        res = _result([1, 2, 3], [0.4, 0.3, 0.2],
+                      [1.0, 0.9, 0.5], error_free=4, settle=4)
+        with pytest.raises(ValueError, match="no swept period meets"):
+            res.speedup_at_budget(0.05, strict=True)
+
+    def test_strict_raises_on_empty_sweep(self):
+        empty = _result([], [], [], error_free=0, settle=0)
+        with pytest.raises(ValueError, match="strict=False"):
+            empty.speedup_at_budget(1.0, strict=True)
+
+    def test_strict_raises_on_negative_budget(self):
+        res = _result([1, 2], [0.1, 0.0], [0.5, 0.0], error_free=2)
+        with pytest.raises(ValueError):
+            res.speedup_at_budget(-1.0, strict=True)
+
+    def test_strict_passes_value_through_when_met(self):
+        res = _result([1, 2, 3, 4], [0.4, 0.3, 0.2, 0.0],
+                      [1.0, 0.9, 0.5, 0.0], error_free=4)
+        assert res.speedup_at_budget(10.0, strict=True) == pytest.approx(3.0)
+        assert res.speedup_at_budget(10.0, strict=True) == (
+            res.speedup_at_budget(10.0)
+        )
+
+    def test_default_stays_optional(self):
+        res = _result([1, 2, 3], [0.4, 0.3, 0.2],
+                      [1.0, 0.9, 0.5], error_free=4, settle=4)
+        assert res.speedup_at_budget(0.05) is None
+
+
+class TestFromSpec:
+    """The spec-driven constructors and their deprecation shims."""
+
+    def test_online_from_spec_no_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            h = OnlineMultiplierHarness.from_spec(
+                "online-mult", ndigits=4, delay_model=UnitDelay()
+            )
+        assert h.ndigits == 4
+        assert h.spec.name == "online-mult"
+
+    def test_traditional_from_spec_accepts_width_or_ndigits(self):
+        by_width = TraditionalMultiplierHarness.from_spec(
+            "array-mult", width=5, delay_model=UnitDelay()
+        )
+        by_digits = TraditionalMultiplierHarness.from_spec(
+            "array-mult", ndigits=4, delay_model=UnitDelay()
+        )
+        assert by_width.width == by_digits.width == 5
+        with pytest.raises(ValueError, match="not both"):
+            TraditionalMultiplierHarness.from_spec(
+                "array-mult", width=5, ndigits=4
+            )
+
+    def test_old_constructors_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="from_spec"):
+            old = OnlineMultiplierHarness(4, UnitDelay())
+        new = OnlineMultiplierHarness.from_spec(
+            "online-mult", ndigits=4, delay_model=UnitDelay()
+        )
+        assert old.rated_step == new.rated_step
+        with pytest.warns(DeprecationWarning, match="from_spec"):
+            TraditionalMultiplierHarness(5, UnitDelay())
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="'mul'"):
+            OnlineMultiplierHarness.from_spec("online-add", ndigits=4)
+
+    def test_style_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineMultiplierHarness.from_spec("array-mult", ndigits=4)
+        with pytest.raises(ValueError):
+            TraditionalMultiplierHarness.from_spec("online-mult", width=5)
+
+    def test_unknown_spec_lists_registry(self):
+        with pytest.raises(KeyError, match="online-mult"):
+            OnlineMultiplierHarness.from_spec("booth-mult", ndigits=4)
+
+    def test_spec_object_accepted(self):
+        from repro.synth.spec import operator_spec
+
+        h = OnlineMultiplierHarness.from_spec(
+            operator_spec("online-mult"), ndigits=4, delay_model=UnitDelay()
+        )
+        assert h.spec is operator_spec("online-mult")
 
 
 class _HiddenTableDelay(DelayModel):

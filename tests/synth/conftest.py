@@ -1,0 +1,32 @@
+"""Shared fixtures of the synthesizer suite.
+
+``prodsum`` is the canonical mixed-optimal datapath of the acceptance
+criteria: four operators (three multipliers, one adder), two outputs,
+
+    prod = (x*y) * (w*v)        sum = x*y + w*v
+
+At 6 digits the inner products fit narrow (7-bit) array multipliers
+while the outer product would need a 14-bit one, so there is a capture-
+depth window where the mixed {inner: traditional, outer: online} design
+is feasible and the all-traditional one is not — the window that puts a
+mixed assignment on the Pareto front.
+"""
+
+import pytest
+
+from repro.core.synthesis import Datapath
+
+
+def build_prodsum(ndigits: int = 6) -> Datapath:
+    dp = Datapath(ndigits=ndigits)
+    x, y = dp.input("x"), dp.input("y")
+    w, v = dp.input("w"), dp.input("v")
+    p, q = x * y, w * v
+    dp.output("prod", p * q)
+    dp.output("sum", p + q)
+    return dp
+
+
+@pytest.fixture
+def prodsum() -> Datapath:
+    return build_prodsum()

@@ -1,0 +1,135 @@
+"""Tests of the analytical whole-datapath prediction (coarse ranking)."""
+
+import math
+
+import pytest
+
+from repro.synth.model import (
+    MODEL_TOLERANCE_FACTOR,
+    model_tolerance_floor,
+    predict_design,
+    within_model_tolerance,
+)
+from repro.synth.search import enumerate_assignments
+from repro.synth.spec import operator_spec, stage_quantum
+
+N, DELTA = 6, 3
+
+
+def _assignments_by_style(graph):
+    """The prodsum grid keyed by (inner, outer) multiplier styles."""
+    by_style = {}
+    for assign in enumerate_assignments(graph):
+        styles = tuple(
+            operator_spec(assign[label]).style
+            for label in sorted(assign)
+            if operator_spec(assign[label]).kind == "mul"
+        )
+        by_style[styles] = assign
+    return by_style
+
+
+class TestToleranceBand:
+    def test_exact_agreement(self):
+        assert within_model_tolerance(0.01, 0.01, N)
+
+    def test_absolute_floor(self):
+        floor = model_tolerance_floor(N)
+        assert floor == 2.0**-N
+        # both below one ULP of each other: always within tolerance,
+        # even at extreme ratios
+        assert within_model_tolerance(floor / 100, floor / 2, N)
+        assert within_model_tolerance(0.0, floor, N)
+
+    def test_multiplicative_band_edges(self):
+        base = 10 * model_tolerance_floor(N)
+        assert within_model_tolerance(base * MODEL_TOLERANCE_FACTOR, base, N)
+        assert within_model_tolerance(base / MODEL_TOLERANCE_FACTOR, base, N)
+        assert not within_model_tolerance(base * MODEL_TOLERANCE_FACTOR * 4, base, N)
+        assert not within_model_tolerance(base / (MODEL_TOLERANCE_FACTOR * 4), base, N)
+
+    def test_zero_against_large(self):
+        assert not within_model_tolerance(0.0, 1.0, N)
+        assert not within_model_tolerance(1.0, 0.0, N)
+
+
+class TestPredictDesign:
+    @pytest.fixture()
+    def graph(self, prodsum):
+        return prodsum.to_graph()
+
+    def test_all_online_feasible_when_overclocked(self, graph):
+        assign = _assignments_by_style(graph)[("online", "online", "online")]
+        p = predict_design(graph, assign, N, DELTA, b=5)
+        assert p.feasible
+        assert 0 < p.abs_error < 1
+        assert p.pipeline_depth == 2  # inner product -> outer op
+        assert p.latency_stages == 2 * 5
+        assert p.latency_gates == pytest.approx(
+            10 * float(stage_quantum(N, DELTA))
+        )
+        assert len(p.modules) == 4  # three multipliers + one adder
+        assert p.area_luts == sum(m.area_luts for m in p.modules)
+
+    def test_all_traditional_cliff_at_rated_depth(self, graph):
+        styles = ("traditional", "traditional", "traditional")
+        assign = _assignments_by_style(graph)[styles]
+        rated = max(
+            m.stages
+            for m in predict_design(graph, assign, N, DELTA, b=30).modules
+        )
+        # the double-width outer multiplier rates deeper than the narrow
+        # inner ones: one stage short of it the design is infeasible
+        assert rated > operator_spec("array-mult").stages(N, DELTA, width=N + 1)
+        below = predict_design(graph, assign, N, DELTA, b=rated - 1)
+        assert not below.feasible
+        assert math.isinf(below.abs_error)
+        assert math.isinf(below.mre_percent)
+        at = predict_design(graph, assign, N, DELTA, b=rated)
+        assert at.feasible
+        # exact operators: only input quantization remains
+        assert at.abs_error < 2.0 ** -(N - 3)
+
+    def test_bridge_error_charged_on_mixed(self):
+        from repro.core.synthesis import Datapath
+        from repro.synth.model import BRIDGE_ERROR_FACTOR
+
+        # single-output chain z = (x*y) * w: with the inner multiplier
+        # traditional and the outer online, the inner product crosses
+        # the truncating bridge (0.5 ULP expected), which costs more
+        # than the settled online truncation (0.25 ULP) it replaces
+        dp = Datapath(ndigits=N)
+        x, y, w = dp.input("x"), dp.input("y"), dp.input("w")
+        dp.output("z", (x * y) * w)
+        graph = dp.to_graph()
+        by_style = _assignments_by_style(graph)
+        b = N + DELTA  # everything online is settled here
+        online = predict_design(
+            graph, by_style[("online", "online")], N, DELTA, b
+        )
+        mixed = predict_design(
+            graph, by_style[("traditional", "online")], N, DELTA, b
+        )
+        assert mixed.feasible
+        assert mixed.abs_error > online.abs_error
+        assert BRIDGE_ERROR_FACTOR * 2.0**-N > operator_spec(
+            "online-mult"
+        ).error_at(N, DELTA, b)
+
+    def test_mre_and_snr_consistent(self, graph):
+        assign = _assignments_by_style(graph)[("online", "online", "online")]
+        p = predict_design(graph, assign, N, DELTA, b=6)
+        assert p.mre_percent == pytest.approx(
+            100.0 * p.abs_error / p.mean_abs_out
+        )
+        assert p.snr_db == pytest.approx(
+            20.0 * math.log10(p.mean_abs_out / p.abs_error)
+        )
+
+    def test_deeper_capture_never_predicts_worse(self, graph):
+        assign = _assignments_by_style(graph)[("online", "online", "online")]
+        errs = [
+            predict_design(graph, assign, N, DELTA, b).abs_error
+            for b in range(DELTA + 1, N + DELTA + 1)
+        ]
+        assert all(a >= b for a, b in zip(errs, errs[1:]))
