@@ -19,6 +19,11 @@ Installed as ``repro-overclock`` (see ``pyproject.toml``), or run as
     per-operator implementation (online / traditional), word length and
     clock period against an accuracy target and print the verified
     Pareto front (:func:`repro.synth.run_synthesis`).
+``serve``
+    Long-running evaluation daemon: Monte-Carlo / sweep / synthesis
+    requests over a JSON-lines TCP protocol, with admission control,
+    request coalescing, retries, a circuit breaker and analytical
+    graceful degradation (:mod:`repro.service`).
 ``filter``
     The Gaussian image-filter case study on one benchmark image
     (Fig. 6 / 7, Tables 1-2 style output).
@@ -192,39 +197,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 #: demo datapaths the ``synth`` subcommand can search (name -> builder)
-def _demo_datapath(name: str, ndigits: int):
-    from fractions import Fraction
-
-    from repro.core.synthesis import Datapath
-
-    dp = Datapath(ndigits=ndigits)
-    if name == "prodsum":
-        x, y = dp.input("x"), dp.input("y")
-        w, v = dp.input("w"), dp.input("v")
-        p, q = x * y, w * v
-        dp.output("prod", p * q)
-        dp.output("sum", p + q)
-    elif name == "mac":
-        x, y = dp.input("x"), dp.input("y")
-        dp.output("mac", x * y + dp.const(Fraction(1, 4)) * x)
-    elif name == "dot3":
-        taps = [dp.input(f"x{i}") for i in range(3)]
-        coeffs = [Fraction(3, 16), Fraction(1, 2), Fraction(3, 16)]
-        acc = None
-        for tap, coeff in zip(taps, coeffs):
-            term = dp.const(coeff) * tap
-            acc = term if acc is None else acc + term
-        dp.output("dot", acc)
-    else:  # pragma: no cover - argparse restricts the choices
-        raise ValueError(f"unknown demo datapath {name!r}")
-    return dp
-
-
 def _cmd_synth(args: argparse.Namespace) -> int:
     from repro.synth import AccuracyTarget, run_synthesis
+    from repro.synth.demos import demo_datapath
 
     config = _config_from_args(args)
-    datapath = _demo_datapath(args.datapath, config.ndigits)
+    datapath = demo_datapath(args.datapath, config.ndigits)
     if args.target_snr is not None:
         target = AccuracyTarget("snr", args.target_snr)
     else:
@@ -435,6 +413,30 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, run_service
+
+    config = _config_from_args(args)
+    service_config = ServiceConfig(
+        run_config=config,
+        host=args.host,
+        port=args.port,
+        concurrency=args.concurrency,
+        default_deadline=args.deadline,
+        failure_threshold=args.failure_threshold,
+        reset_timeout=args.reset_timeout,
+        drain_timeout=args.drain_timeout,
+    )
+    print(
+        f"repro service on {args.host}:{args.port or '(ephemeral)'} "
+        f"(ndigits={config.ndigits}, jobs={config.jobs}, "
+        f"concurrency={args.concurrency}); SIGTERM drains gracefully",
+        flush=True,
+    )
+    run_service(service_config)
+    return 0
+
+
 def _add_backend_flag(p: argparse.ArgumentParser) -> None:
     from repro.netlist.compiled import BACKENDS
 
@@ -635,6 +637,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-events", action="store_true",
                    help="hide point events (cache hits, pool failures)")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the evaluation daemon (JSON-lines over TCP)",
+        description="Long-running evaluation service: Monte-Carlo, sweep "
+                    "and synthesis requests over a JSON-lines protocol, "
+                    "with admission control, request coalescing, retries, "
+                    "a circuit breaker and analytical graceful "
+                    "degradation.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7914,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--ndigits", type=int, default=8,
+                   help="default word length for requests that omit one")
+    p.add_argument("--seed", type=int, default=2014)
+    p.add_argument("--concurrency", type=int, default=2,
+                   help="resident evaluator worker threads")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-request deadline in seconds")
+    p.add_argument("--failure-threshold", type=int, default=3,
+                   help="consecutive pool failures that open the breaker")
+    p.add_argument("--reset-timeout", type=float, default=5.0,
+                   help="breaker cooldown before half-open probes")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="graceful-drain bound on SIGTERM")
+    _add_run_flags(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("verilog", help="export an operator as Verilog")
     p.add_argument(

@@ -25,7 +25,9 @@ The experiment entry points themselves live next to their physics:
 
 from repro.runners.config import DEFAULT_SHARD_SIZE, RunConfig
 from repro.runners.parallel import (
+    CancelToken,
     ParallelRunner,
+    RunCancelled,
     RunStats,
     ShardStat,
     merge_float_sums,
@@ -52,6 +54,8 @@ from repro.runners.results import (
 __all__ = [
     "DEFAULT_SHARD_SIZE",
     "RunConfig",
+    "CancelToken",
+    "RunCancelled",
     "ParallelRunner",
     "RunStats",
     "ShardStat",

@@ -17,8 +17,18 @@ designed around:
   names;
 * ``<digest>.npz`` — the array fields as compressed numpy binary.
 
-Both files are written to a temporary name and atomically renamed, so a
-crashed writer can never leave a half-entry that poisons later runs.
+Both files are written to a temporary name, fsynced, and atomically
+renamed, so a crashed (even SIGKILLed) writer can never leave a
+half-entry that poisons later runs.  The *pair* commits in a fixed
+order — arrays first, JSON second — and the JSON rename is the commit
+point: a reader either sees no JSON (a plain miss) or a complete JSON
+whose array file was already fully in place when the JSON appeared.
+Keys are content addresses, so two writers racing on one key are by
+construction writing identical bytes and either rename order is safe.
+A writer killed before its rename leaves only a ``*.tmp`` droppings
+file, which never matches the ``*.json``/``*.npz`` read paths and is
+swept on the next :class:`ResultCache` construction once it is
+unambiguously stale (:data:`STALE_TMP_SECONDS`).
 
 Robustness: the store never *trusts* on-disk bytes.  A truncated,
 hand-edited or otherwise undecodable entry is detected on read, moved
@@ -41,6 +51,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 import warnings
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
@@ -59,6 +70,11 @@ RAW_KIND = "_raw"
 
 #: subdirectory corrupt entries are moved into (never auto-deleted)
 QUARANTINE_DIR = "quarantine"
+
+#: age (seconds) past which an abandoned ``*.tmp`` file from a killed
+#: writer is swept at construction — generous enough that no live
+#: writer (entries take seconds at most) can be holding it
+STALE_TMP_SECONDS = 3600.0
 
 
 def cache_key(**components: Any) -> str:
@@ -91,6 +107,26 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Drop ``*.tmp`` droppings of writers killed before their rename.
+
+        Only files older than :data:`STALE_TMP_SECONDS` go — a fresh
+        tmp file may belong to a concurrent writer about to rename it.
+        Best-effort: a racing sweep losing to another process is fine.
+        """
+        cutoff = time.time() - STALE_TMP_SECONDS
+        try:
+            candidates = list(self.cache_dir.glob("*.tmp"))
+        except OSError:
+            return
+        for path in candidates:
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:
+                pass
 
     # --------------------------------------------------------------- paths
     def _json_path(self, key: str) -> Path:
@@ -267,12 +303,21 @@ class ResultCache:
         )
 
     def _atomic_write(self, path: Path, write_fn, binary: bool) -> None:
+        """Write-to-temp + fsync + rename: the entry appears all-or-nothing.
+
+        The fsync before the rename closes the kill window in which the
+        rename is durable but the data is not — without it a crash could
+        surface a complete-looking name over truncated bytes, exactly
+        the torn entry the quarantine path exists to catch.
+        """
         fd, tmp = tempfile.mkstemp(
             dir=self.cache_dir, prefix=path.stem, suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "wb" if binary else "w") as fh:
                 write_fn(fh)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

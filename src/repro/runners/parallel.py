@@ -32,6 +32,17 @@ diagnosable after the fact.  Ordinary exceptions raised by the worker
 function are not retried — they are deterministic and would fail
 in-process too — and propagate to the caller.
 
+Cancellation is a *fourth* outcome, distinct from all of the above: a
+caller holding the runner's :class:`CancelToken` (the service layer's
+per-request deadline path) may cancel a run mid-flight.  The runner then
+abandons its pool exactly like a timeout — without waiting on hung
+workers — but the event is **not** a pool failure: it does not increment
+``RunStats.pool_failures`` / ``retries``, appends nothing to
+``failure_reasons``, and counts under the ``pool.cancelled`` metric
+rather than ``pool.retries``/``pool.timeouts``.  :meth:`ParallelRunner.map`
+raises :class:`RunCancelled` to the caller; partial results are
+discarded.
+
 Observability: each shard runs under a ``shard`` span.  With ``jobs >
 1`` the worker process buffers its spans (it cannot share the parent's
 sink) and ships them back with the result; the parent synthesizes the
@@ -48,6 +59,7 @@ outcome; entry points attach it to their result as ``run_stats`` and
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -69,6 +81,44 @@ DEFAULT_MAX_POOL_FAILURES = 2
 
 #: base backoff (seconds) between pool rebuilds; doubles per failure
 DEFAULT_BACKOFF = 0.1
+
+#: polling granularity (seconds) while awaiting pool futures under a
+#: cancel token — bounds how late a cancellation is noticed
+CANCEL_POLL_INTERVAL = 0.05
+
+
+class RunCancelled(RuntimeError):
+    """A run was cancelled through its :class:`CancelToken`.
+
+    Deliberately *not* a pool failure: the runner abandons its pool but
+    records no ``pool.failure`` metrics or failure reasons — see the
+    module docstring's failure-semantics contract.
+    """
+
+
+class CancelToken:
+    """Thread-safe one-shot cancellation flag for a :class:`ParallelRunner`.
+
+    The service layer holds the token on its side of the thread boundary
+    and fires it when a request deadline expires; the runner checks it
+    between inline shards and while polling pool futures.
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Fire the token (idempotent; the first reason wins)."""
+        if not self._event.is_set():
+            self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
 
 
 def split_samples(num_samples: int, shard_size: int) -> List[int]:
@@ -130,6 +180,7 @@ class RunStats:
     pool_failures: int = 0
     retries: int = 0
     timeouts: int = 0
+    cancelled: bool = False
     degraded: bool = False
     degrade_reason: Optional[str] = None
     failure_reasons: List[str] = field(default_factory=list)
@@ -196,6 +247,13 @@ class ParallelRunner:
         collected.  Timed-out shards eventually run to completion
         in-process (which cannot hang on a lost worker), preserving the
         never-fail guarantee.
+    cancel_token:
+        Optional :class:`CancelToken` another thread may fire to abort
+        the run: :meth:`map` then raises :class:`RunCancelled` (after
+        abandoning any pool without waiting).  A cancel is not a pool
+        failure — it records the ``pool.cancelled`` metric and sets
+        ``stats.cancelled``, but never touches ``pool_failures`` /
+        ``retries`` / ``failure_reasons``.
     """
 
     def __init__(
@@ -204,6 +262,7 @@ class ParallelRunner:
         max_pool_failures: int = DEFAULT_MAX_POOL_FAILURES,
         backoff: float = DEFAULT_BACKOFF,
         shard_timeout: Optional[float] = None,
+        cancel_token: Optional[CancelToken] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -215,6 +274,7 @@ class ParallelRunner:
         self.max_pool_failures = max_pool_failures
         self.backoff = backoff
         self.shard_timeout = shard_timeout
+        self.cancel_token = cancel_token
         self.stats = RunStats(jobs=jobs)
 
     @classmethod
@@ -250,6 +310,7 @@ class ParallelRunner:
             self._map_pool(fn, tasks, counts, results, remaining)
         tracer = current_tracer()
         for i in sorted(remaining):
+            self._check_cancel()
             if tracer.enabled:
                 with tracer.span("shard", shard=i, samples=counts[i]):
                     res, dt, _, _ = _timed_call(fn, tasks[i])
@@ -260,6 +321,51 @@ class ParallelRunner:
         self.stats.samples = sum(counts)
         self.stats.elapsed = time.perf_counter() - t_start
         return results
+
+    def _check_cancel(self) -> None:
+        """Raise :class:`RunCancelled` if the cancel token has fired.
+
+        Records the cancellation (``pool.cancelled`` metric,
+        ``stats.cancelled``) exactly once — the raise aborts the run, so
+        this cannot re-fire.  Deliberately does *not* touch the pool
+        failure accounting (``pool_failures``/``retries``/
+        ``failure_reasons``): a request-level cancel is not a pool loss.
+        """
+        token = self.cancel_token
+        if token is None or not token.cancelled:
+            return
+        reason = token.reason or "cancelled"
+        self.stats.cancelled = True
+        metrics().count("pool.cancelled")
+        current_tracer().event("pool.cancelled", reason=reason)
+        raise RunCancelled(reason)
+
+    def _await_future(self, future):
+        """Collect one pool future under the shard timeout and cancel token.
+
+        Without a cancel token this is a plain ``result(shard_timeout)``
+        wait; with one, the wait polls at :data:`CANCEL_POLL_INTERVAL`
+        so a cancellation fired mid-shard is noticed promptly.
+        """
+        if self.cancel_token is None:
+            return future.result(timeout=self.shard_timeout)
+        deadline = (
+            None
+            if self.shard_timeout is None
+            else time.monotonic() + self.shard_timeout
+        )
+        while True:
+            self._check_cancel()
+            wait = CANCEL_POLL_INTERVAL
+            if deadline is not None:
+                wait = min(wait, deadline - time.monotonic())
+                if wait <= 0:
+                    raise FutureTimeoutError()
+            try:
+                return future.result(timeout=wait)
+            except FutureTimeoutError:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
 
     def _map_pool(
         self,
@@ -282,9 +388,7 @@ class ParallelRunner:
                     for i in sorted(remaining)
                 }
                 for i, future in futures.items():
-                    res, dt, records, delta = future.result(
-                        timeout=self.shard_timeout
-                    )
+                    res, dt, records, delta = self._await_future(future)
                     results[i] = res
                     remaining.discard(i)
                     self.stats.shards.append(

@@ -1,0 +1,112 @@
+"""JSON-lines client for the evaluation daemon.
+
+The protocol allows responses out of order (the daemon evaluates each
+line concurrently), so :class:`ServiceClient` assigns every request an
+id, runs one background reader task and routes each response to the
+future awaiting that id.  One client may therefore issue many
+concurrent :meth:`~ServiceClient.request` calls over a single
+connection — which is exactly what the coalescing load test does.
+
+:func:`request_once` is the synchronous one-shot convenience used by
+the CLI examples and the smoke tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Any, Dict, Optional
+
+__all__ = ["ServiceClient", "request_once"]
+
+
+class ServiceClient:
+    """Async client multiplexing requests over one connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiting: Dict[str, asyncio.Future] = {}
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = json.loads(line)
+                future = self._waiting.pop(str(response.get("id")), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, asyncio.CancelledError, json.JSONDecodeError):
+            pass
+        finally:
+            # connection gone: fail everything still waiting
+            for future in self._waiting.values():
+                if not future.done():
+                    future.set_exception(ConnectionError("connection closed"))
+            self._waiting.clear()
+
+    async def request(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> Dict[str, Any]:
+        """Send one request and await its (id-correlated) response."""
+        req_id = f"c{next(self._ids)}"
+        message: Dict[str, Any] = {"id": req_id, "kind": kind}
+        if params is not None:
+            message["params"] = params
+        if deadline is not None:
+            message["deadline"] = deadline
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiting[req_id] = future
+        self._writer.write(json.dumps(message).encode() + b"\n")
+        await self._writer.drain()
+        if timeout is None:
+            return await future
+        return await asyncio.wait_for(future, timeout=timeout)
+
+    async def aclose(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def request_once(
+    host: str,
+    port: int,
+    kind: str,
+    params: Optional[Dict[str, Any]] = None,
+    deadline: Optional[float] = None,
+    timeout: Optional[float] = 60.0,
+) -> Dict[str, Any]:
+    """Connect, send one request, return the response (sync one-shot)."""
+
+    async def go() -> Dict[str, Any]:
+        client = await ServiceClient.connect(host, port)
+        try:
+            return await client.request(kind, params, deadline, timeout)
+        finally:
+            await client.aclose()
+
+    return asyncio.run(go())

@@ -1,0 +1,69 @@
+"""Request dedup and coalescing over content-addressed keys.
+
+Identical concurrent requests — same experiment, same parameters, same
+seed — are the common case under fan-out traffic (dashboards refreshing
+the same sweep, a fleet of clients probing the same design point).  The
+service keys every request with the *same* content address the result
+cache uses, so "identical" is exact, not heuristic.
+
+The first request for a key becomes the **leader** and actually
+evaluates; every later arrival while the leader is in flight becomes a
+**follower** and simply awaits the leader's response future.  N
+identical concurrent requests therefore perform exactly one pool
+evaluation (asserted by the load test).  Followers count under the
+``service.coalesce_hits`` metric.
+
+Futures resolve with *response dicts*, never exceptions — an evaluation
+error is itself a response — so a follower can never be poisoned by an
+exception it has no context for, and an unobserved future never logs
+"exception was never retrieved".
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """In-flight request registry: one future per content key."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+
+    @property
+    def depth(self) -> int:
+        """Number of distinct keys currently in flight."""
+        return len(self._inflight)
+
+    def lead_or_join(self, key: str) -> Tuple["asyncio.Future[Any]", bool]:
+        """Return ``(future, is_leader)`` for *key*.
+
+        The leader gets a fresh future it must eventually
+        :meth:`resolve`; followers get the existing one to await.
+        """
+        future = self._inflight.get(key)
+        if future is not None:
+            return future, False
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        return future, True
+
+    def resolve(self, key: str, response: Optional[Dict[str, Any]]) -> None:
+        """Deliver the leader's response to every follower and retire *key*.
+
+        Safe to call with an already-done future (e.g. a drain path that
+        force-failed everything first); the first resolution wins.
+        """
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(response)
+
+    def abort_all(self, response: Dict[str, Any]) -> int:
+        """Resolve every in-flight key with *response* (drain path)."""
+        keys = list(self._inflight)
+        for key in keys:
+            self.resolve(key, dict(response))
+        return len(keys)

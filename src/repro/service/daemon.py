@@ -1,0 +1,494 @@
+"""The evaluation daemon: asyncio JSON-lines front-end over the pool.
+
+``repro serve`` runs one :class:`EvalService` — a long-lived process
+that answers Monte-Carlo, sweep and synthesis requests over a line-
+oriented JSON protocol (one request object per line, one response
+object per line; responses may arrive out of order and carry the
+request ``id`` for correlation).
+
+A request travels::
+
+    parse -> cache short-circuit -> coalesce -> breaker -> admission
+          -> retry(evaluate on warm worker, cancellable) -> respond
+
+* **parse** (:mod:`repro.service.requests`) — strict validation; the
+  normalized request carries the same content-addressed key the result
+  cache uses.
+* **cache short-circuit** — a persistent-cache hit answers before the
+  queue is ever consulted; a full queue cannot shed work the service
+  already knows the answer to.
+* **coalesce** (:mod:`repro.service.coalesce`) — identical in-flight
+  requests share one evaluation.
+* **breaker** (:mod:`repro.service.breaker`) — a pool that keeps
+  failing is taken out of rotation; requests are answered from the
+  Section-3 analytical model (:mod:`repro.service.degrade`) with
+  ``"degraded": true`` until a half-open probe succeeds.
+* **admission** (:mod:`repro.service.admission`) — bounded per-class
+  occupancy; overload sheds fast with a ``retry_after`` hint.
+* **retry** (:mod:`repro.service.retry`) — transient pool failures are
+  retried under a jittered-backoff budget; a request ``deadline``
+  cancels the evaluation *inside* the pool via the runner's
+  :class:`~repro.runners.parallel.CancelToken`.
+
+Evaluations run on a small resident :class:`~concurrent.futures.
+ThreadPoolExecutor` — the worker threads stay warm across requests, so
+per-process caches (operator netlists, compiled engines) amortize the
+way a long-running service wants them to.
+
+Lifecycle: ``SIGTERM``/``SIGINT`` trigger a graceful drain — the
+listener closes, in-flight requests finish (bounded by
+``drain_timeout``), stragglers are answered with a ``draining``
+rejection — and ``healthz``/``readyz`` separate liveness ("the process
+answers") from readiness ("new work is being admitted").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.obs.metrics import metrics
+from repro.obs.trace import current_tracer
+from repro.runners.cache import cache_for
+from repro.runners.config import RunConfig
+from repro.runners.parallel import CancelToken, ParallelRunner, RunCancelled
+from repro.service.admission import AdmissionController, ShedRequest
+from repro.service.breaker import CircuitBreaker
+from repro.service.coalesce import Coalescer
+from repro.service.degrade import degraded_answer
+from repro.service.requests import (
+    ADMIN_KINDS,
+    EvalRequest,
+    RequestError,
+    parse_request,
+)
+from repro.service.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "ServiceConfig",
+    "EvalService",
+    "TransientEvalError",
+    "evaluate_request",
+    "run_service",
+]
+
+
+class TransientEvalError(RuntimeError):
+    """A retryable evaluation failure (injectable in tests/benchmarks)."""
+
+
+#: exception types the retry policy treats as transient
+TRANSIENT_ERRORS = (TransientEvalError, BrokenProcessPool, OSError)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything one :class:`EvalService` needs, in one place."""
+
+    run_config: RunConfig = field(default_factory=RunConfig)
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is EvalService.port
+    concurrency: int = 2  # resident warm evaluator threads
+    limits: Optional[Mapping[str, int]] = None  # admission per-class caps
+    total_limit: Optional[int] = None
+    default_deadline: Optional[float] = None
+    max_samples: int = 200_000
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY
+    failure_threshold: int = 3
+    reset_timeout: float = 5.0
+    half_open_probes: int = 1
+    drain_timeout: float = 30.0
+
+
+def evaluate_request(req: EvalRequest, cancel_token: CancelToken) -> Dict[str, Any]:
+    """Default evaluator: run the experiment entry point, return its dict.
+
+    Runs on a worker thread.  The :class:`CancelToken` threads through
+    to the :class:`ParallelRunner` so a fired deadline stops the
+    evaluation between shards instead of orphaning it.
+    """
+    config = req.config
+    runner = ParallelRunner.from_config(config)
+    runner.cancel_token = cancel_token
+    params = req.params
+    if req.kind == "montecarlo":
+        from repro.sim.montecarlo import run_montecarlo
+
+        result = run_montecarlo(
+            config,
+            num_samples=params["samples"],
+            depths=list(params["depths"]),
+            runner=runner,
+        )
+    elif req.kind == "sweep":
+        from repro.sim.sweep import run_sweep
+
+        result = run_sweep(
+            config,
+            design="online",
+            num_samples=params["samples"],
+            timing="stage",
+            steps=list(params["steps"]),
+            runner=runner,
+        )
+    else:  # synthesis
+        from repro.synth.demos import demo_datapath
+        from repro.synth.search import run_synthesis
+
+        kwargs: Dict[str, Any] = {}
+        if params["periods"]:  # otherwise keep run_synthesis's default grid
+            kwargs["periods"] = list(params["periods"])
+        result = run_synthesis(
+            config,
+            demo_datapath(params["datapath"], config.ndigits),
+            target={
+                "metric": params["target_metric"],
+                "value": params["target_value"],
+            },
+            wordlengths=params["wordlengths"],
+            num_samples=params["samples"],
+            runner=runner,
+            **kwargs,
+        )
+    payload = result.to_dict()
+    payload.pop("metrics", None)
+    return payload
+
+
+class EvalService:
+    """One daemon instance: admission, dedup, breaker, retry, lifecycle.
+
+    ``evaluator`` is injectable (tests and the load benchmark swap in
+    fault-injected ones); it must be a callable ``(EvalRequest,
+    CancelToken) -> dict`` and may run for a while — it is always
+    invoked on the executor, never on the event loop.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        evaluator: Optional[
+            Callable[[EvalRequest, CancelToken], Dict[str, Any]]
+        ] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.evaluator = evaluator or evaluate_request
+        self.admission = AdmissionController(
+            limits=self.config.limits,
+            total=self.config.total_limit,
+            concurrency=self.config.concurrency,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.failure_threshold,
+            reset_timeout=self.config.reset_timeout,
+            half_open_probes=self.config.half_open_probes,
+        )
+        self.coalescer = Coalescer()
+        self.cache = cache_for(self.config.run_config)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.concurrency,
+            thread_name_prefix="repro-eval",
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._draining = False
+        self._closed = asyncio.Event()
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind the listener (idempotent); sets :attr:`port`."""
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(
+            self._on_client, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        current_tracer().event(
+            "service.start", host=self.config.host, port=self.port
+        )
+
+    async def serve_forever(self, install_signals: bool = True) -> None:
+        """Start and serve until :meth:`drain` completes."""
+        await self.start()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(
+                        sig, lambda: asyncio.ensure_future(self.drain())
+                    )
+                except NotImplementedError:  # pragma: no cover - non-unix
+                    pass
+        await self._closed.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop admitting, let in-flight work finish."""
+        if self._draining:
+            return
+        self._draining = True
+        current_tracer().event("service.drain", inflight=self.admission.depth())
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_timeout
+        while self.admission.depth() > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        # anything still in flight gets an honest rejection, not silence
+        aborted = self.coalescer.abort_all(
+            {"ok": False, "code": "draining", "error": "service draining"}
+        )
+        if aborted:
+            metrics().count("service.drain_aborted", aborted)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._closed.set()
+
+    # ------------------------------------------------------------- protocol
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: a task per request line, responses as they land."""
+        write_lock = asyncio.Lock()
+        pending = set()
+
+        async def respond(response: Dict[str, Any]) -> None:
+            data = json.dumps(response, sort_keys=True).encode() + b"\n"
+            async with write_lock:
+                writer.write(data)
+                try:
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    pass
+
+        async def handle_line(line: bytes) -> None:
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError as exc:
+                await respond(
+                    {"ok": False, "code": "bad_request",
+                     "error": f"invalid JSON: {exc}"}
+                )
+                return
+            try:
+                response = await self.handle(message)
+            except Exception as exc:  # a handler bug must not kill the client
+                metrics().count("service.internal_errors")
+                response = {
+                    "ok": False,
+                    "code": "internal",
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "id": message.get("id")
+                    if isinstance(message, Mapping) else None,
+                }
+            await respond(response)
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(handle_line(line))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            # close without awaiting wait_closed(): the peer may already
+            # be gone and an event-loop teardown cancels the wait
+            writer.close()
+
+    # ------------------------------------------------------------- handling
+    async def handle(self, message: Any) -> Dict[str, Any]:
+        """Answer one decoded request object (also the in-process API)."""
+        if isinstance(message, Mapping) and message.get("kind") in ADMIN_KINDS:
+            return self._admin(message)
+        try:
+            req = parse_request(
+                message if isinstance(message, Mapping) else None,
+                base_config=self.config.run_config,
+                default_deadline=self.config.default_deadline,
+                max_samples=self.config.max_samples,
+            )
+        except RequestError as exc:
+            metrics().count("service.bad_requests")
+            req_id = message.get("id") if isinstance(message, Mapping) else None
+            return {"ok": False, "code": "bad_request", "error": str(exc),
+                    "id": req_id}
+        if self._draining:
+            return {"ok": False, "code": "draining",
+                    "error": "service draining", "id": req.id}
+        metrics().count("service.requests")
+        metrics().count(f"service.requests.{req.kind}")
+
+        cached = self._cache_lookup(req)
+        if cached is not None:
+            return cached
+
+        future, is_leader = self.coalescer.lead_or_join(req.key)
+        if not is_leader:
+            metrics().count("service.coalesce_hits")
+            current_tracer().event("service.coalesce", key=req.key)
+            response = dict(await asyncio.shield(future))
+            response["id"] = req.id
+            response["coalesced"] = True
+            return response
+        try:
+            response = await self._evaluate_leader(req)
+        except BaseException:
+            # never leave followers hanging on a leader crash
+            self.coalescer.resolve(
+                req.key,
+                {"ok": False, "code": "internal",
+                 "error": "leader failed unexpectedly"},
+            )
+            raise
+        self.coalescer.resolve(req.key, response)
+        return response
+
+    def _admin(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        kind = message["kind"]
+        req_id = message.get("id")
+        if kind == "healthz":
+            return {"ok": True, "id": req_id, "status": "alive"}
+        if kind == "readyz":
+            ready = self._server is not None and not self._draining
+            return {
+                "ok": ready,
+                "id": req_id,
+                "status": "ready" if ready else "not-ready",
+                "draining": self._draining,
+                "breaker": self.breaker.state,
+            }
+        # stats
+        return {
+            "ok": True,
+            "id": req_id,
+            "breaker": self.breaker.state,
+            "queue_depth": self.admission.depth(),
+            "inflight_keys": self.coalescer.depth,
+            "service_time_estimate": self.admission.service_time_estimate,
+            "counters": metrics().snapshot().get("counters", {}),
+        }
+
+    def _cache_lookup(self, req: EvalRequest) -> Optional[Dict[str, Any]]:
+        if self.cache is None or req.cache_key is None:
+            return None
+        hit = self.cache.get(req.cache_key)
+        if hit is None:
+            return None
+        metrics().count("service.cache_short_circuit")
+        payload = hit.to_dict()
+        payload.pop("metrics", None)
+        return {
+            "ok": True,
+            "id": req.id,
+            "kind": req.kind,
+            "key": req.key,
+            "cached": True,
+            "result": payload,
+        }
+
+    async def _evaluate_leader(self, req: EvalRequest) -> Dict[str, Any]:
+        """Breaker -> admission -> retried, deadline-bounded evaluation."""
+        if not self.breaker.allow():
+            metrics().count("service.degraded")
+            reason = (
+                f"breaker open ({self.breaker.last_failure or 'pool down'})"
+            )
+            current_tracer().event("service.degraded", key=req.key)
+            return degraded_answer(req, reason)
+        try:
+            self.admission.try_acquire(req.kind)
+        except ShedRequest as exc:
+            return {
+                "ok": False,
+                "code": "shed",
+                "error": exc.reason,
+                "retry_after": exc.retry_after,
+                "id": req.id,
+            }
+        started = time.monotonic()
+        loop = asyncio.get_running_loop()
+        token = CancelToken()
+
+        def on_retry(attempt: int, delay: float, exc: BaseException) -> None:
+            metrics().count("service.retries")
+            current_tracer().event(
+                "service.retry", attempt=attempt, delay=delay, error=str(exc)
+            )
+
+        async def attempt() -> Dict[str, Any]:
+            return await loop.run_in_executor(
+                self._executor, self.evaluator, req, token
+            )
+
+        try:
+            coro = self.config.retry.acall(
+                attempt, retry_on=TRANSIENT_ERRORS, on_retry=on_retry
+            )
+            if req.deadline is not None:
+                payload = await asyncio.wait_for(coro, timeout=req.deadline)
+            else:
+                payload = await coro
+        except asyncio.TimeoutError:
+            token.cancel("deadline exceeded")
+            metrics().count("service.deadline_exceeded")
+            return {
+                "ok": False,
+                "code": "deadline",
+                "error": f"deadline of {req.deadline}s exceeded",
+                "id": req.id,
+            }
+        except RunCancelled as exc:
+            return {"ok": False, "code": "cancelled", "error": str(exc),
+                    "id": req.id}
+        except TRANSIENT_ERRORS as exc:
+            # retries spent: this is a *final* pool failure — trip the
+            # breaker's counter and still answer, from the model
+            self.breaker.record_failure(f"{type(exc).__name__}: {exc}")
+            metrics().count("service.pool_exhausted")
+            metrics().count("service.degraded")
+            return degraded_answer(
+                req, f"pool failed after retries ({type(exc).__name__})"
+            )
+        except Exception as exc:  # deterministic evaluation error
+            metrics().count("service.errors")
+            return {
+                "ok": False,
+                "code": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "id": req.id,
+            }
+        finally:
+            self.admission.release(
+                req.kind, service_time=time.monotonic() - started
+            )
+        self.breaker.record_success()
+        return {
+            "ok": True,
+            "id": req.id,
+            "kind": req.kind,
+            "key": req.key,
+            "result": payload,
+        }
+
+
+def run_service(config: Optional[ServiceConfig] = None) -> None:
+    """Blocking entry point for ``repro serve``."""
+    service = EvalService(config)
+
+    async def main() -> None:
+        await service.serve_forever()
+
+    asyncio.run(main())

@@ -1,0 +1,151 @@
+"""Graceful degradation: analytical answers when the pool is down.
+
+When the circuit breaker is open the daemon cannot (and should not)
+queue work onto the broken worker pool — but the paper's Section-3
+expectation model answers the same questions *analytically* in
+microseconds, with no pool, no sampling and no numpy broadcasting worth
+sharding.  This module renders those answers in the same shape as the
+simulated ones, so a degraded service stays **available**: every
+request is still answered, just from the model instead of Monte-Carlo
+measurement.
+
+Degraded responses are explicitly marked — ``"degraded": true`` plus a
+``degraded_reason`` — because an analytical expectation is a *predicted*
+mean, not a measured sample statistic; clients must be able to tell the
+difference.  The documented agreement band between the two is the
+model-vs-measurement tolerance pinned by the integration suite
+(:data:`repro.synth.model.MODEL_TOLERANCE_FACTOR`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.model.expectation import OverclockingErrorModel
+from repro.synth.demos import demo_datapath
+from repro.synth.model import predict_design
+from repro.service.requests import EvalRequest
+
+__all__ = ["degraded_answer"]
+
+
+def _depth_rows(
+    model: OverclockingErrorModel, depths: List[int]
+) -> List[Dict[str, float]]:
+    """Per-depth analytical rows, clamped to the model's domain.
+
+    The Section-3 model is defined for ``delta < b <= num_stages``.
+    Below that, not even the first output digit is produced correctly —
+    the violated digit is the MSD, so the row reports certain violation
+    at MSD magnitude (``kappa``).  Above ``num_stages`` the clock is
+    not overclocked at all and both columns are exactly zero.
+    """
+    rows = []
+    for b in depths:
+        clamped = min(int(b), model.num_stages)
+        if clamped <= model.delta:
+            err, p_viol = model.kappa, 1.0
+        else:
+            err = model.expected_error(clamped)
+            p_viol = model.violation_probability(clamped)
+        rows.append(
+            {
+                "depth": int(b),
+                "mean_abs_error": err,
+                "violation_probability": p_viol,
+            }
+        )
+    return rows
+
+
+def _synthesis_answer(req: EvalRequest) -> Dict[str, Any]:
+    """Smallest-latency all-online candidate meeting the target, by model.
+
+    The full search ranks (assignment × n × b) and verifies by
+    simulation; the degraded path keeps only the coarse analytical
+    ranking over the all-online assignment — the paper's headline
+    configuration — and reports the first (smallest-latency) candidate
+    whose *predicted* accuracy meets the target.
+    """
+    params = req.params
+    metric = params["target_metric"]
+    value = params["target_value"]
+    wordlengths = params["wordlengths"] or (req.config.ndigits,)
+    delta = req.config.delta
+    candidates = []
+    for n in wordlengths:
+        dp = demo_datapath(params["datapath"], n)
+        graph = dp.to_graph()
+        assignment = {
+            node["label"]: ("online-mult" if node["kind"] == "mul"
+                            else "online-add")
+            for node in graph["nodes"]
+            if node["kind"] in ("mul", "add")
+        }
+        for b in range(1, n + delta + 1):
+            pred = predict_design(graph, assignment, n, delta, b)
+            if not pred.feasible:
+                continue
+            meets = (
+                pred.mre_percent <= value
+                if metric == "mre"
+                else pred.snr_db >= value
+            )
+            candidates.append(
+                {
+                    "ndigits": int(n),
+                    "depth": int(b),
+                    "latency_gates": pred.latency_gates,
+                    "predicted_mre_percent": pred.mre_percent,
+                    "predicted_snr_db": pred.snr_db,
+                    "area_luts": pred.area_luts,
+                    "meets_target": bool(meets),
+                }
+            )
+    feasible = [c for c in candidates if c["meets_target"]]
+    feasible.sort(key=lambda c: (c["latency_gates"], c["area_luts"]))
+    return {
+        "datapath": params["datapath"],
+        "target": {"metric": metric, "value": value},
+        "best": feasible[0] if feasible else None,
+        "num_candidates": len(candidates),
+        "num_meeting_target": len(feasible),
+        "verified": False,
+    }
+
+
+def degraded_answer(req: EvalRequest, reason: str) -> Dict[str, Any]:
+    """Answer *req* from the Section-3 analytical model.
+
+    The payload mirrors the simulated response's fields where they have
+    analytical counterparts; sampled-only fields are omitted rather
+    than fabricated.
+    """
+    config = req.config
+    if req.kind == "montecarlo":
+        model = OverclockingErrorModel(config.ndigits, config.delta)
+        result: Dict[str, Any] = {
+            "ndigits": config.ndigits,
+            "delta": config.delta,
+            "rows": _depth_rows(model, list(req.params["depths"])),
+        }
+    elif req.kind == "sweep":
+        model = OverclockingErrorModel(config.ndigits, config.delta)
+        result = {
+            "ndigits": config.ndigits,
+            "delta": config.delta,
+            "design": "online",
+            "rows": _depth_rows(model, list(req.params["steps"])),
+        }
+    else:  # synthesis
+        result = _synthesis_answer(req)
+    return {
+        "id": req.id,
+        "ok": True,
+        "kind": req.kind,
+        "degraded": True,
+        "degraded_reason": reason,
+        "source": "analytical-model",
+        "key": req.key,
+        "result": result,
+    }

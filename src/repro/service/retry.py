@@ -1,0 +1,141 @@
+"""Reusable retry policy: decorrelated-jitter backoff under a hard budget.
+
+The service retries *transient* evaluation failures (a broken worker
+pool, an interrupted system call) — never deterministic worker
+exceptions, which would fail identically on every attempt.  The backoff
+shape is "decorrelated jitter": each delay is drawn uniformly from
+``[base, 3 * previous]`` and clamped to ``cap``, which spreads retries
+of concurrent requests apart instead of synchronizing them into waves
+the way fixed exponential backoff does.
+
+Two invariants hold by construction (property-tested in
+``tests/service/test_retry.py``):
+
+* every emitted delay lies in ``[base, cap]``;
+* the *sum* of emitted delays never exceeds ``budget`` — a retry whose
+  delay would overdraw the budget is simply not attempted, so a caller
+  holding a request deadline can bound worst-case added latency as
+  ``budget`` exactly, not "budget plus one more cap".
+
+Everything time-related is injectable (``sleep``, ``rng``), so tests run
+in virtual time and the property suite needs no real sleeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Tuple, Type
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Decorrelated-jitter retry schedule with a total sleep budget.
+
+    Attributes
+    ----------
+    base:
+        Minimum (and first-attempt anchor) delay in seconds.
+    cap:
+        Maximum single delay.
+    budget:
+        Hard ceiling on the *sum* of all delays of one call.
+    max_attempts:
+        Total tries including the first (``max_attempts - 1`` retries).
+    """
+
+    base: float = 0.05
+    cap: float = 2.0
+    budget: float = 8.0
+    max_attempts: int = 6
+
+    def __post_init__(self) -> None:
+        if not self.base > 0:
+            raise ValueError(f"base must be > 0, got {self.base!r}")
+        if self.cap < self.base:
+            raise ValueError(
+                f"cap must be >= base, got cap={self.cap!r} base={self.base!r}"
+            )
+        if self.budget < 0:
+            raise ValueError(f"budget must be >= 0, got {self.budget!r}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+
+    # ------------------------------------------------------------- schedule
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """Yield the backoff delays, maintaining both invariants.
+
+        A delay that would push the running total past ``budget`` ends
+        the schedule (it is not clamped — clamping could emit a value
+        below ``base`` and would overdraw the budget's intent of
+        bounding *useful* waits, not truncating them).
+        """
+        rng = rng if rng is not None else random.Random()
+        prev = self.base
+        spent = 0.0
+        for _ in range(self.max_attempts - 1):
+            delay = min(self.cap, rng.uniform(self.base, prev * 3))
+            if spent + delay > self.budget:
+                return
+            spent += delay
+            prev = delay
+            yield delay
+
+    # ----------------------------------------------------------------- sync
+    def call(
+        self,
+        fn: Callable[[], Any],
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+        on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+    ) -> Any:
+        """Run *fn* with retries; re-raises the last exception when spent."""
+        schedule = self.delays(rng)
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except retry_on as exc:
+                delay = next(schedule, None)
+                if delay is None:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, delay, exc)
+                sleep(delay)
+                attempt += 1
+
+    # ---------------------------------------------------------------- async
+    async def acall(
+        self,
+        fn: Callable[[], Any],
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        sleep: Callable[[float], Any] = asyncio.sleep,
+        rng: Optional[random.Random] = None,
+        on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+    ) -> Any:
+        """Async :meth:`call`: *fn* returns an awaitable per attempt."""
+        schedule = self.delays(rng)
+        attempt = 1
+        while True:
+            try:
+                return await fn()
+            except retry_on as exc:
+                delay = next(schedule, None)
+                if delay is None:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, delay, exc)
+                await sleep(delay)
+                attempt += 1
+
+
+#: the service default: quick first retry, bounded well under a typical
+#: request deadline
+DEFAULT_RETRY_POLICY = RetryPolicy()

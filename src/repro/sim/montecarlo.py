@@ -226,6 +226,23 @@ def default_depths(ndigits: int, delta: int) -> List[int]:
     return list(range(delta + 1, ndigits + delta + 1))
 
 
+def montecarlo_key_components(
+    config: RunConfig, num_samples: int, depths: List[int]
+) -> Dict[str, Any]:
+    """The content-address components of one :func:`run_montecarlo` result.
+
+    Shared with the evaluation service, whose dedup/coalescing key and
+    pre-queue cache short-circuit must agree byte-for-byte with the key
+    the batch entry point stores under.
+    """
+    return dict(
+        experiment="montecarlo",
+        num_samples=int(num_samples),
+        depths=[int(b) for b in depths],
+        **config.describe(),
+    )
+
+
 def run_montecarlo(
     config: RunConfig,
     num_samples: int = 20000,
@@ -251,11 +268,8 @@ def run_montecarlo(
 
     tracer = current_tracer()
     cache = cache_for(config)
-    key_components = dict(
-        experiment="montecarlo",
-        num_samples=int(num_samples),
-        depths=[int(b) for b in depths_arr],
-        **config.describe(),
+    key_components = montecarlo_key_components(
+        config, num_samples, list(depths_arr)
     )
     key = cache_key(**key_components)
     runner = runner or ParallelRunner.from_config(config)

@@ -726,6 +726,50 @@ def _stage_sweep_shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
         )
 
 
+def stage_sweep_plan(config: RunConfig, periods=None, steps=None):
+    """Normalize a stage-sweep request into ``(requested, grid)`` depths.
+
+    *requested* preserves the caller's grid (duplicates and order, for
+    trace attributes); *grid* is the deduplicated, settle-clamped depth
+    set actually simulated and keyed on.  Shared with the evaluation
+    service so a service request and the batch entry point agree on the
+    design points — and therefore on the cache key — for any spelling
+    of the same grid.
+    """
+    if steps is not None and periods is not None:
+        raise ValueError("pass either steps or periods, not both")
+    s_tot = config.ndigits + config.delta
+    if steps is not None:
+        requested = [int(b) for b in steps]
+        if any(b < 0 for b in requested):
+            raise ValueError("capture depths must be >= 0")
+    elif periods is not None:
+        requested = stage_steps_for_periods(periods, s_tot)
+    else:
+        requested = list(range(s_tot + 1))
+    if not requested:
+        raise ValueError("the sweep grid must contain at least one period")
+    grid = sorted({min(b, s_tot) for b in requested})
+    return requested, grid
+
+
+def stage_sweep_key_components(
+    config: RunConfig, design: str, num_samples: int, grid
+) -> Dict[str, object]:
+    """Content-address components of one stage-timing sweep result.
+
+    Shared with the evaluation service (see
+    :func:`repro.sim.montecarlo.montecarlo_key_components`).
+    """
+    return dict(
+        experiment="sweep_stage",
+        design=design,
+        num_samples=int(num_samples),
+        steps=[int(b) for b in grid],
+        **config.describe(),
+    )
+
+
 def _run_stage_sweep(
     config: RunConfig,
     design: str,
@@ -741,20 +785,7 @@ def _run_stage_sweep(
             "(the stage-delay model has no meaning for the array multiplier "
             "netlist)"
         )
-    if steps is not None and periods is not None:
-        raise ValueError("pass either steps or periods, not both")
-    s_tot = config.ndigits + config.delta
-    if steps is not None:
-        requested = [int(b) for b in steps]
-        if any(b < 0 for b in requested):
-            raise ValueError("capture depths must be >= 0")
-    elif periods is not None:
-        requested = stage_steps_for_periods(periods, s_tot)
-    else:
-        requested = list(range(s_tot + 1))
-    if not requested:
-        raise ValueError("the sweep grid must contain at least one period")
-    grid = sorted({min(b, s_tot) for b in requested})
+    requested, grid = stage_sweep_plan(config, periods=periods, steps=steps)
 
     cache = cache_for(config)
     runner = runner or ParallelRunner.from_config(config)
@@ -772,12 +803,8 @@ def _run_stage_sweep(
         key = None
         key_components = None
         if cache is not None:
-            key_components = dict(
-                experiment="sweep_stage",
-                design=design,
-                num_samples=int(num_samples),
-                steps=[int(b) for b in grid],
-                **config.describe(),
+            key_components = stage_sweep_key_components(
+                config, design, num_samples, grid
             )
             key = cache_key(**key_components)
             hit = cache.get(key)

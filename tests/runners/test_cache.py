@@ -188,3 +188,121 @@ class TestCacheFor:
         cache = cache_for(RunConfig(cache_dir=str(target)))
         assert isinstance(cache, ResultCache)
         assert target.is_dir()
+
+
+class TestCrashSafety:
+    """SIGKILL mid-put must never leave an entry that reads as torn.
+
+    The commit protocol: arrays (npz) land first, the JSON rename is
+    the commit point, every rename is preceded by an fsync.  So after a
+    kill at *any* instant, a key whose JSON is visible must load
+    cleanly — and stray ``*.tmp`` droppings from the killed writer are
+    swept by the next cache open once they are unambiguously stale.
+    """
+
+    CHILD = """
+import sys
+import numpy as np
+from repro.runners import ResultCache
+from repro.sim.sweep import SweepResult
+
+cache = ResultCache(sys.argv[1])
+rng = np.random.default_rng(int(sys.argv[2]))
+n = 20000  # large arrays widen the mid-write kill window
+i = 0
+print("ready", flush=True)
+while True:
+    result = SweepResult(
+        steps=np.arange(n, dtype=np.int64),
+        mean_abs_error=rng.random(n),
+        violation_probability=rng.random(n),
+        rated_step=3,
+        settle_step=3,
+        error_free_step=3,
+        num_samples=16,
+    )
+    cache.put(f"round{sys.argv[2]}-entry{i:05d}", result)
+    i += 1
+"""
+
+    def test_sigkill_mid_put_leaves_no_torn_entries(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        import warnings
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        env.pop("REPRO_CACHE_DIR", None)
+        for round_no in range(3):
+            proc = subprocess.Popen(
+                [sys.executable, "-c", self.CHILD,
+                 str(tmp_path), str(round_no)],
+                env=env, stdout=subprocess.PIPE,
+            )
+            proc.stdout.readline()  # wait until the child started writing
+            time.sleep(0.25)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        cache = ResultCache(tmp_path)
+        keys = sorted(p.stem for p in tmp_path.glob("*.json"))
+        assert keys, "the children never committed a single entry"
+        with warnings.catch_warnings():
+            # a quarantine warning here IS the torn entry we must not see
+            warnings.simplefilter("error", RuntimeWarning)
+            for key in keys:
+                result = cache.get(key)
+                assert result is not None, f"committed entry {key} unreadable"
+                assert result.num_samples == 16
+        assert not (tmp_path / QUARANTINE_DIR).exists()
+
+    def test_committed_json_implies_readable_arrays(self, tmp_path):
+        # the ordering half of the protocol: for every visible JSON the
+        # npz it references must already be complete (npz first, JSON =
+        # commit point)
+        cache = ResultCache(tmp_path)
+        key = cache_key(ordering="check")
+        cache.put(key, make_sweep())
+        meta = json.loads((tmp_path / f"{key}.json").read_text())
+        assert meta["arrays"]
+        assert (tmp_path / f"{key}.npz").exists()
+
+
+class TestStaleTmpSweep:
+    def test_old_droppings_swept_on_open(self, tmp_path):
+        import os
+        import time
+
+        from repro.runners.cache import STALE_TMP_SECONDS
+
+        stale = tmp_path / "deadbeefabc123.tmp"
+        stale.write_bytes(b"half-written npz bytes")
+        old = time.time() - STALE_TMP_SECONDS - 120
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "cafef00d456789.tmp"
+        fresh.write_bytes(b"a writer may still own this")
+        ResultCache(tmp_path)
+        assert not stale.exists()  # unambiguously dead: swept
+        assert fresh.exists()  # possibly live writer: untouched
+
+    def test_sweep_tolerates_concurrent_unlink(self, tmp_path):
+        # racing caches must both open fine even if one sweeps first
+        import os
+        import time
+
+        from repro.runners.cache import STALE_TMP_SECONDS
+
+        stale = tmp_path / "feedface000000.tmp"
+        stale.write_bytes(b"x")
+        old = time.time() - STALE_TMP_SECONDS - 120
+        os.utime(stale, (old, old))
+        a = ResultCache(tmp_path)
+        b = ResultCache(tmp_path)
+        assert not stale.exists()
+        key = cache_key(race=1)
+        a.put(key, make_sweep())
+        assert b.get(key) is not None

@@ -251,6 +251,137 @@ class TestCachedRuns:
         assert again.run_stats.cache == "hit"
 
 
+def _sleep_then_double(task):
+    import time
+
+    time.sleep(task["sleep"])
+    return task["value"] * 2
+
+
+class TestCancellation:
+    """A request-level cancel is a fourth outcome: not success, not a
+    pool failure, not a degrade — and it must never pollute the failure
+    accounting the service's circuit breaker keys off."""
+
+    def test_precancelled_token_raises_before_any_work(self):
+        from repro.runners import CancelToken, RunCancelled
+
+        token = CancelToken()
+        token.cancel("caller gave up")
+        runner = ParallelRunner(jobs=1, cancel_token=token)
+        executed = []
+
+        def worker(task):
+            executed.append(task)
+            return task
+
+        with pytest.raises(RunCancelled, match="caller gave up"):
+            runner.map(worker, [1, 2, 3])
+        assert executed == []
+        assert runner.stats.cancelled
+
+    def test_inline_cancel_between_shards(self):
+        from repro.runners import CancelToken, RunCancelled
+
+        token = CancelToken()
+        runner = ParallelRunner(jobs=1, cancel_token=token)
+        executed = []
+
+        def worker(task):
+            executed.append(task)
+            if len(executed) == 2:
+                token.cancel()
+            return task
+
+        with pytest.raises(RunCancelled):
+            runner.map(worker, [1, 2, 3, 4])
+        assert executed == [1, 2]  # the check runs before each shard
+
+    def test_pool_cancel_does_not_count_as_pool_failure(self):
+        import threading
+        import time
+
+        from repro.obs import metrics
+        from repro.runners import CancelToken, RunCancelled
+
+        before = metrics().snapshot()["counters"].get("pool.cancelled", 0)
+        token = CancelToken()
+        runner = ParallelRunner(jobs=2, cancel_token=token)
+        tasks = [{"sleep": 0.8, "value": v} for v in range(4)]
+        timer = threading.Timer(0.15, token.cancel, args=("deadline",))
+        timer.start()
+        t0 = time.monotonic()
+        try:
+            with pytest.raises(RunCancelled, match="deadline"):
+                runner.map(_sleep_then_double, tasks, samples=[1] * 4)
+        finally:
+            timer.cancel()
+        assert time.monotonic() - t0 < 0.8  # did not wait for the shards
+        stats = runner.finalize_stats("cancelled")
+        # the satellite contract: exact failure accounting
+        assert stats.cancelled is True
+        assert stats.pool_failures == 0
+        assert stats.failure_reasons == []
+        assert not stats.degraded
+        after = metrics().snapshot()["counters"]["pool.cancelled"]
+        assert after == before + 1
+
+    def test_cancel_event_recorded_with_reason(self):
+        from repro.obs import Tracer, use_tracer
+        from repro.runners import CancelToken, RunCancelled
+
+        token = CancelToken()
+        token.cancel("client disconnected")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            runner = ParallelRunner(jobs=1, cancel_token=token)
+            with pytest.raises(RunCancelled):
+                runner.map(_double, [1])
+        events = [r for r in tracer.records if r["type"] == "event"]
+        cancelled = [e for e in events if e["name"] == "pool.cancelled"]
+        assert len(cancelled) == 1
+        assert cancelled[0]["attrs"]["reason"] == "client disconnected"
+
+    def test_shard_timeout_reason_string_is_exact(self):
+        # the timeout path must keep its documented reason string even
+        # with a cancel token installed (the polling await path)
+        from repro.runners import CancelToken
+
+        token = CancelToken()
+        runner = ParallelRunner(
+            jobs=2, shard_timeout=0.05, backoff=0.01, cancel_token=token
+        )
+        tasks = [{"sleep": 0.4, "value": v} for v in range(2)]
+        results = runner.map(_sleep_then_double, tasks, samples=[1, 1])
+        assert results == [0, 2]  # degraded inline and finished
+        stats = runner.finalize_stats("timeouts")
+        assert stats.degraded
+        assert not stats.cancelled
+        assert stats.pool_failures == runner.max_pool_failures
+        assert stats.failure_reasons == [
+            "shard exceeded shard_timeout=0.05s"
+        ] * runner.max_pool_failures
+
+    def test_timeout_without_token_keeps_same_reason(self):
+        runner = ParallelRunner(jobs=2, shard_timeout=0.05, backoff=0.01)
+        tasks = [{"sleep": 0.4, "value": v} for v in range(2)]
+        runner.map(_sleep_then_double, tasks, samples=[1, 1])
+        stats = runner.finalize_stats("timeouts")
+        assert stats.failure_reasons == [
+            "shard exceeded shard_timeout=0.05s"
+        ] * runner.max_pool_failures
+
+    def test_token_is_reusable_across_runners_until_fired(self):
+        from repro.runners import CancelToken
+
+        token = CancelToken()
+        r1 = ParallelRunner(jobs=1, cancel_token=token)
+        assert r1.map(_double, [1, 2]) == [2, 4]
+        r2 = ParallelRunner(jobs=1, cancel_token=token)
+        assert r2.map(_double, [3]) == [6]
+        assert not r1.stats.cancelled and not r2.stats.cancelled
+
+
 class TestDeprecationShims:
     def test_mc_expected_error_warns_but_matches_golden_path(self):
         with pytest.warns(DeprecationWarning):

@@ -1,0 +1,91 @@
+"""Degraded answers: the analytical model standing in for the pool."""
+
+from repro.core.model.expectation import OverclockingErrorModel
+from repro.runners.config import RunConfig
+from repro.service.degrade import degraded_answer
+from repro.service.requests import parse_request
+
+
+BASE = RunConfig(ndigits=4, seed=7, jobs=1, cache_dir=None)
+
+
+def make_request(kind, params):
+    return parse_request({"kind": kind, "id": "r1", "params": params},
+                         base_config=BASE)
+
+
+class TestContract:
+    def test_marked_degraded_with_reason(self):
+        req = make_request("montecarlo", {"samples": 100, "depths": [4, 6]})
+        resp = degraded_answer(req, "breaker open (pool down)")
+        assert resp["ok"] is True  # degraded, but *answered*
+        assert resp["degraded"] is True
+        assert resp["degraded_reason"] == "breaker open (pool down)"
+        assert resp["source"] == "analytical-model"
+        assert resp["id"] == "r1"
+        assert resp["key"] == req.key
+
+
+class TestMonteCarlo:
+    def test_rows_match_the_expectation_model(self):
+        req = make_request("montecarlo", {"samples": 100, "depths": [4, 6]})
+        resp = degraded_answer(req, "x")
+        model = OverclockingErrorModel(BASE.ndigits, BASE.delta)
+        rows = resp["result"]["rows"]
+        assert [r["depth"] for r in rows] == [4, 6]
+        for row in rows:
+            assert row["mean_abs_error"] == model.expected_error(row["depth"])
+            assert row["violation_probability"] == \
+                model.violation_probability(row["depth"])
+
+    def test_error_decreases_with_depth(self):
+        depths = [4, 5, 6, 7]
+        req = make_request("montecarlo", {"samples": 100, "depths": depths})
+        errors = [r["mean_abs_error"]
+                  for r in degraded_answer(req, "x")["result"]["rows"]]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_domain_clamping(self):
+        # b <= delta: certain violation at MSD magnitude;
+        # b >= settle depth: no overclocking error at all
+        s_tot = BASE.ndigits + BASE.delta
+        req = make_request(
+            "montecarlo", {"samples": 100, "depths": [1, s_tot]}
+        )
+        rows = degraded_answer(req, "x")["result"]["rows"]
+        assert rows[0]["violation_probability"] == 1.0
+        assert rows[1]["mean_abs_error"] == 0.0
+        assert rows[1]["violation_probability"] == 0.0
+
+
+class TestSweep:
+    def test_rows_over_the_step_grid(self):
+        req = make_request("sweep", {"samples": 100, "steps": [4, 6]})
+        result = degraded_answer(req, "x")["result"]
+        assert result["design"] == "online"
+        assert [r["depth"] for r in result["rows"]] == [4, 6]
+
+
+class TestSynthesis:
+    def test_answers_with_an_unverified_candidate(self):
+        req = make_request(
+            "synthesis",
+            {"samples": 100, "datapath": "prodsum", "target_mre": 50.0},
+        )
+        result = degraded_answer(req, "x")["result"]
+        assert result["verified"] is False
+        assert result["num_candidates"] > 0
+        best = result["best"]
+        assert best is not None
+        assert best["meets_target"] is True
+        # the winner is the smallest-latency candidate that meets target
+        assert best["predicted_mre_percent"] <= 50.0
+
+    def test_infeasible_target_answers_honestly(self):
+        req = make_request(
+            "synthesis",
+            {"samples": 100, "datapath": "prodsum", "target_snr": 1e6},
+        )
+        result = degraded_answer(req, "x")["result"]
+        assert result["best"] is None
+        assert result["num_meeting_target"] == 0

@@ -1,0 +1,183 @@
+"""Property tests for the retry policy — all in virtual time.
+
+The two documented invariants (every delay in ``[base, cap]``; the sum
+of delays never exceeds ``budget``) are checked over a wide random
+policy space, not just the defaults.
+"""
+
+import asyncio
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service.retry import RetryPolicy
+
+
+policies = st.builds(
+    RetryPolicy,
+    base=st.floats(0.001, 1.0),
+    cap=st.floats(1.0, 30.0),
+    budget=st.floats(0.0, 60.0),
+    max_attempts=st.integers(1, 12),
+)
+
+
+class TestScheduleInvariants:
+    @settings(max_examples=200, deadline=None)
+    @given(policies, st.integers(0, 2**32 - 1))
+    def test_delays_within_base_cap(self, policy, seed):
+        for delay in policy.delays(random.Random(seed)):
+            assert policy.base <= delay <= policy.cap
+
+    @settings(max_examples=200, deadline=None)
+    @given(policies, st.integers(0, 2**32 - 1))
+    def test_total_never_exceeds_budget(self, policy, seed):
+        total = sum(policy.delays(random.Random(seed)))
+        assert total <= policy.budget + 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(policies, st.integers(0, 2**32 - 1))
+    def test_at_most_max_attempts_minus_one_delays(self, policy, seed):
+        delays = list(policy.delays(random.Random(seed)))
+        assert len(delays) <= policy.max_attempts - 1
+
+    def test_deterministic_given_rng(self):
+        policy = RetryPolicy(base=0.1, cap=5.0, budget=20.0, max_attempts=8)
+        a = list(policy.delays(random.Random(42)))
+        b = list(policy.delays(random.Random(42)))
+        assert a == b and a  # same seed, same schedule, non-empty
+
+    def test_zero_budget_means_no_retries(self):
+        policy = RetryPolicy(base=0.1, cap=1.0, budget=0.0, max_attempts=5)
+        assert list(policy.delays(random.Random(0))) == []
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base": 0.0},
+            {"base": -1.0},
+            {"base": 2.0, "cap": 1.0},
+            {"budget": -0.1},
+            {"max_attempts": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCall:
+    def _flaky(self, failures, exc=OSError):
+        state = {"calls": 0}
+
+        def fn():
+            state["calls"] += 1
+            if state["calls"] <= failures:
+                raise exc("transient")
+            return "ok"
+
+        return fn, state
+
+    def test_retries_then_succeeds_in_virtual_time(self):
+        slept = []
+        policy = RetryPolicy(base=0.1, cap=1.0, budget=10.0, max_attempts=5)
+        fn, state = self._flaky(failures=3)
+        result = policy.call(
+            fn, retry_on=(OSError,), sleep=slept.append,
+            rng=random.Random(1),
+        )
+        assert result == "ok"
+        assert state["calls"] == 4
+        assert len(slept) == 3
+        assert all(policy.base <= d <= policy.cap for d in slept)
+
+    def test_reraises_when_schedule_exhausted(self):
+        slept = []
+        policy = RetryPolicy(base=0.1, cap=1.0, budget=10.0, max_attempts=3)
+        fn, state = self._flaky(failures=99)
+        with pytest.raises(OSError):
+            policy.call(fn, retry_on=(OSError,), sleep=slept.append,
+                        rng=random.Random(1))
+        assert state["calls"] == 3  # initial + 2 retries
+        assert sum(slept) <= policy.budget
+
+    def test_non_matching_exception_not_retried(self):
+        policy = RetryPolicy(max_attempts=5)
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise ValueError("deterministic")
+
+        with pytest.raises(ValueError):
+            policy.call(fn, retry_on=(OSError,), sleep=lambda d: None)
+        assert len(calls) == 1
+
+    def test_on_retry_callback_sees_attempts_and_delays(self):
+        policy = RetryPolicy(base=0.1, cap=1.0, budget=10.0, max_attempts=4)
+        seen = []
+        fn, _ = self._flaky(failures=2)
+        policy.call(
+            fn, retry_on=(OSError,), sleep=lambda d: None,
+            rng=random.Random(3),
+            on_retry=lambda attempt, delay, exc: seen.append(
+                (attempt, type(exc).__name__)
+            ),
+        )
+        assert seen == [(1, "OSError"), (2, "OSError")]
+
+    @settings(max_examples=50, deadline=None)
+    @given(policies, st.integers(0, 2**32 - 1))
+    def test_call_sleep_total_bounded_by_budget(self, policy, seed):
+        slept = []
+
+        def always_fail():
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            policy.call(always_fail, retry_on=(OSError,),
+                        sleep=slept.append, rng=random.Random(seed))
+        assert sum(slept) <= policy.budget + 1e-12
+
+
+class TestAcall:
+    def test_async_retries_with_fake_sleep(self):
+        policy = RetryPolicy(base=0.05, cap=0.5, budget=5.0, max_attempts=4)
+        slept = []
+        state = {"calls": 0}
+
+        async def fake_sleep(delay):
+            slept.append(delay)
+
+        async def fn():
+            state["calls"] += 1
+            if state["calls"] <= 2:
+                raise OSError("transient")
+            return 99
+
+        result = asyncio.run(
+            policy.acall(fn, retry_on=(OSError,), sleep=fake_sleep,
+                         rng=random.Random(5))
+        )
+        assert result == 99
+        assert state["calls"] == 3
+        assert len(slept) == 2
+        assert all(policy.base <= d <= policy.cap for d in slept)
+
+    def test_async_reraises_when_exhausted(self):
+        policy = RetryPolicy(base=0.05, cap=0.5, budget=5.0, max_attempts=2)
+
+        async def fake_sleep(delay):
+            pass
+
+        async def fn():
+            raise OSError("still down")
+
+        with pytest.raises(OSError):
+            asyncio.run(
+                policy.acall(fn, retry_on=(OSError,), sleep=fake_sleep,
+                             rng=random.Random(5))
+            )
