@@ -81,9 +81,32 @@ def run_config(**overrides) -> RunConfig:
     return RunConfig(**overrides)
 
 
+LEDGER_PATH = RESULTS_DIR / "ledger.jsonl"
+
+
 def emit(name: str, text: str) -> None:
     """Print a regenerated table and persist it under results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def publish(name: str, metrics: Dict[str, float], **meta) -> None:
+    """Append one schema-versioned record to the bench-regression ledger.
+
+    Records (git SHA, UTC timestamp, machine fingerprint, the numeric
+    *metrics*) accumulate in ``benchmarks/results/ledger.jsonl`` so
+    ``benchmarks/check_regression.py`` can gate the newest run of each
+    benchmark against its best prior one.  Extra keyword arguments land
+    under the record's ``meta`` (sample counts, job counts, knobs).
+    """
+    from repro.obs.ledger import append_record, make_record
+
+    record = make_record(name, metrics, meta=meta or None)
+    append_record(LEDGER_PATH, record)
+    summary = "  ".join(
+        f"{key}={record['metrics'][key]:.6g}"
+        for key in sorted(record["metrics"])
+    )
+    print(f"[ledger] {name}: {summary} -> {LEDGER_PATH}")

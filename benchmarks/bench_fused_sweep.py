@@ -26,7 +26,7 @@ import time
 
 import numpy as np
 
-from _common import MC_SAMPLES, emit
+from _common import MC_SAMPLES, emit, publish
 from repro.runners import RunConfig
 from repro.sim.montecarlo import uniform_digit_batch
 from repro.sim.reporting import format_table
@@ -181,6 +181,12 @@ def main(argv=None) -> int:
         num_samples = 4000 if args.quick else MC_SAMPLES
     rows = report(num_samples, repeats=1 if args.quick else 3)
     speedup = _kernel_speedup(rows)
+    publish(
+        "fused_sweep",
+        {"speedup": speedup},
+        samples=num_samples,
+        quick=args.quick,
+    )
     if not (args.quick or args.report_only) and speedup < TARGET_SPEEDUP:
         print(f"FAIL: speedup {speedup:.1f}x < {TARGET_SPEEDUP:.0f}x")
         return 1

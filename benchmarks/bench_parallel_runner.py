@@ -24,7 +24,7 @@ import time
 import numpy as np
 import pytest
 
-from _common import MC_SAMPLES, emit, run_config
+from _common import MC_SAMPLES, emit, publish, run_config
 from repro.sim.reporting import format_run_stats, format_table
 from repro.sim.sweep import run_sweep
 
@@ -161,6 +161,18 @@ def main(argv=None) -> int:
                 f"{num_samples} samples"
             ),
         ),
+    )
+
+    publish(
+        "parallel_runner",
+        {
+            "speedup": measures["speedup"],
+            # cold/warm so the ledger reads it as higher-is-better
+            "warm_speedup": 1.0 / measures["warm_ratio"],
+        },
+        samples=num_samples,
+        jobs=args.jobs,
+        quick=args.quick,
     )
 
     failures = []

@@ -27,7 +27,7 @@ import argparse
 import asyncio
 import time
 
-from _common import emit, run_config
+from _common import emit, publish, run_config
 from repro.obs.metrics import metrics
 from repro.service import (
     EvalService,
@@ -198,6 +198,10 @@ def phase_throughput(num_requests, cache_dir):
         "all_ok": all(r["ok"] for r in load["responses"]),
         "cache_hits": len(hits),
         "num_requests": num_requests,
+        "req_per_s": load["req_per_s"],
+        "p50_ms": load["p50"] * 1e3,
+        "p99_ms": load["p99"] * 1e3,
+        "cached_req_per_s": cached_load["req_per_s"],
     }
     rows = [
         [
@@ -347,6 +351,18 @@ def main(argv=None) -> int:
                 f"concurrency 4, limits {LIMITS['montecarlo']}"
             ),
         ),
+    )
+
+    publish(
+        "service",
+        {
+            "req_per_s": throughput["req_per_s"],
+            "p50_ms": throughput["p50_ms"],
+            "p99_ms": throughput["p99_ms"],
+            "cached_req_per_s": throughput["cached_req_per_s"],
+        },
+        requests=num_requests,
+        quick=args.quick,
     )
 
     failures = []

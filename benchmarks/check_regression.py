@@ -1,0 +1,68 @@
+"""Gate the bench-regression ledger: newest run vs best prior run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --report-only
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --tolerance 0.25 --ledger benchmarks/results/ledger.jsonl
+
+Reads the JSONL ledger the benchmarks ``publish()`` into, compares each
+benchmark's newest record metric-by-metric against the best prior value
+(direction-aware: ``req_per_s`` / ``speedup`` want to go up, ``p99`` /
+``overhead`` want to go down), and exits non-zero on any regression
+beyond the tolerance — unless ``--report-only``, the mode CI runs in
+while the ledger history is still shallow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs.ledger import (
+    DEFAULT_TOLERANCE,
+    compare,
+    format_report,
+    load_ledger,
+)
+
+DEFAULT_LEDGER = Path(__file__).resolve().parent / "results" / "ledger.jsonl"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare the newest ledger record of each benchmark "
+                    "against its best prior one."
+    )
+    parser.add_argument(
+        "--ledger", default=DEFAULT_LEDGER, type=Path,
+        help=f"ledger path (default: {DEFAULT_LEDGER})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="relative slack before a metric counts as regressed "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="print the comparison but always exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    records = load_ledger(args.ledger)
+    if not records:
+        print(f"no ledger records at {args.ledger}; nothing to gate")
+        return 0
+    verdicts = compare(records, tolerance=args.tolerance)
+    print(f"ledger: {args.ledger} ({len(records)} records)")
+    print(format_report(verdicts, tolerance=args.tolerance))
+    regressed = any(v.regressed for v in verdicts)
+    if regressed and not args.report_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

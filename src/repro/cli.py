@@ -40,6 +40,10 @@ Installed as ``repro-overclock`` (see ``pyproject.toml``), or run as
     Render the metrics snapshot recorded by the last traced run.
 ``trace``
     Render the span tree of a trace file written by ``--trace``.
+``top``
+    Tail a live daemon: a refreshing one-screen view of queue depths,
+    breaker state, per-run shard progress and cache hit rates from the
+    ``statsz`` admin verb (``--once`` prints a single snapshot for CI).
 
 Every experiment subcommand accepts ``--trace PATH``: the run exports a
 JSONL span tree (config, shards, simulation, cache events) plus a final
@@ -413,6 +417,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+
+    from repro.obs.render import render_top
+    from repro.service.client import request_once
+
+    def fetch() -> str:
+        try:
+            statsz = request_once(
+                args.host, args.port, "statsz", timeout=args.timeout
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            return (
+                f"cannot reach service at {args.host}:{args.port}: "
+                f"{type(exc).__name__}: {exc}"
+            )
+        return render_top(statsz)
+
+    if args.once:
+        view = fetch()
+        print(view)
+        return 1 if view.startswith("cannot reach") else 0
+
+    try:
+        while True:
+            view = fetch()
+            # clear screen + cursor home, then one full frame
+            sys.stdout.write("\x1b[2J\x1b[H")
+            print(
+                f"repro top — {args.host}:{args.port}  "
+                f"(every {args.interval:g}s, ctrl-c quits)"
+            )
+            print(view, flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceConfig, run_service
 
@@ -665,6 +708,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="graceful-drain bound on SIGTERM")
     _add_run_flags(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="live one-screen view of a running service",
+        description="Tail a live evaluation daemon: refreshes queue "
+                    "depths, breaker state, per-run shard progress and "
+                    "cache counters from the statsz admin verb.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7914,
+                   help="service port (matches 'repro serve')")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh period in seconds")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (non-TTY / CI mode)")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="statsz request timeout in seconds")
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser("verilog", help="export an operator as Verilog")
     p.add_argument(

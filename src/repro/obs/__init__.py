@@ -11,13 +11,29 @@ Three cooperating pieces (see DESIGN.md "Observability"):
 * :mod:`repro.obs.probe` — the :class:`StageErrorProbe` experiment:
   first-erroneous-digit histograms and propagation-chain depths per
   overclocked period, cross-checked against Algorithm 2.
+* :mod:`repro.obs.events` — live shard-progress telemetry: a bounded
+  thread-safe event bus fed by :class:`~repro.runners.parallel.ParallelRunner`
+  lifecycle transitions, streamed by the service and tailed by
+  ``repro top``.
+* :mod:`repro.obs.export` — stdlib-only Prometheus text exposition of
+  a metrics snapshot (``render_prometheus``).
+* :mod:`repro.obs.ledger` — the schema-versioned bench-regression
+  ledger behind ``benchmarks/_common.publish`` and
+  ``benchmarks/check_regression.py``.
 
-``trace`` and ``metrics`` are dependency-free (importable from anywhere
-in the stack, including :mod:`repro.runners`); ``probe`` sits *above*
-the runner layer, so it is exposed lazily to keep this package cheap and
-cycle-free to import.
+``trace``, ``metrics``, and ``events`` are dependency-free (importable
+from anywhere in the stack, including :mod:`repro.runners`); ``probe``
+sits *above* the runner layer, so it is exposed lazily to keep this
+package cheap and cycle-free to import.
 """
 
+from repro.obs.events import (
+    EventBus,
+    ProgressEvent,
+    ProgressReporter,
+    Subscription,
+    progress_bus,
+)
 from repro.obs.metrics import MetricsRegistry, deterministic_snapshot, metrics
 from repro.obs.trace import (
     DISABLED,
@@ -35,12 +51,18 @@ from repro.obs.trace import (
 __all__ = [
     "DISABLED",
     "TRACE_ENV",
+    "EventBus",
     "MetricsRegistry",
+    "ProgressEvent",
+    "ProgressReporter",
     "StageProbeResult",
+    "Subscription",
     "Tracer",
     "current_tracer",
     "deterministic_snapshot",
     "metrics",
+    "progress_bus",
+    "render_prometheus",
     "reset_env_default",
     "run_stage_probe",
     "run_traced_worker",
@@ -50,12 +72,20 @@ __all__ = [
     "worker_trace_context",
 ]
 
-_LAZY = {"StageProbeResult", "run_stage_probe"}
+_LAZY = {"StageProbeResult", "run_stage_probe", "render_prometheus"}
+
+
+def _lazy_module(name: str):
+    if name == "render_prometheus":
+        from repro.obs import export
+
+        return export.render_prometheus
+    from repro.obs import probe
+
+    return getattr(probe, name)
 
 
 def __getattr__(name: str):
     if name in _LAZY:
-        from repro.obs import probe
-
-        return getattr(probe, name)
+        return _lazy_module(name)
     raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

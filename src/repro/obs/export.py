@@ -1,0 +1,106 @@
+"""Prometheus text exposition of a metrics snapshot (stdlib only).
+
+:func:`render_prometheus` turns one :meth:`MetricsRegistry.snapshot`
+dict into the Prometheus text format (version 0.0.4) so any scraper —
+``curl`` piped into a pushgateway, a node-exporter textfile collector,
+or a real Prometheus server pointed at the daemon's ``metricsz`` admin
+verb — can ingest the registry without this repo growing a client
+dependency.
+
+Mapping rules:
+
+* dotted repo names become underscore-separated Prometheus names with a
+  ``repro_`` namespace prefix (``cache.hits`` → ``repro_cache_hits``);
+  any character outside ``[a-zA-Z0-9_:]`` is folded to ``_``.
+* counters render as Prometheus counters with the conventional
+  ``_total`` suffix.
+* gauges render as gauges, verbatim.
+* the registry's histograms store *non-cumulative* per-bucket counts
+  (:data:`~repro.obs.metrics.HISTOGRAM_BUCKETS`); Prometheus buckets
+  are cumulative, so the renderer emits running sums, a terminal
+  ``le="+Inf"`` bucket, and the matching ``_count`` series.  No
+  ``_sum`` is emitted — the registry does not track one, and the text
+  grammar does not require it.
+
+Output is deterministic for a deterministic snapshot: series are
+emitted in sorted-name order and floats use :func:`repr` (shortest
+round-trip form), so the golden-file test in
+``tests/obs/test_export.py`` can pin the exact bytes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.metrics import HISTOGRAM_BUCKETS, metrics
+
+__all__ = ["render_prometheus", "prometheus_name"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: namespace prefix of every exported series
+PREFIX = "repro_"
+
+
+def prometheus_name(name: str) -> str:
+    """Fold a dotted repo metric name into a valid Prometheus name."""
+    folded = _NAME_OK.sub("_", name.replace(".", "_"))
+    if not folded or folded[0].isdigit():
+        folded = "_" + folded
+    return PREFIX + folded
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers bare, floats via repr, inf spelled."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: Optional[Mapping[str, Any]] = None) -> str:
+    """Render *snapshot* (default: the live registry) as exposition text.
+
+    Returns the full scrape body, newline-terminated, parseable under
+    the Prometheus text-format grammar.
+    """
+    snap: Mapping[str, Any] = (
+        metrics().snapshot() if snapshot is None else snapshot
+    )
+    lines: List[str] = []
+
+    counters: Dict[str, Any] = dict(snap.get("counters", {}))
+    for name in sorted(counters):
+        pname = prometheus_name(name) + "_total"
+        lines.append(f"# HELP {pname} Counter {name} from the repro registry.")
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_fmt(float(counters[name]))}")
+
+    gauges: Dict[str, Any] = dict(snap.get("gauges", {}))
+    for name in sorted(gauges):
+        pname = prometheus_name(name)
+        lines.append(f"# HELP {pname} Gauge {name} from the repro registry.")
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_fmt(float(gauges[name]))}")
+
+    hists: Dict[str, Any] = dict(snap.get("histograms", {}))
+    for name in sorted(hists):
+        buckets = list(hists[name])
+        pname = prometheus_name(name)
+        lines.append(
+            f"# HELP {pname} Histogram {name} from the repro registry."
+        )
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        for bound, count in zip(HISTOGRAM_BUCKETS, buckets):
+            cumulative += int(count)
+            lines.append(
+                f'{pname}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+            )
+        lines.append(f"{pname}_count {cumulative}")
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,287 @@
+"""Bench-regression ledger: schema-versioned JSONL benchmark records.
+
+The ``benchmarks/`` suite historically wrote free-text ``.txt`` tables —
+human-readable, machine-opaque, no trajectory.  This module gives every
+benchmark a durable, append-only record:
+
+* :func:`make_record` / :func:`append_record` — one JSON object per run
+  carrying a ``schema`` version, the benchmark ``name``, an ISO-8601 UTC
+  timestamp, the repo's git SHA, a machine fingerprint (platform,
+  python, cpu count), and the numeric ``metrics`` dict the benchmark
+  measured.  ``benchmarks/_common.publish`` appends these to
+  ``benchmarks/results/ledger.jsonl``.
+* :func:`load_ledger` — parse the JSONL back, skipping torn lines the
+  same way trace loading does.
+* :func:`compare` — the regression gate behind
+  ``benchmarks/check_regression.py``: the **newest** record of each
+  benchmark is compared metric-by-metric against the **best prior**
+  value, with a configurable relative tolerance.  Metric direction
+  (higher- vs lower-is-better) comes from an explicit map first and a
+  name heuristic second (``p50`` / ``p99`` / ``*_s`` / ``overhead``
+  read as latencies), so new benchmarks get sane defaults without
+  registering anything.
+
+The machinery lives under ``src/`` (not ``benchmarks/``) so the tier-1
+suite can exercise round-tripping without importing benchmark modules.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "LedgerError",
+    "Verdict",
+    "make_record",
+    "append_record",
+    "load_ledger",
+    "metric_direction",
+    "compare",
+    "format_report",
+]
+
+#: bump when the record shape changes incompatibly
+SCHEMA_VERSION = 1
+
+#: default relative tolerance of the regression gate (10%)
+DEFAULT_TOLERANCE = 0.10
+
+#: metric-name fragments that read as "higher is better" rates — checked
+#: before the latency fragments so ``req_per_s`` is not read as seconds
+_RATE_FRAGMENTS = ("per_s", "per_sec", "throughput", "speedup", "hit_ratio")
+
+#: metric-name fragments that read as "lower is better"
+_LOWER_IS_BETTER = (
+    "p50", "p90", "p95", "p99", "latency", "overhead", "elapsed",
+    "seconds", "duration", "time", "_s", "_ms",
+)
+
+
+class LedgerError(ValueError):
+    """A malformed ledger record or an impossible comparison."""
+
+
+def git_sha(cwd: Optional[os.PathLike] = None) -> Optional[str]:
+    """The repo's current commit SHA, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """Where this record was measured — numbers only compare within one."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def make_record(
+    name: str,
+    metrics: Mapping[str, Any],
+    ts: Optional[str] = None,
+    sha: Optional[str] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build one schema-versioned ledger record (pure; no I/O)."""
+    if not name or not isinstance(name, str):
+        raise LedgerError(f"benchmark name must be a non-empty string, "
+                          f"got {name!r}")
+    if not isinstance(metrics, Mapping) or not metrics:
+        raise LedgerError("metrics must be a non-empty mapping")
+    clean: Dict[str, float] = {}
+    for key, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise LedgerError(
+                f"metric {key!r} must be numeric, got {value!r}"
+            )
+        clean[str(key)] = float(value)
+    record: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "ts": ts or datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": git_sha() if sha is None else sha,
+        "machine": machine_fingerprint(),
+        "metrics": clean,
+    }
+    if meta:
+        record["meta"] = dict(meta)
+    return record
+
+
+def append_record(path: os.PathLike, record: Mapping[str, Any]) -> None:
+    """Append *record* to the JSONL ledger at *path* (creating it)."""
+    ledger = Path(path)
+    ledger.parent.mkdir(parents=True, exist_ok=True)
+    with open(ledger, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_ledger(path: os.PathLike) -> List[Dict[str, Any]]:
+    """Parse a ledger file; blank/torn lines and alien schemas skipped."""
+    records: List[Dict[str, Any]] = []
+    try:
+        fh = open(path)
+    except OSError:
+        return records
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a crashed writer's torn final line
+            if (
+                isinstance(record, dict)
+                and record.get("schema") == SCHEMA_VERSION
+                and isinstance(record.get("metrics"), dict)
+                and record.get("name")
+            ):
+                records.append(record)
+    return records
+
+
+def metric_direction(
+    name: str, directions: Optional[Mapping[str, str]] = None
+) -> str:
+    """``"higher"`` or ``"lower"`` is better for metric *name*."""
+    if directions and name in directions:
+        direction = directions[name]
+        if direction not in ("higher", "lower"):
+            raise LedgerError(
+                f"direction for {name!r} must be 'higher' or 'lower', "
+                f"got {direction!r}"
+            )
+        return direction
+    lowered = name.lower()
+    for fragment in _RATE_FRAGMENTS:
+        if fragment in lowered:
+            return "higher"
+    for fragment in _LOWER_IS_BETTER:
+        if fragment.startswith("_"):
+            if lowered.endswith(fragment):
+                return "lower"
+        elif fragment in lowered:
+            return "lower"
+    return "higher"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One (benchmark, metric) comparison of newest vs best prior."""
+
+    name: str
+    metric: str
+    newest: float
+    best: float
+    direction: str  # "higher" | "lower" is better
+    ratio: float  # newest / best (1.0 = on par)
+    regressed: bool
+
+
+def compare(
+    records: Iterable[Mapping[str, Any]],
+    tolerance: float = DEFAULT_TOLERANCE,
+    directions: Optional[Mapping[str, str]] = None,
+) -> List[Verdict]:
+    """Gate the newest record of each benchmark against its best prior.
+
+    Returns one :class:`Verdict` per (benchmark, metric) that has both a
+    newest value and at least one prior record carrying the same metric;
+    benchmarks with a single record produce no verdicts (nothing to
+    regress against).  A metric regresses when it is more than
+    *tolerance* relatively worse than the best prior value.
+    """
+    if tolerance < 0:
+        raise LedgerError(f"tolerance must be >= 0, got {tolerance!r}")
+    by_name: Dict[str, List[Mapping[str, Any]]] = {}
+    for record in records:
+        by_name.setdefault(str(record["name"]), []).append(record)
+    verdicts: List[Verdict] = []
+    for name in sorted(by_name):
+        history = by_name[name]
+        if len(history) < 2:
+            continue
+        newest, prior = history[-1], history[:-1]
+        for metric in sorted(newest["metrics"]):
+            value = float(newest["metrics"][metric])
+            prior_values = [
+                float(r["metrics"][metric])
+                for r in prior
+                if metric in r["metrics"]
+            ]
+            if not prior_values:
+                continue
+            direction = metric_direction(metric, directions)
+            best = (
+                max(prior_values) if direction == "higher"
+                else min(prior_values)
+            )
+            if best == 0:
+                ratio = 1.0 if value == 0 else float("inf")
+            else:
+                ratio = value / best
+            if direction == "higher":
+                regressed = value < best * (1.0 - tolerance)
+            else:
+                regressed = value > best * (1.0 + tolerance)
+            verdicts.append(
+                Verdict(
+                    name=name,
+                    metric=metric,
+                    newest=value,
+                    best=best,
+                    direction=direction,
+                    ratio=ratio,
+                    regressed=regressed,
+                )
+            )
+    return verdicts
+
+
+def format_report(verdicts: Iterable[Verdict], tolerance: float) -> str:
+    """Human-readable gate report (one line per comparison)."""
+    lines: List[str] = []
+    regressions = 0
+    for v in verdicts:
+        if v.newest == v.best:
+            arrow = "on par"
+        elif (v.direction == "higher") == (v.newest > v.best):
+            arrow = "better"
+        else:
+            arrow = "worse"
+        status = "REGRESSED" if v.regressed else "ok"
+        regressions += v.regressed
+        lines.append(
+            f"{status:>9}  {v.name}.{v.metric}  newest={v.newest:.6g}  "
+            f"best={v.best:.6g}  ({v.direction} is better, {arrow}, "
+            f"ratio={v.ratio:.3f})"
+        )
+    if not lines:
+        lines.append("(no comparable records — need two runs per benchmark)")
+    lines.append(
+        f"{regressions} regression(s) at tolerance {tolerance:.0%}"
+    )
+    return "\n".join(lines)

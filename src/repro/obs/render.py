@@ -240,6 +240,86 @@ def derived_metrics(snapshot: Dict[str, Any]) -> Dict[str, float]:
     return out
 
 
+#: counters surfaced on the `repro top` screen, with display labels
+_TOP_COUNTERS = (
+    ("requests", "service.requests"),
+    ("cache short-circuits", "service.cache_short_circuit"),
+    ("coalesce hits", "service.coalesce_hits"),
+    ("shed", "service.shed"),
+    ("degraded", "service.degraded"),
+    ("retries", "service.retries"),
+    ("progress frames", "service.progress_frames"),
+    ("events published", "events.published"),
+    ("events dropped", "events.dropped"),
+)
+
+
+def _progress_bar(done: int, total: int, width: int = 20) -> str:
+    if total <= 0:
+        return "-" * width
+    filled = int(round(width * min(done, total) / total))
+    return "#" * filled + "-" * (width - filled)
+
+
+def render_top(statsz: Dict[str, Any]) -> str:
+    """One-screen view of a daemon's ``statsz`` payload (``repro top``).
+
+    Shows breaker/drain state, per-class queue depths, the counters an
+    operator actually watches (with cache hit ratios derived the same
+    way ``repro stats`` derives them), and a progress bar per in-flight
+    run from the live shard-progress snapshots.
+    """
+    lines: List[str] = []
+    draining = "yes" if statsz.get("draining") else "no"
+    est = float(statsz.get("service_time_estimate", 0.0) or 0.0)
+    lines.append(
+        f"breaker={statsz.get('breaker', '?')}  draining={draining}  "
+        f"inflight_keys={statsz.get('inflight_keys', 0)}  "
+        f"service_time~{est:.3g}s"
+    )
+    depths = statsz.get("queue_depths") or {}
+    if depths:
+        parts = [f"{cls}={depths[cls]}" for cls in sorted(depths)]
+        lines.append(
+            f"queues: total={statsz.get('queue_depth', 0)}  "
+            + "  ".join(parts)
+        )
+    snapshot = statsz.get("metrics") or {}
+    counters = snapshot.get("counters", {})
+    rows = [
+        (label, counters[name])
+        for label, name in _TOP_COUNTERS
+        if name in counters
+    ]
+    if rows:
+        lines.append("counters:")
+        width = max(len(label) for label, _ in rows)
+        for label, value in rows:
+            lines.append(f"  {label.ljust(width)}  {value}")
+    derived = derived_metrics(snapshot)
+    if derived:
+        parts = [f"{name}={derived[name]:.3f}" for name in sorted(derived)]
+        lines.append("derived: " + "  ".join(parts))
+    progress = statsz.get("progress") or {}
+    if progress:
+        lines.append("runs:")
+        for key in sorted(progress):
+            snap = progress[key]
+            done = int(snap.get("shards_done", 0))
+            total = int(snap.get("shards_total", 0))
+            eta = snap.get("eta_s")
+            eta_text = "eta=?" if eta is None else f"eta={float(eta):.1f}s"
+            lines.append(
+                f"  {key[:12]:<12}  {str(snap.get('experiment', '?')):<10} "
+                f"[{_progress_bar(done, total)}] {done}/{total} shards  "
+                f"{snap.get('samples_done', 0)}/{snap.get('samples_total', 0)}"
+                f" samples  {eta_text}"
+            )
+    else:
+        lines.append("runs: (idle)")
+    return "\n".join(lines)
+
+
 def latest_metrics_snapshot(
     records: Iterable[Dict[str, Any]],
 ) -> Optional[Dict[str, Any]]:

@@ -69,6 +69,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.events import ProgressReporter
 from repro.obs.metrics import metrics
 from repro.obs.trace import (
     current_tracer,
@@ -254,6 +255,13 @@ class ParallelRunner:
         failure — it records the ``pool.cancelled`` metric and sets
         ``stats.cancelled``, but never touches ``pool_failures`` /
         ``retries`` / ``failure_reasons``.
+    progress:
+        Optional :class:`~repro.obs.events.ProgressReporter` fed from
+        every shard lifecycle transition (``queued`` / ``started`` /
+        ``retried`` / ``cancelled`` / ``completed``); the service
+        attaches one keyed by the request's content address so clients
+        can stream per-shard progress.  None (the default) publishes
+        nothing and costs one attribute check per transition site.
     """
 
     def __init__(
@@ -263,6 +271,7 @@ class ParallelRunner:
         backoff: float = DEFAULT_BACKOFF,
         shard_timeout: Optional[float] = None,
         cancel_token: Optional[CancelToken] = None,
+        progress: Optional[ProgressReporter] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -275,6 +284,7 @@ class ParallelRunner:
         self.backoff = backoff
         self.shard_timeout = shard_timeout
         self.cancel_token = cancel_token
+        self.progress = progress
         self.stats = RunStats(jobs=jobs)
 
     @classmethod
@@ -306,18 +316,38 @@ class ParallelRunner:
         results: List[Any] = [None] * len(tasks)
 
         remaining = set(range(len(tasks)))
-        if self.jobs > 1 and len(tasks) > 1:
-            self._map_pool(fn, tasks, counts, results, remaining)
-        tracer = current_tracer()
-        for i in sorted(remaining):
-            self._check_cancel()
-            if tracer.enabled:
-                with tracer.span("shard", shard=i, samples=counts[i]):
+        progress = self.progress
+        if progress is not None:
+            progress.begin(len(tasks), sum(counts))
+            for i in range(len(tasks)):
+                progress.shard_queued(i, counts[i])
+        try:
+            if self.jobs > 1 and len(tasks) > 1:
+                self._map_pool(fn, tasks, counts, results, remaining)
+            tracer = current_tracer()
+            for i in sorted(remaining):
+                self._check_cancel()
+                if progress is not None:
+                    progress.shard_started(i, counts[i])
+                if tracer.enabled:
+                    with tracer.span("shard", shard=i, samples=counts[i]):
+                        res, dt, _, _ = _timed_call(fn, tasks[i])
+                else:
                     res, dt, _, _ = _timed_call(fn, tasks[i])
-            else:
-                res, dt, _, _ = _timed_call(fn, tasks[i])
-            results[i] = res
-            self.stats.shards.append(ShardStat(i, counts[i], dt, "inline"))
+                results[i] = res
+                remaining.discard(i)
+                self.stats.shards.append(
+                    ShardStat(i, counts[i], dt, "inline")
+                )
+                if progress is not None:
+                    progress.shard_completed(i, counts[i], dt)
+        except RunCancelled:
+            # terminal `cancelled` transition for every shard that did
+            # not complete — clients see an explicit end, not silence
+            if progress is not None:
+                for i in sorted(remaining):
+                    progress.shard_cancelled(i, counts[i])
+            raise
         self.stats.samples = sum(counts)
         self.stats.elapsed = time.perf_counter() - t_start
         return results
@@ -377,6 +407,7 @@ class ParallelRunner:
     ) -> None:
         """Pool execution with crash/timeout retry; failures stay in *remaining*."""
         tracer = current_tracer()
+        progress = self.progress
         reason: Optional[str] = None
         while remaining and self.stats.pool_failures < self.max_pool_failures:
             pool = ProcessPoolExecutor(max_workers=self.jobs)
@@ -387,6 +418,9 @@ class ParallelRunner:
                     )
                     for i in sorted(remaining)
                 }
+                if progress is not None:
+                    for i in futures:
+                        progress.shard_started(i, counts[i])
                 for i, future in futures.items():
                     res, dt, records, delta = self._await_future(future)
                     results[i] = res
@@ -396,6 +430,8 @@ class ParallelRunner:
                     )
                     if delta:
                         metrics().merge_counters(delta)
+                    if progress is not None:
+                        progress.shard_completed(i, counts[i], dt)
                     if tracer.enabled:
                         span_id = tracer.add_span(
                             "shard",
@@ -425,6 +461,11 @@ class ParallelRunner:
             self.stats.pool_failures += 1
             self.stats.retries += 1
             self.stats.failure_reasons.append(reason)
+            if progress is not None:
+                # the shards lost with the pool will run again — either
+                # on the next pool or degraded inline
+                for i in sorted(remaining):
+                    progress.shard_retried(i, counts[i])
             metrics().count("pool.retries")
             tracer.event(
                 "pool.failure",

@@ -7,6 +7,12 @@ future awaiting that id.  One client may therefore issue many
 concurrent :meth:`~ServiceClient.request` calls over a single
 connection — which is exactly what the coalescing load test does.
 
+A long-running evaluation streams incremental ``{"event": "progress",
+"id": ..., "shards_done": ...}`` frames before its final response; pass
+``on_progress`` to :meth:`~ServiceClient.request` (or
+:func:`request_once`) to observe them — without a handler they are
+consumed and dropped, so old call sites keep working unchanged.
+
 :func:`request_once` is the synchronous one-shot convenience used by
 the CLI examples and the smoke tests.
 """
@@ -16,7 +22,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 __all__ = ["ServiceClient", "request_once"]
 
@@ -31,6 +37,7 @@ class ServiceClient:
         self._writer = writer
         self._ids = itertools.count(1)
         self._waiting: Dict[str, asyncio.Future] = {}
+        self._progress: Dict[str, Callable[[Dict[str, Any]], None]] = {}
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
@@ -45,6 +52,16 @@ class ServiceClient:
                 if not line:
                     break
                 response = json.loads(line)
+                if response.get("event") == "progress":
+                    # interim frame: route to the handler, never to the
+                    # final-response future
+                    handler = self._progress.get(str(response.get("id")))
+                    if handler is not None:
+                        try:
+                            handler(response)
+                        except Exception:
+                            pass  # a handler bug must not kill the reader
+                    continue
                 future = self._waiting.pop(str(response.get("id")), None)
                 if future is not None and not future.done():
                     future.set_result(response)
@@ -56,6 +73,7 @@ class ServiceClient:
                 if not future.done():
                     future.set_exception(ConnectionError("connection closed"))
             self._waiting.clear()
+            self._progress.clear()
 
     async def request(
         self,
@@ -63,8 +81,13 @@ class ServiceClient:
         params: Optional[Dict[str, Any]] = None,
         deadline: Optional[float] = None,
         timeout: Optional[float] = 60.0,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> Dict[str, Any]:
-        """Send one request and await its (id-correlated) response."""
+        """Send one request and await its (id-correlated) response.
+
+        *on_progress*, when given, is called (sync, on the event loop)
+        with each interim progress frame for this request.
+        """
         req_id = f"c{next(self._ids)}"
         message: Dict[str, Any] = {"id": req_id, "kind": kind}
         if params is not None:
@@ -73,11 +96,16 @@ class ServiceClient:
             message["deadline"] = deadline
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiting[req_id] = future
+        if on_progress is not None:
+            self._progress[req_id] = on_progress
         self._writer.write(json.dumps(message).encode() + b"\n")
-        await self._writer.drain()
-        if timeout is None:
-            return await future
-        return await asyncio.wait_for(future, timeout=timeout)
+        try:
+            await self._writer.drain()
+            if timeout is None:
+                return await future
+            return await asyncio.wait_for(future, timeout=timeout)
+        finally:
+            self._progress.pop(req_id, None)
 
     async def aclose(self) -> None:
         self._reader_task.cancel()
@@ -99,13 +127,21 @@ def request_once(
     params: Optional[Dict[str, Any]] = None,
     deadline: Optional[float] = None,
     timeout: Optional[float] = 60.0,
+    on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> Dict[str, Any]:
-    """Connect, send one request, return the response (sync one-shot)."""
+    """Connect, send one request, return the response (sync one-shot).
+
+    Works for evaluation *and* admin kinds (``healthz`` / ``readyz`` /
+    ``stats`` / ``statsz`` / ``metricsz``); *on_progress* observes the
+    interim frames of a slow evaluation.
+    """
 
     async def go() -> Dict[str, Any]:
         client = await ServiceClient.connect(host, port)
         try:
-            return await client.request(kind, params, deadline, timeout)
+            return await client.request(
+                kind, params, deadline, timeout, on_progress=on_progress
+            )
         finally:
             await client.aclose()
 

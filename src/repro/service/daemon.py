@@ -53,7 +53,9 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional
 
-from repro.obs.metrics import metrics
+from repro.obs.events import ProgressEvent, ProgressReporter, progress_bus
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import deterministic_snapshot, metrics
 from repro.obs.trace import current_tracer
 from repro.runners.cache import cache_for
 from repro.runners.config import RunConfig
@@ -116,6 +118,10 @@ def evaluate_request(req: EvalRequest, cancel_token: CancelToken) -> Dict[str, A
     config = req.config
     runner = ParallelRunner.from_config(config)
     runner.cancel_token = cancel_token
+    # publish shard lifecycle onto the process-wide bus keyed by the
+    # request's coalescing key, so the daemon can stream progress frames
+    # to the leader and every coalesced follower
+    runner.progress = ProgressReporter(experiment=req.kind, run_id=req.key)
     params = req.params
     if req.kind == "montecarlo":
         from repro.sim.montecarlo import run_montecarlo
@@ -199,6 +205,12 @@ class EvalService:
         self._draining = False
         self._closed = asyncio.Event()
         self.port: Optional[int] = None
+        # live-progress plumbing (event-loop-confined, so no locks):
+        # key -> {token: (req_id, async send)} of connections watching a
+        # run, and key -> latest progress event dict for statsz
+        self._watchers: Dict[str, Dict[int, Any]] = {}
+        self._watch_seq = 0
+        self._progress: Dict[str, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -279,7 +291,7 @@ class EvalService:
                 )
                 return
             try:
-                response = await self.handle(message)
+                response = await self.handle(message, send_progress=respond)
             except Exception as exc:  # a handler bug must not kill the client
                 metrics().count("service.internal_errors")
                 response = {
@@ -309,8 +321,21 @@ class EvalService:
             writer.close()
 
     # ------------------------------------------------------------- handling
-    async def handle(self, message: Any) -> Dict[str, Any]:
-        """Answer one decoded request object (also the in-process API)."""
+    async def handle(
+        self,
+        message: Any,
+        send_progress: Optional[
+            Callable[[Dict[str, Any]], "asyncio.Future[Any]"]
+        ] = None,
+    ) -> Dict[str, Any]:
+        """Answer one decoded request object (also the in-process API).
+
+        *send_progress* is an async callable taking one JSON-able frame;
+        when given, the caller is streamed ``{"event": "progress", ...}``
+        frames for its request (leader or coalesced follower alike)
+        before the final response.  ``None`` — the in-process default —
+        streams nothing.
+        """
         if isinstance(message, Mapping) and message.get("kind") in ADMIN_KINDS:
             return self._admin(message)
         try:
@@ -339,10 +364,15 @@ class EvalService:
         if not is_leader:
             metrics().count("service.coalesce_hits")
             current_tracer().event("service.coalesce", key=req.key)
-            response = dict(await asyncio.shield(future))
+            watch = self._add_watcher(req.key, req.id, send_progress)
+            try:
+                response = dict(await asyncio.shield(future))
+            finally:
+                self._remove_watcher(req.key, watch)
             response["id"] = req.id
             response["coalesced"] = True
             return response
+        watch = self._add_watcher(req.key, req.id, send_progress)
         try:
             response = await self._evaluate_leader(req)
         except BaseException:
@@ -353,14 +383,74 @@ class EvalService:
                  "error": "leader failed unexpectedly"},
             )
             raise
+        finally:
+            self._remove_watcher(req.key, watch)
         self.coalescer.resolve(req.key, response)
         return response
+
+    # ---------------------------------------------------------- progress bus
+    def _add_watcher(
+        self,
+        key: str,
+        req_id: Any,
+        send: Optional[Callable[[Dict[str, Any]], Any]],
+    ) -> Optional[int]:
+        """Register a connection's send callable for *key*'s frames."""
+        if send is None:
+            return None
+        self._watch_seq += 1
+        token = self._watch_seq
+        self._watchers.setdefault(key, {})[token] = (req_id, send)
+        return token
+
+    def _remove_watcher(self, key: str, token: Optional[int]) -> None:
+        if token is None:
+            return
+        watchers = self._watchers.get(key)
+        if watchers is not None:
+            watchers.pop(token, None)
+            if not watchers:
+                self._watchers.pop(key, None)
+
+    def _dispatch_progress(self, key: str, event: ProgressEvent) -> None:
+        """Fan one bus event out to every connection watching *key*.
+
+        Runs on the event loop (hopped from the evaluator thread via
+        ``call_soon_threadsafe``), so the registries need no locks and
+        every frame is scheduled before the final response of the
+        evaluation that published it.
+        """
+        self._progress[key] = event.to_dict()
+        watchers = self._watchers.get(key)
+        if not watchers:
+            return
+        metrics().count("service.progress_frames", len(watchers))
+        for req_id, send in list(watchers.values()):
+            frame = {
+                "event": "progress",
+                "id": req_id,
+                "key": key,
+                "transition": event.transition,
+                "shard": event.shard,
+                "shards_done": event.shards_done,
+                "shards_total": event.shards_total,
+                "samples_done": event.samples_done,
+                "samples_total": event.samples_total,
+                "eta_s": event.eta_s,
+                "seq": event.seq,
+            }
+            asyncio.ensure_future(send(frame))
 
     def _admin(self, message: Mapping[str, Any]) -> Dict[str, Any]:
         kind = message["kind"]
         req_id = message.get("id")
         if kind == "healthz":
-            return {"ok": True, "id": req_id, "status": "alive"}
+            return {
+                "ok": True,
+                "id": req_id,
+                "status": "alive",
+                "draining": self._draining,
+            }
         if kind == "readyz":
             ready = self._server is not None and not self._draining
             return {
@@ -369,6 +459,15 @@ class EvalService:
                 "status": "ready" if ready else "not-ready",
                 "draining": self._draining,
                 "breaker": self.breaker.state,
+            }
+        if kind == "statsz":
+            return self._statsz(req_id)
+        if kind == "metricsz":
+            return {
+                "ok": True,
+                "id": req_id,
+                "content_type": "text/plain; version=0.0.4",
+                "body": render_prometheus(metrics().snapshot()),
             }
         # stats
         return {
@@ -379,6 +478,32 @@ class EvalService:
             "inflight_keys": self.coalescer.depth,
             "service_time_estimate": self.admission.service_time_estimate,
             "counters": metrics().snapshot().get("counters", {}),
+        }
+
+    def _statsz(self, req_id: Any) -> Dict[str, Any]:
+        """The machine-facing snapshot `repro top` refreshes from.
+
+        ``metrics`` is the *deterministic* registry view (counters +
+        histograms, gauges stripped); breaker/queue/progress state is
+        live by nature and carried alongside, never inside it.
+        """
+        return {
+            "ok": True,
+            "id": req_id,
+            "draining": self._draining,
+            "breaker": self.breaker.state,
+            "queue_depth": self.admission.depth(),
+            "queue_depths": {
+                cls: self.admission.depth(cls)
+                for cls in sorted(self.admission.limits)
+            },
+            "inflight_keys": self.coalescer.depth,
+            "service_time_estimate": self.admission.service_time_estimate,
+            "progress": {
+                key: dict(snap)
+                for key, snap in sorted(self._progress.items())
+            },
+            "metrics": deterministic_snapshot(metrics().snapshot()),
         }
 
     def _cache_lookup(self, req: EvalRequest) -> Optional[Dict[str, Any]]:
@@ -421,6 +546,16 @@ class EvalService:
         started = time.monotonic()
         loop = asyncio.get_running_loop()
         token = CancelToken()
+
+        def on_event(event: ProgressEvent) -> None:
+            # runs on the evaluator thread: hop onto the loop, where the
+            # watcher registries live and writes are ordered before the
+            # final response
+            loop.call_soon_threadsafe(self._dispatch_progress, req.key, event)
+
+        subscription = progress_bus().subscribe(
+            run_id=req.key, callback=on_event
+        )
 
         def on_retry(attempt: int, delay: float, exc: BaseException) -> None:
             metrics().count("service.retries")
@@ -471,6 +606,8 @@ class EvalService:
                 "id": req.id,
             }
         finally:
+            progress_bus().unsubscribe(subscription)
+            self._progress.pop(req.key, None)
             self.admission.release(
                 req.kind, service_time=time.monotonic() - started
             )

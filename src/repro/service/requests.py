@@ -42,8 +42,11 @@ __all__ = [
 #: evaluation request classes, each with its own admission limit
 REQUEST_CLASSES = ("montecarlo", "sweep", "synthesis")
 
-#: control-plane kinds answered inline by the daemon (never queued)
-ADMIN_KINDS = ("healthz", "readyz", "stats")
+#: control-plane kinds answered inline by the daemon (never queued).
+#: ``statsz`` is the deterministic machine-facing snapshot (metrics +
+#: breaker + per-class queue depths + live run progress); ``metricsz``
+#: carries the Prometheus text exposition of the same registry.
+ADMIN_KINDS = ("healthz", "readyz", "stats", "statsz", "metricsz")
 
 #: hard ceiling on per-request sample budgets — one request must not be
 #: able to monopolize the pool for minutes

@@ -1,0 +1,97 @@
+"""Prometheus exposition: grammar validity, cumulation, golden bytes."""
+
+import re
+from pathlib import Path
+
+from repro.obs.export import prometheus_name, render_prometheus
+from repro.obs.metrics import HISTOGRAM_BUCKETS, MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "data" / "prometheus_golden.txt"
+
+#: one exposition-format sample line: name, optional labels, value
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\\\n]*\"(,[a-zA-Z_][a-zA-Z0-9_]*="
+    r"\"[^\"\\\n]*\")*\})?"
+    r" (NaN|[+-]?Inf|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$"
+)
+_COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+
+def _assert_parses(text: str) -> None:
+    """Every line must be a valid comment or sample line."""
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if line.startswith("#"):
+            assert _COMMENT.match(line), f"bad comment line: {line!r}"
+        else:
+            assert _SAMPLE.match(line), f"bad sample line: {line!r}"
+
+
+def _snapshot():
+    reg = MetricsRegistry()
+    reg.count("cache.hits", 7)
+    reg.count("service.requests.montecarlo", 3)
+    reg.gauge("service.queue_depth", 2.0)
+    reg.gauge("samples_per_sec.vector", 1234.5)
+    for value in (1, 3, 3, 5000):
+        reg.observe("shard.samples", value)
+    return reg.snapshot()
+
+
+class TestGrammar:
+    def test_full_snapshot_parses(self):
+        _assert_parses(render_prometheus(_snapshot()))
+
+    def test_empty_snapshot_is_empty_body(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_live_registry_default(self):
+        text = render_prometheus()
+        if text:
+            _assert_parses(text)
+
+    def test_name_folding(self):
+        assert prometheus_name("cache.hits") == "repro_cache_hits"
+        assert prometheus_name("samples_per_sec.vector") == (
+            "repro_samples_per_sec_vector"
+        )
+        assert prometheus_name("weird-name!") == "repro_weird_name_"
+        assert prometheus_name("0start") == "repro__0start"
+
+
+class TestSemantics:
+    def test_counter_gets_total_suffix_and_type(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "\nrepro_cache_hits_total 7\n" in text
+
+    def test_gauge_rendered_verbatim(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "\nrepro_service_queue_depth 2\n" in text
+        assert "repro_samples_per_sec_vector 1234.5" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus(_snapshot())
+        # observations: 1 -> le=1; 3,3 -> le=4; 5000 -> le=16384
+        assert 'repro_shard_samples_bucket{le="1"} 1' in text
+        assert 'repro_shard_samples_bucket{le="2"} 1' in text
+        assert 'repro_shard_samples_bucket{le="4"} 3' in text
+        assert 'repro_shard_samples_bucket{le="16384"} 4' in text
+        assert 'repro_shard_samples_bucket{le="+Inf"} 4' in text
+        assert "repro_shard_samples_count 4" in text
+
+    def test_bucket_count_matches_registry_layout(self):
+        text = render_prometheus(_snapshot())
+        buckets = re.findall(r"repro_shard_samples_bucket", text)
+        assert len(buckets) == len(HISTOGRAM_BUCKETS)
+
+
+class TestGolden:
+    def test_matches_golden_file(self):
+        rendered = render_prometheus(_snapshot())
+        assert rendered == GOLDEN.read_text()
+
+    def test_golden_file_parses(self):
+        _assert_parses(GOLDEN.read_text())

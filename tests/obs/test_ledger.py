@@ -1,0 +1,206 @@
+"""Bench-regression ledger: record shape, round-trip, gate semantics."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    SCHEMA_VERSION,
+    LedgerError,
+    append_record,
+    compare,
+    format_report,
+    load_ledger,
+    make_record,
+    metric_direction,
+)
+
+
+def _rec(name, metrics, ts="2026-08-07T00:00:00+00:00"):
+    return make_record(name, metrics, ts=ts, sha="deadbeef")
+
+
+class TestRecords:
+    def test_record_shape(self):
+        record = _rec("service", {"req_per_s": 120.5, "p99_ms": 41})
+        assert record["schema"] == SCHEMA_VERSION
+        assert record["name"] == "service"
+        assert record["git_sha"] == "deadbeef"
+        assert record["metrics"] == {"req_per_s": 120.5, "p99_ms": 41.0}
+        machine = record["machine"]
+        assert machine["python"] and machine["platform"]
+        assert isinstance(machine["cpu_count"], int)
+
+    def test_meta_carried(self):
+        record = make_record(
+            "x", {"v": 1}, ts="t", sha="s", meta={"samples": 2000}
+        )
+        assert record["meta"] == {"samples": 2000}
+
+    def test_rejects_non_numeric_metrics(self):
+        with pytest.raises(LedgerError):
+            make_record("x", {"v": "fast"})
+        with pytest.raises(LedgerError):
+            make_record("x", {"v": True})
+        with pytest.raises(LedgerError):
+            make_record("x", {})
+        with pytest.raises(LedgerError):
+            make_record("", {"v": 1})
+
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        first = _rec("service", {"req_per_s": 100.0})
+        second = _rec("service", {"req_per_s": 110.0})
+        append_record(path, first)
+        append_record(path, second)
+        records = load_ledger(path)
+        assert records == [first, second]
+
+    def test_load_skips_torn_and_alien_lines(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_record(path, _rec("a", {"v": 1}))
+        with open(path, "a") as fh:
+            fh.write("{\"schema\": 999, \"name\": \"alien\", \"metrics\": {}}\n")
+            fh.write("not json at all\n")
+            fh.write("{\"torn\": ")  # crashed writer
+        records = load_ledger(path)
+        assert len(records) == 1
+        assert records[0]["name"] == "a"
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_ledger(tmp_path / "absent.jsonl") == []
+
+
+class TestDirections:
+    def test_heuristics(self):
+        assert metric_direction("req_per_s") == "higher"
+        assert metric_direction("speedup") == "higher"
+        assert metric_direction("warm_speedup") == "higher"
+        assert metric_direction("p99_ms") == "lower"
+        assert metric_direction("p50") == "lower"
+        assert metric_direction("overhead") == "lower"
+        assert metric_direction("eta_s") == "lower"
+
+    def test_explicit_map_wins(self):
+        assert metric_direction(
+            "warm_speedup", {"warm_speedup": "lower"}
+        ) == "lower"
+        with pytest.raises(LedgerError):
+            metric_direction("x", {"x": "sideways"})
+
+
+class TestCompare:
+    def test_single_record_yields_nothing(self):
+        assert compare([_rec("a", {"v": 1})]) == []
+
+    def test_improvement_passes(self):
+        verdicts = compare([
+            _rec("service", {"req_per_s": 100.0}),
+            _rec("service", {"req_per_s": 120.0}),
+        ])
+        [v] = verdicts
+        assert not v.regressed
+        assert v.ratio == pytest.approx(1.2)
+
+    def test_regression_beyond_tolerance_flags(self):
+        verdicts = compare(
+            [
+                _rec("service", {"req_per_s": 100.0}),
+                _rec("service", {"req_per_s": 85.0}),
+            ],
+            tolerance=0.10,
+        )
+        [v] = verdicts
+        assert v.regressed
+        assert v.best == 100.0
+
+    def test_within_tolerance_passes(self):
+        verdicts = compare(
+            [
+                _rec("service", {"req_per_s": 100.0}),
+                _rec("service", {"req_per_s": 95.0}),
+            ],
+            tolerance=0.10,
+        )
+        assert not verdicts[0].regressed
+
+    def test_lower_is_better_direction(self):
+        verdicts = compare(
+            [
+                _rec("service", {"p99_ms": 40.0}),
+                _rec("service", {"p99_ms": 80.0}),
+            ],
+            tolerance=0.10,
+        )
+        [v] = verdicts
+        assert v.direction == "lower"
+        assert v.regressed
+
+    def test_newest_vs_best_prior_not_just_previous(self):
+        # a slow middle run must not lower the bar
+        verdicts = compare(
+            [
+                _rec("s", {"req_per_s": 100.0}),
+                _rec("s", {"req_per_s": 50.0}),
+                _rec("s", {"req_per_s": 80.0}),
+            ],
+            tolerance=0.10,
+        )
+        [v] = verdicts
+        assert v.best == 100.0
+        assert v.regressed
+
+    def test_three_benchmarks_round_trip(self, tmp_path):
+        # the acceptance shape: three benchmarks publishing twice each
+        path = tmp_path / "ledger.jsonl"
+        for name, metric, first, second in [
+            ("parallel_runner", "speedup", 3.2, 3.4),
+            ("service", "req_per_s", 400.0, 410.0),
+            ("fused_sweep", "speedup", 11.0, 12.5),
+        ]:
+            append_record(path, _rec(name, {metric: first}))
+            append_record(path, _rec(name, {metric: second}))
+        verdicts = compare(load_ledger(path))
+        assert len(verdicts) == 3
+        assert not any(v.regressed for v in verdicts)
+        report = format_report(verdicts, tolerance=0.10)
+        assert "0 regression(s)" in report
+        for name in ("parallel_runner", "service", "fused_sweep"):
+            assert name in report
+
+    def test_format_report_names_regressions(self):
+        verdicts = compare(
+            [
+                _rec("s", {"req_per_s": 100.0}),
+                _rec("s", {"req_per_s": 10.0}),
+            ]
+        )
+        report = format_report(verdicts, tolerance=0.10)
+        assert "REGRESSED" in report
+        assert "1 regression(s)" in report
+
+    def test_bad_tolerance(self):
+        with pytest.raises(LedgerError):
+            compare([], tolerance=-0.1)
+
+
+class TestCheckRegressionScript:
+    def test_gate_and_report_only_modes(self, tmp_path):
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "check_regression",
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks" / "check_regression.py",
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+
+        path = tmp_path / "ledger.jsonl"
+        append_record(path, _rec("s", {"req_per_s": 100.0}))
+        append_record(path, _rec("s", {"req_per_s": 10.0}))
+        assert mod.main(["--ledger", str(path)]) == 1
+        assert mod.main(["--ledger", str(path), "--report-only"]) == 0
+        assert mod.main(["--ledger", str(path), "--tolerance", "0.95"]) == 0
+        assert mod.main(["--ledger", str(tmp_path / "none.jsonl")]) == 0

@@ -382,6 +382,173 @@ class TestCancellation:
         assert not r1.stats.cancelled and not r2.stats.cancelled
 
 
+def _count_span_and_sleep(task):
+    """Bump a counter and open a span, then sleep — picklable, so the
+    pool path ships the delta/spans and the inline path records direct."""
+    import time
+
+    from repro.obs.metrics import metrics as _metrics
+    from repro.obs.trace import current_tracer as _current_tracer
+
+    _metrics().count("test.fold_counter")
+    with _current_tracer().span("work", value=task["value"]):
+        time.sleep(task["sleep"])
+    return task["value"] * 2
+
+
+class TestFailurePathTelemetry:
+    """Worker-span re-parenting, counter folding, and progress events on
+    the shard-timeout and CancelToken/RunCancelled paths — the happy and
+    crash paths are asserted elsewhere."""
+
+    def test_counter_folding_and_spans_under_shard_timeout(self):
+        from repro.obs import Tracer, metrics, use_tracer
+
+        before = metrics().snapshot()["counters"].get("test.fold_counter", 0)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            runner = ParallelRunner(jobs=2, shard_timeout=0.1, backoff=0.01)
+            tasks = [
+                {"sleep": 0.0, "value": 0},
+                {"sleep": 0.0, "value": 1},
+                {"sleep": 0.5, "value": 2},  # exceeds the timeout in pool
+            ]
+            results = runner.map(
+                _count_span_and_sleep, tasks, samples=[1] * 3
+            )
+        assert results == [0, 2, 4]
+        stats = runner.finalize_stats("timeout-fold")
+        assert stats.degraded  # shard 2 degraded to inline
+
+        # counter folding: pool shards fold their delta exactly once,
+        # the timed-out attempts' counters die with the abandoned
+        # workers, the inline rerun bumps the parent directly — total is
+        # exactly one bump per shard, no double counting
+        after = metrics().snapshot()["counters"]["test.fold_counter"]
+        assert after == before + 3
+
+        # span re-parenting: one "work" span per shard survived, each
+        # parented under a "shard" span (pool shards via absorb with the
+        # s<i>. prefix, the degraded shard recorded inline)
+        spans = [r for r in tracer.records if r["type"] == "span"]
+        shard_spans = {
+            s["attrs"]["shard"]: s for s in spans if s["name"] == "shard"
+        }
+        work_spans = [s for s in spans if s["name"] == "work"]
+        assert set(shard_spans) == {0, 1, 2}
+        assert len(work_spans) == 3
+        shard_ids = {s["id"] for s in shard_spans.values()}
+        assert all(w["parent"] in shard_ids for w in work_spans)
+        prefixed = [w for w in work_spans if w["id"][0] == "s"]
+        assert len(prefixed) == 2  # the two pool shards shipped buffers
+
+    def test_inline_cancel_emits_terminal_cancelled_transitions(self):
+        from repro.obs.events import EventBus, ProgressReporter
+        from repro.runners import CancelToken, RunCancelled
+
+        bus = EventBus()
+        sub = bus.subscribe()
+        token = CancelToken()
+        runner = ParallelRunner(jobs=1, cancel_token=token)
+        runner.progress = ProgressReporter(run_id="cancel", bus=bus)
+        executed = []
+
+        def worker(task):
+            executed.append(task)
+            if len(executed) == 2:
+                token.cancel("enough")
+            return task
+
+        with pytest.raises(RunCancelled):
+            runner.map(worker, [1, 2, 3, 4], samples=[5, 5, 5, 5])
+
+        transitions = {}
+        for event in sub.drain():
+            transitions.setdefault(event.shard, []).append(event.transition)
+        assert transitions[0] == ["queued", "started", "completed"]
+        assert transitions[1] == ["queued", "started", "completed"]
+        # shards that never ran still terminate explicitly — clients see
+        # an end-of-run marker, not silence
+        assert transitions[2] == ["queued", "cancelled"]
+        assert transitions[3] == ["queued", "cancelled"]
+
+    def test_pool_cancel_folds_completed_and_cancels_rest(self):
+        import threading
+
+        from repro.obs import Tracer, metrics, use_tracer
+        from repro.obs.events import EventBus, ProgressReporter
+        from repro.runners import CancelToken, RunCancelled
+
+        before = metrics().snapshot()["counters"].get("test.fold_counter", 0)
+        bus = EventBus()
+        sub = bus.subscribe()
+        token = CancelToken()
+        tracer = Tracer()
+        tasks = [
+            {"sleep": 0.0, "value": 0},
+            {"sleep": 0.0, "value": 1},
+            {"sleep": 1.2, "value": 2},
+            {"sleep": 1.2, "value": 3},
+        ]
+        timer = threading.Timer(0.3, token.cancel, args=("deadline",))
+        timer.start()
+        try:
+            with use_tracer(tracer):
+                runner = ParallelRunner(jobs=2, cancel_token=token)
+                runner.progress = ProgressReporter(run_id="pc", bus=bus)
+                with pytest.raises(RunCancelled, match="deadline"):
+                    runner.map(
+                        _count_span_and_sleep, tasks, samples=[1] * 4
+                    )
+        finally:
+            timer.cancel()
+
+        completed = {s.index for s in runner.stats.shards}
+        terminal = {}
+        for event in sub.drain():
+            terminal[event.shard] = event.transition
+        # every shard terminates: collected ones completed, the rest
+        # with an explicit cancelled transition
+        assert set(terminal) == {0, 1, 2, 3}
+        for shard in range(4):
+            expected = "completed" if shard in completed else "cancelled"
+            assert terminal[shard] == expected
+
+        # only collected shards folded their worker counters
+        after = metrics().snapshot()["counters"].get("test.fold_counter", 0)
+        assert after == before + len(completed)
+
+        # and only collected shards had their worker spans re-parented
+        spans = [r for r in tracer.records if r["type"] == "span"]
+        work_spans = [s for s in spans if s["name"] == "work"]
+        shard_ids = {s["id"] for s in spans if s["name"] == "shard"}
+        assert len(work_spans) == len(completed)
+        assert all(w["parent"] in shard_ids for w in work_spans)
+
+    def test_pool_loss_emits_retried_transitions(self):
+        from repro.obs.events import EventBus, ProgressReporter
+
+        bus = EventBus()
+        sub = bus.subscribe(capacity=10_000)
+        runner = ParallelRunner(jobs=2, backoff=0.01)
+        runner.progress = ProgressReporter(run_id="crashy", bus=bus)
+        tasks = [{"parent": os.getpid(), "value": v} for v in range(4)]
+        results = runner.map(_crash_in_child, tasks, samples=[1] * 4)
+        assert results == [0, 2, 4, 6]
+        stats = runner.finalize_stats("crashy")
+        assert stats.degraded
+
+        transitions = {}
+        for event in sub.drain():
+            transitions.setdefault(event.shard, []).append(event.transition)
+        for shard, seq in transitions.items():
+            assert seq[0] == "queued"
+            assert seq[-1] == "completed"
+            # one retried per lost pool, then the inline rerun finishes
+            assert seq.count("retried") == stats.pool_failures
+            assert "cancelled" not in seq
+
+
 class TestDeprecationShims:
     def test_mc_expected_error_warns_but_matches_golden_path(self):
         with pytest.warns(DeprecationWarning):
