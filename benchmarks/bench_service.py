@@ -1,6 +1,6 @@
 """Acceptance load test of the evaluation daemon (:mod:`repro.service`).
 
-Four phases, each asserting one robustness guarantee end to end over
+Six phases, each asserting one robustness guarantee end to end over
 the real socket protocol:
 
 * **coalescing** — N identical concurrent requests perform exactly ONE
@@ -11,6 +11,13 @@ the real socket protocol:
   admission → coalesce → breaker → pool pipeline and reports req/s,
   p50 and p99 latency; a second leg measures the persistent-cache
   short-circuit path.
+* **warm workers** — the same real multi-shard requests against cold
+  per-request process pools vs the resident
+  :class:`~repro.runners.workerpool.WorkerPool`; publishes
+  ``warm_speedup`` to the ledger.
+* **batching** — a compatible depth fan-out against the micro-batcher
+  vs serial evaluation; asserts every batched response is
+  byte-identical to its serial twin and publishes ``batch_speedup``.
 * **shedding** — a saturated queue rejects fast, with a ``Retry-After``
   hint derived from live queue state, instead of growing an unbounded
   backlog.
@@ -220,6 +227,132 @@ def phase_throughput(num_requests, cache_dir):
     return rows, measures
 
 
+def phase_warm(num_requests, samples):
+    """Cold per-request process pools vs the resident warm worker pool.
+
+    Real evaluator, real multi-shard pool runs: the cold leg pays
+    process spin-up plus cold per-process caches on *every* request, the
+    warm leg pays it once (excluded from the measurement via
+    ``warm_up``) and reuses the resident workers after that.
+    """
+    base = run_config(
+        ndigits=NDIGITS, jobs=2, cache_dir=None, shard_size=max(1, samples // 4)
+    )
+    # distinct seeds: no coalescing/caching, identical per-request work
+    requests = [
+        ("montecarlo", {"samples": samples, "depths": [4, 6],
+                        "seed": 1000 + i})
+        for i in range(num_requests)
+    ]
+
+    async def body(service):
+        if service.worker_pool is not None:
+            service.worker_pool.warm_up()
+        return await _run_load(
+            service, num_clients=1, requests=requests, max_inflight=1,
+        )
+
+    cold = asyncio.run(
+        _with_service(_service_config(run_config=base), None, body)
+    )
+    warm = asyncio.run(
+        _with_service(
+            _service_config(run_config=base, workers=2), None, body
+        )
+    )
+    warm_speedup = cold["elapsed"] / warm["elapsed"]
+    measures = {
+        "all_ok": all(
+            r["ok"] and not r.get("degraded")
+            for load in (cold, warm) for r in load["responses"]
+        ),
+        "cold_req_per_s": cold["req_per_s"],
+        "warm_req_per_s": warm["req_per_s"],
+        "warm_speedup": warm_speedup,
+    }
+    rows = [
+        [
+            "cold pools", f"{num_requests} x {samples}",
+            f"{cold['req_per_s']:.1f}", f"{cold['p50'] * 1e3:.1f}",
+            f"{cold['p99'] * 1e3:.1f}", "pool spawned per request",
+        ],
+        [
+            "warm pool", f"{num_requests} x {samples}",
+            f"{warm['req_per_s']:.1f}", f"{warm['p50'] * 1e3:.1f}",
+            f"{warm['p99'] * 1e3:.1f}",
+            f"resident workers, {warm_speedup:.2f}x",
+        ],
+    ]
+    return rows, measures
+
+
+def phase_batched(fanout, samples):
+    """Compatible depth fan-out: micro-batched vs serial evaluation.
+
+    Every request asks for one distinct depth of the same geometry —
+    exactly the traffic one fused wave evaluation answers.  The batched
+    leg must produce byte-identical responses to the serial leg (and
+    fuse the fan-out into a single evaluation).
+    """
+    import json
+
+    requests = [
+        ("montecarlo", {"samples": samples, "depths": [2 + i]})
+        for i in range(fanout)
+    ]
+
+    async def body(service):
+        return await _run_load(
+            service, num_clients=min(fanout, 8), requests=requests,
+            max_inflight=fanout,
+        )
+
+    serial = asyncio.run(_with_service(_service_config(), None, body))
+    metrics().reset()
+    batched = asyncio.run(
+        _with_service(
+            _service_config(batch_window=0.25, batch_max=fanout), None, body
+        )
+    )
+    fused = metrics().snapshot()["counters"].get("service.batched", 0)
+
+    def by_depth(load):
+        return {
+            r["result"]["depths"][0]: json.dumps(
+                r["result"], sort_keys=True
+            )
+            for r in load["responses"]
+        }
+
+    identical = by_depth(serial) == by_depth(batched)
+    batch_speedup = serial["elapsed"] / batched["elapsed"]
+    measures = {
+        "all_ok": all(
+            r["ok"] for load in (serial, batched) for r in load["responses"]
+        ),
+        "fused_members": fused,
+        "identical": identical,
+        "serial_req_per_s": serial["req_per_s"],
+        "batched_req_per_s": batched["req_per_s"],
+        "batch_speedup": batch_speedup,
+    }
+    rows = [
+        [
+            "serial", f"{fanout} compatible",
+            f"{serial['req_per_s']:.1f}", f"{serial['p50'] * 1e3:.1f}",
+            f"{serial['p99'] * 1e3:.1f}", f"{fanout} evaluations",
+        ],
+        [
+            "batched", f"{fanout} compatible",
+            f"{batched['req_per_s']:.1f}", f"{batched['p50'] * 1e3:.1f}",
+            f"{batched['p99'] * 1e3:.1f}",
+            f"{fused} fused, bit-identical={identical}, "
+            f"{batch_speedup:.2f}x",
+        ],
+    ]
+    return rows, measures
+
+
 def phase_shedding(num_requests):
     """A saturated queue sheds fast with a Retry-After hint."""
     metrics().reset()
@@ -310,6 +443,13 @@ def test_service_load_smoke(tmp_path):
     assert measures["breaker"] == "open"
 
 
+def test_service_batching_smoke():
+    rows, measures = phase_batched(fanout=4, samples=400)
+    assert measures["all_ok"]
+    assert measures["identical"]  # batched == serial, byte for byte
+    assert measures["fused_members"] == 4
+
+
 # ----------------------------------------------------------------- CLI mode
 
 def main(argv=None) -> int:
@@ -327,6 +467,10 @@ def main(argv=None) -> int:
     num_requests = args.requests or (40 if args.quick else 400)
     shed_requests = 12 if args.quick else 48
     degraded_requests = 8 if args.quick else 32
+    warm_requests = 4 if args.quick else 12
+    warm_samples = 2000 if args.quick else 8000
+    batch_fanout = 6 if args.quick else 12
+    batch_samples = 2000 if args.quick else 10000
 
     import tempfile
 
@@ -336,6 +480,10 @@ def main(argv=None) -> int:
     with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as cdir:
         throughput_rows, throughput = phase_throughput(num_requests, cdir)
     rows.extend(throughput_rows)
+    warm_rows, warm = phase_warm(warm_requests, warm_samples)
+    rows.extend(warm_rows)
+    batch_rows, batch = phase_batched(batch_fanout, batch_samples)
+    rows.extend(batch_rows)
     shed_row, shedding = phase_shedding(shed_requests)
     rows.append(shed_row)
     degraded_row, degraded = phase_degraded(degraded_requests)
@@ -360,6 +508,8 @@ def main(argv=None) -> int:
             "p50_ms": throughput["p50_ms"],
             "p99_ms": throughput["p99_ms"],
             "cached_req_per_s": throughput["cached_req_per_s"],
+            "warm_speedup": warm["warm_speedup"],
+            "batch_speedup": batch["batch_speedup"],
         },
         requests=num_requests,
         quick=args.quick,
@@ -380,6 +530,19 @@ def main(argv=None) -> int:
         failures.append("coalesced requests lost answers")
     if not throughput["all_ok"]:
         failures.append("throughput phase had failed requests")
+    if not warm["all_ok"]:
+        failures.append("warm-worker phase had failed/degraded requests")
+    if not batch["all_ok"]:
+        failures.append("batching phase had failed requests")
+    if not batch["identical"]:
+        failures.append(
+            "batched responses are not byte-identical to serial ones"
+        )
+    if batch["fused_members"] != batch_fanout:
+        failures.append(
+            f"batching fused {batch['fused_members']} of "
+            f"{batch_fanout} compatible requests (acceptance: all)"
+        )
     if throughput["cache_hits"] != throughput["num_requests"]:
         failures.append(
             f"cache phase: {throughput['cache_hits']} hits of "

@@ -465,6 +465,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         concurrency=args.concurrency,
+        workers=args.workers,
+        batch_window=args.batch_window,
         default_deadline=args.deadline,
         failure_threshold=args.failure_threshold,
         reset_timeout=args.reset_timeout,
@@ -473,7 +475,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"repro service on {args.host}:{args.port or '(ephemeral)'} "
         f"(ndigits={config.ndigits}, jobs={config.jobs}, "
-        f"concurrency={args.concurrency}); SIGTERM drains gracefully",
+        f"concurrency={args.concurrency}, workers={args.workers}, "
+        f"batch_window={args.batch_window:g}s); "
+        f"SIGTERM drains gracefully",
         flush=True,
     )
     run_service(service_config)
@@ -698,6 +702,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2014)
     p.add_argument("--concurrency", type=int, default=2,
                    help="resident evaluator worker threads")
+    p.add_argument("--workers", type=int, default=0,
+                   help="resident warm worker processes kept hot across "
+                        "requests (0 = per-run pools, the old behavior)")
+    p.add_argument("--batch-window", type=float, default=0.0,
+                   help="gather window in seconds for fusing compatible "
+                        "montecarlo/sweep requests (0 = no batching)")
     p.add_argument("--deadline", type=float, default=None,
                    help="default per-request deadline in seconds")
     p.add_argument("--failure-threshold", type=int, default=3,

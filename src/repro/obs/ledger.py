@@ -35,7 +35,7 @@ import sys
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -216,15 +216,22 @@ def compare(
     """
     if tolerance < 0:
         raise LedgerError(f"tolerance must be >= 0, got {tolerance!r}")
-    by_name: Dict[str, List[Mapping[str, Any]]] = {}
-    for record in records:
-        by_name.setdefault(str(record["name"]), []).append(record)
+    by_name: Dict[str, List[Tuple[int, Mapping[str, Any]]]] = {}
+    for index, record in enumerate(records):
+        by_name.setdefault(str(record["name"]), []).append((index, record))
     verdicts: List[Verdict] = []
     for name in sorted(by_name):
         history = by_name[name]
         if len(history) < 2:
             continue
-        newest, prior = history[-1], history[:-1]
+        # "newest" means latest timestamp, not last line: ledgers get
+        # merged and re-sharded, so file order is not arrival order.
+        # ISO-8601 timestamps sort lexicographically; file position
+        # breaks ties (and orders records missing a ts entirely).
+        history = sorted(
+            history, key=lambda item: (str(item[1].get("ts") or ""), item[0])
+        )
+        newest, prior = history[-1][1], [record for _, record in history[:-1]]
         for metric in sorted(newest["metrics"]):
             value = float(newest["metrics"][metric])
             prior_values = [

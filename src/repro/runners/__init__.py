@@ -36,6 +36,7 @@ from repro.runners.parallel import (
     split_samples,
     spawn_seeds,
 )
+from repro.runners.workerpool import WorkerPool
 from repro.runners.cache import (
     QUARANTINE_DIR,
     RAW_KIND,
@@ -57,6 +58,7 @@ __all__ = [
     "CancelToken",
     "RunCancelled",
     "ParallelRunner",
+    "WorkerPool",
     "RunStats",
     "ShardStat",
     "merge_float_sums",

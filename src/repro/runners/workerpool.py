@@ -1,0 +1,163 @@
+"""Resident warm worker processes shared across runs.
+
+:class:`ParallelRunner` historically built a fresh
+:class:`~concurrent.futures.ProcessPoolExecutor` per ``map`` call, so
+every request through the evaluation service paid process spin-up plus
+cold per-process memos (operator netlists in
+``repro.sim.sweep._HARNESS_CACHE``, multipliers in
+``repro.sim.montecarlo._OM_CACHE``, the compiled-program LRU of the
+packed/vector engines).  A :class:`WorkerPool` is the long-lived
+alternative: one executor that persists across requests, handed to any
+number of runners (it is thread-safe — the daemon's evaluator threads
+share one instance), so the second request onward runs against hot
+caches.
+
+Crash semantics: a worker-process loss surfaces to the runner as
+``BrokenProcessPool`` (or a shard timeout).  The runner then calls
+:meth:`WorkerPool.replace` with the generation it leased; the pool
+swaps in a fresh executor exactly once per generation — concurrent
+runners racing on the same broken executor cannot double-replace — and
+counts the event under the ``pool.worker_restarts`` metric.  The
+*runner's* retry/degrade machinery is unchanged, so a died worker is
+retried on the respawned pool and never fails the request — which is
+also why it can never open the service's circuit breaker by itself.
+
+Cancellation (:class:`~repro.runners.parallel.CancelToken`) is gentler:
+the runner cancels its queued futures but leaves the executor alone —
+the workers are healthy, merely mid-shard, and replacing them would
+throw the warm caches away on every expired deadline.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Tuple
+
+from repro.obs.metrics import metrics
+from repro.obs.trace import current_tracer
+
+__all__ = ["WorkerPool"]
+
+
+def _warm_worker() -> None:
+    """Per-process initializer: pre-import the heavy evaluation modules.
+
+    Runs once per worker process.  Importing here (rather than lazily on
+    the first shard) moves the import cost off the first request's
+    critical path; the per-process memos themselves fill on first use.
+    """
+    import repro.sim.montecarlo  # noqa: F401
+    import repro.sim.sweep  # noqa: F401
+    import repro.vec.fused  # noqa: F401
+
+
+def _worker_ident(delay: float) -> int:
+    """Warm-up probe: spin this worker up and report its pid."""
+    if delay > 0:
+        time.sleep(delay)
+    return os.getpid()
+
+
+class WorkerPool:
+    """A persistent, replaceable :class:`ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes kept resident.
+    restart_metric:
+        Counter name a crash replacement increments (one per
+        replacement event; the whole executor is respawned, since the
+        stdlib pool marks itself broken as a unit).
+    """
+
+    def __init__(self, jobs: int, restart_metric: str = "pool.worker_restarts") -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+        self.jobs = jobs
+        self.restart_metric = restart_metric
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._generation = 0
+        self._restarts = 0
+        self._closed = False
+
+    # -------------------------------------------------------------- queries
+    @property
+    def generation(self) -> int:
+        """Bumps on every :meth:`replace`; a lease is valid for one value."""
+        with self._lock:
+            return self._generation
+
+    @property
+    def restarts(self) -> int:
+        """Crash replacements performed over this pool's lifetime."""
+        with self._lock:
+            return self._restarts
+
+    # ------------------------------------------------------------ lifecycle
+    def lease(self) -> Tuple[ProcessPoolExecutor, int]:
+        """The current executor (built lazily) and its generation.
+
+        The generation is the claim ticket for :meth:`replace`: a caller
+        that saw this executor fail passes it back, and only the first
+        such claim per generation actually replaces anything.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is shut down")
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs, initializer=_warm_worker
+                )
+            return self._executor, self._generation
+
+    def replace(self, generation: int, reason: str = "worker lost") -> bool:
+        """Respawn the executor after a loss; idempotent per generation.
+
+        Returns True when this call performed the replacement, False
+        when another thread already replaced that generation (or the
+        pool is shut down).  The old executor is abandoned without
+        waiting — a hung worker must not block its replacement — with
+        its queued futures cancelled.
+        """
+        with self._lock:
+            if self._closed or generation != self._generation:
+                return False
+            old = self._executor
+            self._executor = None
+            self._generation += 1
+            self._restarts += 1
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+        metrics().count(self.restart_metric)
+        current_tracer().event(
+            "pool.worker_restart", reason=reason, generation=generation + 1
+        )
+        return True
+
+    def warm_up(self, timeout: float = 30.0, settle: float = 0.05) -> List[int]:
+        """Spin up every worker now; returns the worker pids seen.
+
+        Submits ``jobs`` short barrier tasks (each sleeping *settle*
+        seconds so one fast worker cannot absorb them all) — useful to
+        move process start-up off the first request and, in tests, to
+        observe worker identity across calls.
+        """
+        executor, _ = self.lease()
+        futures = [
+            executor.submit(_worker_ident, settle) for _ in range(self.jobs)
+        ]
+        return sorted({f.result(timeout=timeout) for f in futures})
+
+    def shutdown(self, wait: bool = False) -> None:
+        """Terminate the resident workers; the pool cannot be reused."""
+        with self._lock:
+            self._closed = True
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)

@@ -9,6 +9,9 @@ needs, one concern per module:
   shedding with live ``retry_after`` hints.
 * :mod:`repro.service.coalesce` — leader/follower dedup of identical
   in-flight requests.
+* :mod:`repro.service.batch` — gather-window fusion of *compatible*
+  non-identical requests into one union-grid evaluation, split back
+  into bit-identical per-request responses.
 * :mod:`repro.service.retry` — decorrelated-jitter backoff under a
   hard sleep budget.
 * :mod:`repro.service.breaker` — the circuit breaker over the worker
@@ -24,6 +27,7 @@ the simulation core already uses.
 """
 
 from repro.service.admission import AdmissionController, ShedRequest
+from repro.service.batch import MicroBatcher, merge_requests, split_responses
 from repro.service.breaker import CircuitBreaker
 from repro.service.client import ServiceClient, request_once
 from repro.service.coalesce import Coalescer
@@ -40,6 +44,7 @@ from repro.service.requests import (
     REQUEST_CLASSES,
     EvalRequest,
     RequestError,
+    batch_compatibility_key,
     parse_request,
 )
 from repro.service.retry import DEFAULT_RETRY_POLICY, RetryPolicy
@@ -47,6 +52,9 @@ from repro.service.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 __all__ = [
     "AdmissionController",
     "ShedRequest",
+    "MicroBatcher",
+    "merge_requests",
+    "split_responses",
     "CircuitBreaker",
     "ServiceClient",
     "request_once",
@@ -61,6 +69,7 @@ __all__ = [
     "REQUEST_CLASSES",
     "EvalRequest",
     "RequestError",
+    "batch_compatibility_key",
     "parse_request",
     "DEFAULT_RETRY_POLICY",
     "RetryPolicy",

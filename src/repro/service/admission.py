@@ -88,6 +88,8 @@ class AdmissionController:
 
     # -------------------------------------------------------------- queries
     def depth(self, cls: Optional[str] = None) -> int:
+        if cls is not None:
+            self._require_class(cls)
         with self._lock:
             if cls is None:
                 return sum(self._pending.values())
@@ -98,42 +100,55 @@ class AdmissionController:
         with self._lock:
             return self._ewma
 
-    def retry_after(self, cls: str) -> float:
-        """Seconds until a slot for *cls* plausibly frees up."""
-        with self._lock:
-            ahead = sum(self._pending.values())
-            return round(
-                max(self._ewma, self._ewma * (ahead + 1) / self.concurrency),
-                3,
-            )
-
-    # ------------------------------------------------------------ lifecycle
-    def try_acquire(self, cls: str) -> None:
-        """Admit one *cls* request or raise :class:`ShedRequest`."""
+    def _require_class(self, cls: str) -> None:
         if cls not in self.limits:
             raise ValueError(
                 f"unknown request class {cls!r}; expected one of "
                 f"{sorted(self.limits)}"
             )
+
+    def _estimate_locked(self, ahead: int) -> float:
+        """Retry-after estimate with *ahead* requests in front (lock held)."""
+        return round(
+            max(self._ewma, self._ewma * (ahead + 1) / self.concurrency),
+            3,
+        )
+
+    def retry_after(self, cls: str) -> float:
+        """Seconds until a slot for *cls* plausibly frees up.
+
+        A class-limited shed waits on the *class* queue draining, so the
+        estimate counts only that class's pending requests — other
+        classes have their own slots and do not delay this one.
+        """
+        self._require_class(cls)
+        with self._lock:
+            return self._estimate_locked(self._pending[cls])
+
+    # ------------------------------------------------------------ lifecycle
+    def try_acquire(self, cls: str) -> None:
+        """Admit one *cls* request or raise :class:`ShedRequest`."""
+        self._require_class(cls)
         with self._lock:
             depth = self._pending[cls]
             total = sum(self._pending.values())
             if depth >= self.limits[cls]:
+                # class queue full: the hint tracks this class's drain,
+                # not total occupancy (which may be dominated by other,
+                # independently-limited classes)
                 reason = (
                     f"queue full for class {cls!r} "
                     f"({depth}/{self.limits[cls]})"
                 )
+                ahead = depth
             elif total >= self.total:
                 reason = f"service saturated ({total}/{self.total} pending)"
+                ahead = total
             else:
                 self._pending[cls] = depth + 1
                 self._gauges()
                 return
-            ahead = total
-            retry_after = round(
-                max(self._ewma, self._ewma * (ahead + 1) / self.concurrency),
-                3,
-            )
+            retry_after = self._estimate_locked(ahead)
         metrics().count("service.shed")
         current_tracer().event(
             "service.shed", cls=cls, depth=depth, retry_after=retry_after
@@ -142,6 +157,7 @@ class AdmissionController:
 
     def release(self, cls: str, service_time: Optional[float] = None) -> None:
         """Mark one *cls* request finished; fold its duration into the EWMA."""
+        self._require_class(cls)
         with self._lock:
             if self._pending[cls] <= 0:
                 raise RuntimeError(

@@ -105,6 +105,11 @@ class ServiceClient:
                 return await future
             return await asyncio.wait_for(future, timeout=timeout)
         finally:
+            # drop *both* registrations: leaving the future in _waiting
+            # after a timeout would leak one entry per timed-out request
+            # for the life of the connection (and let a late response
+            # resolve a future nobody awaits anymore)
+            self._waiting.pop(req_id, None)
             self._progress.pop(req_id, None)
 
     async def aclose(self) -> None:

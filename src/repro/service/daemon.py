@@ -9,11 +9,12 @@ request ``id`` for correlation).
 A request travels::
 
     parse -> cache short-circuit -> coalesce -> breaker -> admission
-          -> retry(evaluate on warm worker, cancellable) -> respond
+          -> [micro-batch] -> retry(evaluate on warm worker, cancellable)
+          -> respond
 
 * **parse** (:mod:`repro.service.requests`) — strict validation; the
   normalized request carries the same content-addressed key the result
-  cache uses.
+  cache uses, plus a *compatibility* key for the micro-batcher.
 * **cache short-circuit** — a persistent-cache hit answers before the
   queue is ever consulted; a full queue cannot shed work the service
   already knows the answer to.
@@ -25,6 +26,11 @@ A request travels::
   ``"degraded": true`` until a half-open probe succeeds.
 * **admission** (:mod:`repro.service.admission`) — bounded per-class
   occupancy; overload sheds fast with a ``retry_after`` hint.
+* **micro-batch** (:mod:`repro.service.batch`, enabled by
+  ``batch_window > 0``) — admitted montecarlo/sweep leaders differing
+  only in their depth/step grid gather for a small window and fuse
+  into one union-grid evaluation, split back into per-request
+  responses bit-identical to their solo spelling.
 * **retry** (:mod:`repro.service.retry`) — transient pool failures are
   retried under a jittered-backoff budget; a request ``deadline``
   cancels the evaluation *inside* the pool via the runner's
@@ -33,7 +39,14 @@ A request travels::
 Evaluations run on a small resident :class:`~concurrent.futures.
 ThreadPoolExecutor` — the worker threads stay warm across requests, so
 per-process caches (operator netlists, compiled engines) amortize the
-way a long-running service wants them to.
+way a long-running service wants them to.  With ``workers > 0`` the
+threads additionally front a resident
+:class:`~repro.runners.workerpool.WorkerPool` of long-lived worker
+*processes*, so those caches stay hot across requests even for
+multi-shard pool runs; a died worker is respawned by the pool
+(``pool.worker_restarts``) and retried by the runner without ever
+surfacing as a request failure — which is why a worker crash cannot
+open the circuit breaker by itself.
 
 Lifecycle: ``SIGTERM``/``SIGINT`` trigger a graceful drain — the
 listener closes, in-flight requests finish (bounded by
@@ -60,7 +73,9 @@ from repro.obs.trace import current_tracer
 from repro.runners.cache import cache_for
 from repro.runners.config import RunConfig
 from repro.runners.parallel import CancelToken, ParallelRunner, RunCancelled
+from repro.runners.workerpool import WorkerPool
 from repro.service.admission import AdmissionController, ShedRequest
+from repro.service.batch import MicroBatcher, merge_requests, split_responses
 from repro.service.breaker import CircuitBreaker
 from repro.service.coalesce import Coalescer
 from repro.service.degrade import degraded_answer
@@ -97,6 +112,9 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral; the bound port is EvalService.port
     concurrency: int = 2  # resident warm evaluator threads
+    workers: int = 0  # resident worker *processes*; 0 = per-run pools
+    batch_window: float = 0.0  # compatible-request gather window; 0 = off
+    batch_max: int = 16  # members fused into one evaluation, at most
     limits: Optional[Mapping[str, int]] = None  # admission per-class caps
     total_limit: Optional[int] = None
     default_deadline: Optional[float] = None
@@ -108,15 +126,27 @@ class ServiceConfig:
     drain_timeout: float = 30.0
 
 
-def evaluate_request(req: EvalRequest, cancel_token: CancelToken) -> Dict[str, Any]:
+def evaluate_request(
+    req: EvalRequest,
+    cancel_token: CancelToken,
+    worker_pool: Optional[WorkerPool] = None,
+) -> Dict[str, Any]:
     """Default evaluator: run the experiment entry point, return its dict.
 
     Runs on a worker thread.  The :class:`CancelToken` threads through
     to the :class:`ParallelRunner` so a fired deadline stops the
-    evaluation between shards instead of orphaning it.
+    evaluation between shards instead of orphaning it.  With a
+    *worker_pool*, shards run on the resident warm worker processes
+    (``jobs`` then follows the pool size, not the request config).
     """
     config = req.config
-    runner = ParallelRunner.from_config(config)
+    if worker_pool is not None:
+        runner = ParallelRunner(
+            worker_pool=worker_pool,
+            shard_timeout=getattr(config, "shard_timeout", None),
+        )
+    else:
+        runner = ParallelRunner.from_config(config)
     runner.cancel_token = cancel_token
     # publish shard lifecycle onto the process-wide bus keyed by the
     # request's coalescing key, so the daemon can stream progress frames
@@ -184,7 +214,27 @@ class EvalService:
         ] = None,
     ) -> None:
         self.config = config or ServiceConfig()
-        self.evaluator = evaluator or evaluate_request
+        self.worker_pool: Optional[WorkerPool] = (
+            WorkerPool(self.config.workers)
+            if self.config.workers > 0 else None
+        )
+        if evaluator is not None:
+            self.evaluator = evaluator
+        elif self.worker_pool is not None:
+            def _warm_evaluator(req, token, _pool=self.worker_pool):
+                return evaluate_request(req, token, worker_pool=_pool)
+
+            self.evaluator = _warm_evaluator
+        else:
+            self.evaluator = evaluate_request
+        self.batcher: Optional[MicroBatcher] = (
+            MicroBatcher(
+                self._run_batch,
+                window=self.config.batch_window,
+                max_batch=self.config.batch_max,
+            )
+            if self.config.batch_window > 0 else None
+        )
         self.admission = AdmissionController(
             limits=self.config.limits,
             total=self.config.total_limit,
@@ -256,12 +306,16 @@ class EvalService:
         while self.admission.depth() > 0 and time.monotonic() < deadline:
             await asyncio.sleep(0.05)
         # anything still in flight gets an honest rejection, not silence
-        aborted = self.coalescer.abort_all(
-            {"ok": False, "code": "draining", "error": "service draining"}
-        )
+        draining = {"ok": False, "code": "draining",
+                    "error": "service draining"}
+        aborted = self.coalescer.abort_all(dict(draining))
+        if self.batcher is not None:
+            aborted += self.batcher.abort_all(draining)
         if aborted:
             metrics().count("service.drain_aborted", aborted)
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.worker_pool is not None:
+            self.worker_pool.shutdown()
         self._closed.set()
 
     # ------------------------------------------------------------- protocol
@@ -373,20 +427,19 @@ class EvalService:
             response["coalesced"] = True
             return response
         watch = self._add_watcher(req.key, req.id, send_progress)
+        response: Optional[Dict[str, Any]] = None
         try:
             response = await self._evaluate_leader(req)
-        except BaseException:
-            # never leave followers hanging on a leader crash
-            self.coalescer.resolve(
-                req.key,
-                {"ok": False, "code": "internal",
-                 "error": "leader failed unexpectedly"},
-            )
-            raise
+            return response
         finally:
+            # resolve on *every* exit — unexpected exception, cancelled
+            # task, early return — so a dying leader can never strand
+            # its followers until their client-side timeout
             self._remove_watcher(req.key, watch)
-        self.coalescer.resolve(req.key, response)
-        return response
+            if response is None:
+                response = {"ok": False, "code": "internal",
+                            "error": "leader failed unexpectedly"}
+            self.coalescer.resolve(req.key, response)
 
     # ---------------------------------------------------------- progress bus
     def _add_watcher(
@@ -525,7 +578,12 @@ class EvalService:
         }
 
     async def _evaluate_leader(self, req: EvalRequest) -> Dict[str, Any]:
-        """Breaker -> admission -> retried, deadline-bounded evaluation."""
+        """Breaker -> admission -> (batched or direct) evaluation.
+
+        Every leader holds its *own* admission slot for the duration —
+        batched members included, so shedding sees the true demand and
+        a fused evaluation cannot smuggle N requests past the limits.
+        """
         if not self.breaker.allow():
             metrics().count("service.degraded")
             reason = (
@@ -544,6 +602,52 @@ class EvalService:
                 "id": req.id,
             }
         started = time.monotonic()
+        try:
+            if self.batcher is not None and req.batch_key is not None:
+                return await self.batcher.submit(req)
+            return await self._evaluate_admitted(req)
+        finally:
+            self.admission.release(
+                req.kind, service_time=time.monotonic() - started
+            )
+
+    async def _run_batch(
+        self, members: "list[EvalRequest]"
+    ) -> "list[Dict[str, Any]]":
+        """Evaluate one closed batch group; responses in member order.
+
+        A single-member group takes the ordinary path — batching must be
+        invisible when no compatible company showed up in the window.
+        """
+        if len(members) == 1:
+            return [await self._evaluate_admitted(members[0])]
+        merged = merge_requests(members)
+        metrics().count("service.batched", len(members))
+        metrics().observe("service.batch_size", len(members))
+        current_tracer().event(
+            "service.batch",
+            kind=merged.kind,
+            size=len(members),
+            key=merged.key,
+        )
+        response = await self._evaluate_admitted(
+            merged, watch_keys=tuple(r.key for r in members)
+        )
+        return split_responses(merged, response, members, cache=self.cache)
+
+    async def _evaluate_admitted(
+        self,
+        req: EvalRequest,
+        watch_keys: Optional[tuple] = None,
+    ) -> Dict[str, Any]:
+        """One retried, deadline-bounded evaluation on the executor.
+
+        *watch_keys* routes progress frames: a fused evaluation streams
+        its shard lifecycle to every member key's watchers (each member
+        request keeps its own frames), the default to the request's own
+        key only.
+        """
+        keys = watch_keys or (req.key,)
         loop = asyncio.get_running_loop()
         token = CancelToken()
 
@@ -551,7 +655,8 @@ class EvalService:
             # runs on the evaluator thread: hop onto the loop, where the
             # watcher registries live and writes are ordered before the
             # final response
-            loop.call_soon_threadsafe(self._dispatch_progress, req.key, event)
+            for key in keys:
+                loop.call_soon_threadsafe(self._dispatch_progress, key, event)
 
         subscription = progress_bus().subscribe(
             run_id=req.key, callback=on_event
@@ -607,10 +712,8 @@ class EvalService:
             }
         finally:
             progress_bus().unsubscribe(subscription)
-            self._progress.pop(req.key, None)
-            self.admission.release(
-                req.kind, service_time=time.monotonic() - started
-            )
+            for key in keys:
+                self._progress.pop(key, None)
         self.breaker.record_success()
         return {
             "ok": True,

@@ -18,6 +18,16 @@ Normalization produces an :class:`EvalRequest` whose ``key`` is the
 points' key-component builders are imported, not imitated), which is
 what makes dedup/coalescing exact and lets cache hits short-circuit
 before admission control ever sees the request.
+
+Next to the identity key sits the **compatibility key** (``batch_key``):
+two requests with the same batch key differ only along an axis the
+vector engine evaluates in one pass anyway — the montecarlo depth grid,
+or the stage-sweep step grid — while everything that changes the sample
+stream or the evaluation semantics (geometry, backend, seed, shard
+size, sample budget, deadline) is part of the key.  The service's
+micro-batcher merges same-``batch_key`` requests into one fused
+evaluation; synthesis requests have no batchable axis and carry
+``batch_key=None``.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ __all__ = [
     "ADMIN_KINDS",
     "RequestError",
     "EvalRequest",
+    "batch_compatibility_key",
     "parse_request",
 ]
 
@@ -82,6 +93,29 @@ class EvalRequest:
     key: str  # dedup/coalescing content address
     cache_key: Optional[str]  # ResultCache short-circuit key, if cached
     deadline: Optional[float]
+    batch_key: Optional[str] = None  # micro-batch compatibility class
+
+
+def batch_compatibility_key(
+    kind: str, config: RunConfig, samples: int, deadline: Optional[float]
+) -> Optional[str]:
+    """Compatibility class of one request for the service micro-batcher.
+
+    Everything but the depth/step grid must match for two requests to
+    fuse: the :meth:`RunConfig.describe` fields (geometry, backend,
+    seed, shard size) pin the sample stream, ``samples`` pins the shard
+    layout, and ``deadline`` keeps the fused evaluation's cancellation
+    semantics identical to each member's solo run.  Only montecarlo and
+    sweep requests batch — synthesis has no shared-grid axis.
+    """
+    if kind not in ("montecarlo", "sweep"):
+        return None
+    return cache_key(
+        experiment=f"service.batch.{kind}",
+        num_samples=int(samples),
+        deadline=deadline,
+        **config.describe(),
+    )
 
 
 def _int_field(params: Mapping, name: str, default: int, lo: int, hi: int) -> int:
@@ -198,6 +232,7 @@ def parse_request(
             id=req_id, kind=kind, config=config, params=norm,
             key_components=components, key=key, cache_key=key,
             deadline=deadline,
+            batch_key=batch_compatibility_key(kind, config, samples, deadline),
         )
 
     if kind == "sweep":
@@ -216,6 +251,7 @@ def parse_request(
             id=req_id, kind=kind, config=config, params=norm,
             key_components=components, key=key, cache_key=key,
             deadline=deadline,
+            batch_key=batch_compatibility_key(kind, config, samples, deadline),
         )
 
     # synthesis

@@ -267,6 +267,27 @@ class SweepHarness:
         )
 
 
+def error_free_step_on_grid(
+    steps: np.ndarray, mean_err: np.ndarray, settle: int
+) -> int:
+    """Measured minimum error-free period of a (possibly sparse) grid.
+
+    The smallest swept step above the last violating one — or the
+    settle step when even the largest swept step violates (the settled
+    state is error-free by construction).  This rule is grid-dependent:
+    any consumer that re-slices a sweep onto a sub-grid (the service's
+    request batcher) must recompute it through this helper rather than
+    reuse the full-grid value.
+    """
+    steps_arr = np.asarray(steps, dtype=np.int64)
+    violating = np.nonzero(np.asarray(mean_err) > 0)[0]
+    if violating.size == 0:
+        return int(steps_arr[0])
+    if violating[-1] + 1 < len(steps_arr):
+        return int(steps_arr[violating[-1] + 1])
+    return int(settle)
+
+
 def _sweep_from_partials(
     parts: List[Dict[str, Any]],
     steps: Optional[np.ndarray] = None,
@@ -275,10 +296,8 @@ def _sweep_from_partials(
 
     *steps* is the swept period grid the partials were evaluated on; the
     default is the dense grid ``0 .. settle_step`` of the gate-level
-    harnesses.  On a sparse grid the measured error-free period is the
-    smallest swept step above the last violating one — or the settle
-    step when even the largest swept step violates (the settled state is
-    error-free by construction).
+    harnesses.  On a sparse grid the measured error-free period follows
+    :func:`error_free_step_on_grid`.
     """
     settle = parts[0]["settle_step"]
     rated = parts[0]["rated_step"]
@@ -298,13 +317,7 @@ def _sweep_from_partials(
         if steps is None
         else np.asarray(steps, dtype=np.int64)
     )
-    violating = np.nonzero(mean_err > 0)[0]
-    if violating.size == 0:
-        error_free = int(steps_arr[0])
-    elif violating[-1] + 1 < len(steps_arr):
-        error_free = int(steps_arr[violating[-1] + 1])
-    else:
-        error_free = int(settle)
+    error_free = error_free_step_on_grid(steps_arr, mean_err, settle)
     return SweepResult(
         steps=steps_arr,
         mean_abs_error=mean_err,

@@ -136,6 +136,34 @@ class TestCompare:
         assert v.direction == "lower"
         assert v.regressed
 
+    def test_newest_is_latest_timestamp_not_file_order(self):
+        # merged/re-sharded ledgers carry records out of arrival order;
+        # the gate must pick the newest *timestamp*, not the last line
+        verdicts = compare(
+            [
+                _rec("s", {"req_per_s": 100.0}, ts="2026-08-01T00:00:00+00:00"),
+                _rec("s", {"req_per_s": 80.0}, ts="2026-08-03T00:00:00+00:00"),
+                _rec("s", {"req_per_s": 120.0}, ts="2026-08-02T00:00:00+00:00"),
+            ],
+            tolerance=0.10,
+        )
+        [v] = verdicts
+        assert v.newest == 80.0  # the 08-03 run, despite its file position
+        assert v.best == 120.0
+        assert v.regressed
+
+    def test_equal_timestamps_fall_back_to_file_order(self):
+        verdicts = compare(
+            [
+                _rec("s", {"req_per_s": 100.0}),
+                _rec("s", {"req_per_s": 90.0}),  # same default ts: last wins
+            ],
+            tolerance=0.0,
+        )
+        [v] = verdicts
+        assert v.newest == 90.0
+        assert v.best == 100.0
+
     def test_newest_vs_best_prior_not_just_previous(self):
         # a slow middle run must not lower the bar
         verdicts = compare(

@@ -47,6 +47,15 @@ class TestLimits:
         with pytest.raises(ValueError):
             adm.try_acquire("mystery")
 
+    def test_unknown_class_rejected_everywhere(self):
+        # every entry point names the offending class instead of leaking
+        # a bare KeyError out of the counter dict
+        adm = AdmissionController(limits={"montecarlo": 1})
+        for call in (adm.try_acquire, adm.release, adm.retry_after,
+                     adm.depth):
+            with pytest.raises(ValueError, match="unknown request class"):
+                call("mystery")
+
     @pytest.mark.parametrize(
         "kwargs",
         [
@@ -96,6 +105,35 @@ class TestRetryAfter:
             adm.try_acquire("montecarlo")
         # one request ahead on one worker: at least one service time out
         assert exc_info.value.retry_after >= 0.5
+
+    def test_class_shed_hint_counts_the_class_queue_not_the_total(self):
+        # a montecarlo shed waits on montecarlo's 2 pending requests, not
+        # on sweep's 6 — the classes drain independently
+        adm = AdmissionController(
+            limits={"montecarlo": 2, "sweep": 8}, concurrency=1,
+            initial_service_time=1.0,
+        )
+        for _ in range(6):
+            adm.try_acquire("sweep")
+        for _ in range(2):
+            adm.try_acquire("montecarlo")
+        with pytest.raises(ShedRequest) as exc_info:
+            adm.try_acquire("montecarlo")
+        assert exc_info.value.retry_after == pytest.approx(3.0)  # (2+1)/1
+        assert adm.retry_after("montecarlo") == pytest.approx(3.0)
+
+    def test_saturation_shed_hint_counts_the_total(self):
+        adm = AdmissionController(
+            limits={"montecarlo": 8, "sweep": 8}, total=4, concurrency=1,
+            initial_service_time=1.0,
+        )
+        for _ in range(3):
+            adm.try_acquire("sweep")
+        adm.try_acquire("montecarlo")
+        with pytest.raises(ShedRequest) as exc_info:
+            adm.try_acquire("montecarlo")
+        assert "saturated" in exc_info.value.reason
+        assert exc_info.value.retry_after == pytest.approx(5.0)  # (4+1)/1
 
 
 class TestObservability:

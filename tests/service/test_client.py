@@ -1,0 +1,67 @@
+"""ServiceClient internals: routing-table hygiene under timeouts.
+
+A client that times requests out against a stalled daemon must not
+accumulate dead entries in its routing tables — one leaked future per
+timed-out request, over the life of a long-lived connection, is an
+unbounded leak (and lets a late response resolve a future nobody is
+awaiting anymore).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.client import ServiceClient
+
+
+async def stalled_server():
+    """A daemon that reads requests forever and never answers."""
+
+    async def on_client(reader, writer):
+        try:
+            while await reader.readline():
+                pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(on_client, host="127.0.0.1", port=0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+class TestTimeoutHygiene:
+    def test_timed_out_requests_leave_no_waiting_entries(self):
+        async def main():
+            server, port = await stalled_server()
+            client = await ServiceClient.connect("127.0.0.1", port)
+            for i in range(5):
+                with pytest.raises(asyncio.TimeoutError):
+                    await client.request(
+                        "montecarlo", {"samples": 10}, timeout=0.02
+                    )
+            waiting, progress = len(client._waiting), len(client._progress)
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+            return waiting, progress
+
+        waiting, progress = asyncio.run(main())
+        assert waiting == 0  # the future must not outlive its request
+        assert progress == 0
+
+    def test_progress_handlers_cleaned_up_too(self):
+        async def main():
+            server, port = await stalled_server()
+            client = await ServiceClient.connect("127.0.0.1", port)
+            with pytest.raises(asyncio.TimeoutError):
+                await client.request(
+                    "montecarlo", {"samples": 10}, timeout=0.02,
+                    on_progress=lambda frame: None,
+                )
+            waiting, progress = len(client._waiting), len(client._progress)
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+            return waiting, progress
+
+        waiting, progress = asyncio.run(main())
+        assert (waiting, progress) == (0, 0)

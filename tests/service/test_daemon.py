@@ -350,6 +350,47 @@ class TestBreakerAndDegradation:
         assert rows[0]["mean_abs_error"] >= rows[1]["mean_abs_error"]
 
 
+class TestLeaderFailure:
+    def test_dying_leader_resolves_its_followers(self):
+        """A leader killed by an unexpected (non-evaluation) exception
+        must still resolve the coalescer entry — followers get an
+        honest ``internal`` response instead of hanging until their
+        client-side timeout."""
+
+        async def main():
+            service, client = await started()
+            release = asyncio.Event()
+
+            async def crashing_leader(req):
+                await release.wait()
+                raise RuntimeError("handler bug, not an evaluation error")
+
+            service._evaluate_leader = crashing_leader
+            tasks = [
+                asyncio.ensure_future(
+                    client.request(
+                        "montecarlo", {"samples": 100, "depths": [3]},
+                        timeout=5.0,
+                    )
+                )
+                for _ in range(3)
+            ]
+            # wait for one leader plus two parked followers
+            while service.coalescer.depth == 0:
+                await asyncio.sleep(0.01)
+            await asyncio.sleep(0.05)
+            release.set()
+            responses = await asyncio.gather(*tasks)
+            depth = service.coalescer.depth
+            await finish(service, client)
+            return responses, depth
+
+        responses, depth = asyncio.run(main())
+        assert all(r["ok"] is False for r in responses)
+        assert all(r["code"] == "internal" for r in responses)
+        assert depth == 0  # nothing stranded in the coalescer
+
+
 class TestDeadline:
     def test_deadline_cancels_into_the_runner(self):
         async def main():

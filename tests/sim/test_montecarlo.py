@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.runners.config import RunConfig
 from repro.sim.montecarlo import (
     MonteCarloResult,
     mc_expected_error,
+    run_montecarlo,
     uniform_digit_batch,
 )
 
@@ -25,10 +27,11 @@ class TestUniformBatch:
             assert abs(frac - 1 / 3) < 0.02
 
 
-class TestMcExpectedError:
+class TestRunMontecarlo:
     @pytest.fixture(scope="class")
     def result(self):
-        return mc_expected_error(8, num_samples=4000, seed=3)
+        config = RunConfig(ndigits=8, seed=3, jobs=1, cache_dir=None)
+        return run_montecarlo(config, num_samples=4000)
 
     def test_depths_default(self, result):
         assert result.depths[0] == 4  # delta + 1
@@ -60,12 +63,14 @@ class TestMcExpectedError:
             result.at_depth(99)
 
     def test_custom_depths(self):
-        res = mc_expected_error(6, num_samples=500, seed=1, depths=[5, 7])
+        config = RunConfig(ndigits=6, seed=1, jobs=1, cache_dir=None)
+        res = run_montecarlo(config, num_samples=500, depths=[5, 7])
         assert res.depths.tolist() == [5, 7]
 
     def test_deterministic_seed(self):
-        a = mc_expected_error(6, num_samples=500, seed=5)
-        b = mc_expected_error(6, num_samples=500, seed=5)
+        config = RunConfig(ndigits=6, seed=5, jobs=1, cache_dir=None)
+        a = run_montecarlo(config, num_samples=500)
+        b = run_montecarlo(config, num_samples=500)
         assert np.array_equal(a.mean_abs_error, b.mean_abs_error)
 
     def test_errors_are_small_magnitude(self, result):
@@ -73,3 +78,16 @@ class TestMcExpectedError:
         short, the mean error is far below the full-scale product."""
         err, _ = result.at_depth(8)
         assert err < 0.05
+
+
+class TestDeprecatedShim:
+    def test_mc_expected_error_warns_and_still_works(self):
+        # the shim deliberately keeps the legacy monolithic-RNG stream
+        # (golden constants are pinned to it), so only shape — not the
+        # drawn samples — matches the sharded run_montecarlo path
+        with pytest.warns(DeprecationWarning):
+            legacy = mc_expected_error(6, num_samples=500, seed=5)
+        config = RunConfig(ndigits=6, seed=5, jobs=1, cache_dir=None)
+        modern = run_montecarlo(config, num_samples=500)
+        assert np.array_equal(modern.depths, legacy.depths)
+        assert legacy.mean_abs_error.shape == modern.mean_abs_error.shape
